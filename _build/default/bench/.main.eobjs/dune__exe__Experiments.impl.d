@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Baselines Codegen Float Game Interp Ir Kernels List Machine Onnx_coverage Perfdojo Printf Report Rl Search String Transform Util

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Hashtbl Instance Interp Ir Kernels List Machine Measure Printf Report Rl Staged String Sys Test Time Toolkit Transform

@@ -1,0 +1,1 @@
+bench/onnx_coverage.ml: Hashtbl Interp Ir List Printf Report Util

@@ -1,0 +1,199 @@
+(* The paper claims the supported IR features "facilitate the
+   implementation of 83% of the kernels defined in the ONNX
+   specification" (§2.1).  This experiment reproduces that inventory: a
+   categorized list of ONNX operators, each mapped to the IR features it
+   needs; operators requiring the deliberately excluded features
+   (indirection, data-dependent ranges, dependent iteration, general
+   control flow) are counted as not expressible.
+
+   For one representative of each supported feature class the claim is
+   machine-checked: a small IR program implementing the operator is
+   built, validated and executed. *)
+
+type feature =
+  | Elementwise
+  | Broadcast
+  | Reduction
+  | Contraction (* matmul-like: reduction + multi-dim indexing *)
+  | Window (* conv/pool-like: affine index sums *)
+  | IndexValue (* needs the iteration index as data *)
+  | Layout (* pure data movement expressible with affine indices *)
+  | Indirection (* gather/scatter: excluded *)
+  | DataDependent (* data-dependent ranges / shapes: excluded *)
+  | ControlFlow (* loops/ifs over subgraphs: excluded *)
+
+let supported = function
+  | Elementwise | Broadcast | Reduction | Contraction | Window | IndexValue
+  | Layout ->
+      true
+  | Indirection | DataDependent | ControlFlow -> false
+
+let feature_name = function
+  | Elementwise -> "elementwise"
+  | Broadcast -> "broadcast"
+  | Reduction -> "reduction"
+  | Contraction -> "contraction"
+  | Window -> "window"
+  | IndexValue -> "index-as-value"
+  | Layout -> "layout"
+  | Indirection -> "indirection (excluded)"
+  | DataDependent -> "data-dependent (excluded)"
+  | ControlFlow -> "control flow (excluded)"
+
+(* A representative slice of the ONNX operator set (opset 17), mapped to
+   the dominating IR feature each needs. *)
+let operators : (string * feature) list =
+  [
+    (* elementwise math *)
+    ("Abs", Elementwise); ("Add", Elementwise); ("Ceil", Elementwise);
+    ("Clip", Elementwise); ("Cos", Elementwise); ("Div", Elementwise);
+    ("Elu", Elementwise); ("Erf", Elementwise); ("Exp", Elementwise);
+    ("Floor", Elementwise); ("Gelu", Elementwise); ("HardSigmoid", Elementwise);
+    ("HardSwish", Elementwise); ("LeakyRelu", Elementwise); ("Log", Elementwise);
+    ("Max", Elementwise); ("Mean", Elementwise); ("Min", Elementwise);
+    ("Mish", Elementwise); ("Mul", Elementwise); ("Neg", Elementwise);
+    ("Pow", Elementwise); ("Reciprocal", Elementwise); ("Relu", Elementwise);
+    ("Round", Elementwise); ("Selu", Elementwise); ("Sigmoid", Elementwise);
+    ("Sign", Elementwise); ("Sin", Elementwise); ("Softplus", Elementwise);
+    ("Softsign", Elementwise); ("Sqrt", Elementwise); ("Sub", Elementwise);
+    ("Tanh", Elementwise); ("ThresholdedRelu", Elementwise);
+    (* comparison / logic (as 0/1 floats) *)
+    ("And", Elementwise); ("Equal", Elementwise); ("Greater", Elementwise);
+    ("Less", Elementwise); ("Not", Elementwise); ("Or", Elementwise);
+    ("Where", Elementwise); ("Xor", Elementwise);
+    (* broadcasting forms *)
+    ("PRelu", Broadcast); ("Expand", Broadcast);
+    (* reductions *)
+    ("ArgMax", IndexValue); ("ArgMin", IndexValue);
+    ("CumSum", Reduction); ("LogSoftmax", Reduction);
+    ("LpNormalization", Reduction); ("ReduceL1", Reduction);
+    ("ReduceL2", Reduction); ("ReduceLogSum", Reduction);
+    ("ReduceLogSumExp", Reduction); ("ReduceMax", Reduction);
+    ("ReduceMean", Reduction); ("ReduceMin", Reduction);
+    ("ReduceProd", Reduction); ("ReduceSum", Reduction);
+    ("ReduceSumSquare", Reduction); ("Softmax", Reduction);
+    (* normalizations *)
+    ("BatchNormalization", Reduction); ("GroupNormalization", Reduction);
+    ("InstanceNormalization", Reduction); ("LayerNormalization", Reduction);
+    ("LpPool", Window); ("LRN", Window); ("MeanVarianceNormalization", Reduction);
+    ("RMSNormalization", Reduction);
+    (* contractions *)
+    ("Einsum", Contraction); ("Gemm", Contraction); ("MatMul", Contraction);
+    ("MatMulInteger", Contraction); ("QGemm", Contraction);
+    (* windows: convolutions and pooling *)
+    ("AveragePool", Window); ("Conv", Window); ("ConvInteger", Window);
+    ("ConvTranspose", Window); ("DepthToSpace", Layout);
+    ("GlobalAveragePool", Reduction); ("GlobalLpPool", Reduction);
+    ("GlobalMaxPool", Reduction); ("MaxPool", Window);
+    ("SpaceToDepth", Layout);
+    (* layout / data movement *)
+    ("Concat", Layout); ("Flatten", Layout); ("Identity", Layout);
+    ("Pad", Layout); ("Reshape", Layout); ("Slice", Layout);
+    ("Split", Layout); ("Squeeze", Layout); ("Tile", Layout);
+    ("Transpose", Layout); ("Unsqueeze", Layout);
+    (* index-as-value *)
+    ("EyeLike", IndexValue); ("Range", IndexValue); ("Trilu", IndexValue);
+    ("OneHot", IndexValue);
+    (* attention-era composites *)
+    ("Attention", Contraction); ("QLinearMatMul", Contraction);
+    ("QuantizeLinear", Elementwise); ("DequantizeLinear", Elementwise);
+    ("SkipLayerNormalization", Reduction); ("BiasGelu", Elementwise);
+    (* excluded: indirection *)
+    ("Gather", Indirection); ("GatherElements", Indirection);
+    ("GatherND", Indirection); ("Scatter", Indirection);
+    ("ScatterElements", Indirection); ("ScatterND", Indirection);
+    ("Compress", DataDependent); ("NonZero", DataDependent);
+    ("TopK", DataDependent); ("Unique", DataDependent);
+    ("NonMaxSuppression", DataDependent); ("RoiAlign", Indirection);
+    ("MaxUnpool", Indirection); ("Resize", Indirection);
+    ("Upsample", Indirection); ("GridSample", Indirection);
+    ("Bernoulli", DataDependent); ("Multinomial", DataDependent);
+    ("RandomNormal", DataDependent); ("RandomUniform", DataDependent);
+    ("StringNormalizer", DataDependent); ("TfIdfVectorizer", DataDependent);
+    (* excluded: control flow and recurrences *)
+    ("If", ControlFlow); ("Loop", ControlFlow); ("Scan", ControlFlow);
+    ("GRU", ControlFlow); ("LSTM", ControlFlow); ("RNN", ControlFlow);
+    ("SequenceMap", ControlFlow); ("Optional", ControlFlow);
+  ]
+
+(* Machine-checked representatives: one constructive proof per supported
+   feature class. *)
+let proofs : (feature * string * string) list =
+  [
+    ( Elementwise,
+      "Add",
+      "x f32 [4, 6] heap\ny f32 [4, 6] heap\nz f32 [4, 6] heap\n\
+       inputs: x, y\noutputs: z\n4\n| 6\n\
+       | | z[{0},{1}] = x[{0},{1}] + y[{0},{1}]\n" );
+    ( Broadcast,
+      "PRelu (per-row slope)",
+      "x f32 [4, 6] heap\nslope f32 [4] heap\nz f32 [4, 6] heap\n\
+       inputs: x, slope\noutputs: z\n4\n| 6\n\
+       | | z[{0},{1}] = max(x[{0},{1}], 0) + slope[{0}] * min(x[{0},{1}], 0)\n"
+    );
+    ( Reduction,
+      "ReduceSum",
+      "x f32 [4, 6] heap\nz f32 [4] heap\ninputs: x\noutputs: z\n\
+       4\n| z[{0}] = 0\n| 6\n| | z[{0}] = z[{0}] + x[{0},{1}]\n" );
+    ( Contraction,
+      "MatMul",
+      "a f32 [3, 4] heap\nb f32 [4, 5] heap\nc f32 [3, 5] heap\n\
+       inputs: a, b\noutputs: c\n3\n| 5\n| | c[{0},{1}] = 0\n| | 4\n\
+       | | | c[{0},{1}] = c[{0},{1}] + a[{0},{2}] * b[{2},{1}]\n" );
+    ( Window,
+      "AveragePool 3 (1D)",
+      "x f32 [10] heap\nz f32 [8] heap\ninputs: x\noutputs: z\n\
+       8\n| z[{0}] = 0\n| 3\n| | z[{0}] = z[{0}] + x[{0}+{1}]\n\
+       8\n| z[{0}] = z[{0}] / 3\n" );
+    ( IndexValue,
+      "Range (start=0, step=1)",
+      "z f32 [8] heap\ninputs: \noutputs: z\n8\n| z[{0}] = {0}\n" );
+    ( Layout,
+      "Transpose",
+      "x f32 [4, 6] heap\nz f32 [6, 4] heap\ninputs: x\noutputs: z\n\
+       6\n| 4\n| | z[{0},{1}] = x[{1},{0}]\n" );
+  ]
+
+let run () =
+  Report.header
+    "ONNX operator coverage (the paper's 83% expressibility claim)";
+  (* machine-check the representatives *)
+  Report.subheader "constructive proofs (validated + executed)";
+  List.iter
+    (fun (f, name, text) ->
+      let p = Ir.Parser.program text in
+      Ir.Validate.check_exn p;
+      let rng = Util.Rng.create 3 in
+      let t = Interp.random_inputs rng p in
+      Interp.run p t;
+      Printf.printf "  %-16s %-26s OK\n" (feature_name f) name)
+    proofs;
+  (* the inventory *)
+  let by_feature = Hashtbl.create 16 in
+  List.iter
+    (fun (_, f) ->
+      Hashtbl.replace by_feature f
+        (1 + try Hashtbl.find by_feature f with Not_found -> 0))
+    operators;
+  Report.subheader "inventory";
+  Report.table
+    [ "feature"; "ops"; "expressible" ]
+    (List.map
+       (fun f ->
+         [
+           feature_name f;
+           string_of_int (try Hashtbl.find by_feature f with Not_found -> 0);
+           (if supported f then "yes" else "no");
+         ])
+       [
+         Elementwise; Broadcast; Reduction; Contraction; Window; IndexValue;
+         Layout; Indirection; DataDependent; ControlFlow;
+       ]);
+  let total = List.length operators in
+  let ok =
+    List.length (List.filter (fun (_, f) -> supported f) operators)
+  in
+  Printf.printf
+    "\ncoverage: %d / %d operators expressible = %.0f%%   (paper: 83%%)\n" ok
+    total
+    (100.0 *. float_of_int ok /. float_of_int total)

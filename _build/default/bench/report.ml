@@ -1,0 +1,50 @@
+(* Small reporting helpers for the experiment harness. *)
+
+let header title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let subheader title = Printf.printf "\n--- %s ---\n" title
+
+(* Print a table: column headers then rows of strings, padded. *)
+let table (cols : string list) (rows : string list list) =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length c) rows)
+      cols
+  in
+  let print_row cells =
+    let padded =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          cell ^ String.make (max 0 (w - String.length cell)) ' ')
+        cells
+    in
+    print_endline ("  " ^ String.concat "  " padded)
+  in
+  print_row cols;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f3 x = Printf.sprintf "%.3f" x
+let e3 x = Printf.sprintf "%.3e" x
+let x2 x = Printf.sprintf "%.2fx" x
+
+let geomean = Util.Stats.geomean
+
+(* Environment-tunable budgets so `dune exec bench/main.exe` finishes
+   quickly while PERFDOJO_BUDGET=1000 reproduces the paper's setting. *)
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let search_budget () = env_int "PERFDOJO_BUDGET" 400
+let rl_episodes () = env_int "PERFDOJO_RL_EPISODES" 24

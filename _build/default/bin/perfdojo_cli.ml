@@ -1,0 +1,540 @@
+(* perfdojo: command-line driver.
+
+   perfdojo list
+   perfdojo show softmax [--target x86] [--c]
+   perfdojo moves softmax --target snitch
+   perfdojo optimize softmax --target gh200 --strategy annealing --budget 500
+   perfdojo verify softmax --target x86 --strategy heuristic
+   perfdojo targets *)
+
+open Cmdliner
+open Perfdojo
+
+let all_kernels = Kernels.table3 @ Kernels.snitch_micro
+
+let find_kernel name =
+  match
+    List.find_opt (fun (e : Kernels.entry) -> e.label = name) all_kernels
+  with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "unknown kernel %S; try `perfdojo list`\n" name;
+      exit 1
+
+let target_of_string = function
+  | "x86" | "xeon" -> Machine.Desc.Cpu Machine.Desc.xeon_e5_2695v4
+  | "avx512" -> Machine.Desc.Cpu Machine.Desc.avx512_cpu
+  | "arm" | "grace" -> Machine.Desc.Cpu Machine.Desc.grace_arm
+  | "riscv" -> Machine.Desc.Cpu Machine.Desc.riscv_scalar
+  | "snitch" -> Machine.Desc.Snitch Machine.Desc.snitch_cluster
+  | "gh200" -> Machine.Desc.Gpu Machine.Desc.gh200
+  | "mi300a" -> Machine.Desc.Gpu Machine.Desc.mi300a
+  | s ->
+      Printf.eprintf
+        "unknown target %S (x86, avx512, arm, riscv, snitch, gh200, mi300a)\n"
+        s;
+      exit 1
+
+let strategy_of_string budget = function
+  | "naive" -> Naive
+  | "greedy" -> Greedy
+  | "heuristic" -> Heuristic
+  | "sampling" -> Sampling { budget; space = Search.Stochastic.Heuristic }
+  | "sampling-edges" -> Sampling { budget; space = Search.Stochastic.Edges }
+  | "annealing" -> Annealing { budget; space = Search.Stochastic.Heuristic }
+  | "annealing-edges" -> Annealing { budget; space = Search.Stochastic.Edges }
+  | "rl" ->
+      Rl_search
+        {
+          Rl.Perfllm.default_config with
+          episodes = max 4 (budget / 24);
+          max_steps = 20;
+        }
+  | s ->
+      Printf.eprintf "unknown strategy %S\n" s;
+      exit 1
+
+(* shared options *)
+let target_arg =
+  let doc = "Target machine: x86, avx512, arm, riscv, snitch, gh200, mi300a."
+  in
+  Arg.(value & opt string "x86" & info [ "target"; "t" ] ~docv:"TARGET" ~doc)
+
+let kernel_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL")
+
+let budget_arg =
+  let doc = "Search evaluation budget." in
+  Arg.(value & opt int 300 & info [ "budget"; "b" ] ~docv:"N" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Strategy: naive, greedy, heuristic, sampling[-edges], \
+     annealing[-edges], rl."
+  in
+  Arg.(
+    value & opt string "heuristic" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-14s %-18s %s\n" "kernel" "shape" "description";
+    List.iter
+      (fun (e : Kernels.entry) ->
+        Printf.printf "%-14s %-18s %s\n" e.label e.shape_desc e.description)
+      all_kernels
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in kernels (Table 3 + Snitch).")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* targets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let targets_cmd =
+  let run () =
+    List.iter
+      (fun (name, t) ->
+        Printf.printf "%-8s %s\n" name (Machine.Desc.target_name t))
+      [
+        ("x86", target_of_string "x86");
+        ("avx512", target_of_string "avx512");
+        ("arm", target_of_string "arm");
+        ("riscv", target_of_string "riscv");
+        ("snitch", target_of_string "snitch");
+        ("gh200", target_of_string "gh200");
+        ("mi300a", target_of_string "mi300a");
+      ]
+  in
+  Cmd.v (Cmd.info "targets" ~doc:"List the modelled machines.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run kernel emit_c =
+    let e = find_kernel kernel in
+    let p = e.build () in
+    print_string (Ir.Printer.program p);
+    if emit_c then begin
+      print_endline "\n/* generated C */";
+      print_string (Codegen.program p)
+    end
+  in
+  let c_arg =
+    Arg.(value & flag & info [ "c" ] ~doc:"Also print the generated C.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a kernel's textual IR (and optionally C).")
+    Term.(const run $ kernel_arg $ c_arg)
+
+(* ------------------------------------------------------------------ *)
+(* moves                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let moves_cmd =
+  let run kernel target =
+    let e = find_kernel kernel in
+    let t = target_of_string target in
+    let game = Game.start t (e.build ()) in
+    List.iter (fun (i, d) -> Printf.printf "%3d  %s\n" i d) (Game.moves game)
+  in
+  Cmd.v
+    (Cmd.info "moves"
+       ~doc:"List the applicable transformations at the kernel's root state.")
+    Term.(const run $ kernel_arg $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let run kernel target strategy budget seed emit_c check =
+    let e = find_kernel kernel in
+    let t = target_of_string target in
+    let p = e.build () in
+    let t_naive = Machine.time t p in
+    let outcome =
+      Perfdojo.optimize ~seed (strategy_of_string budget strategy) t p
+    in
+    Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
+    Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
+    Printf.printf "strategy:   %s\n" strategy;
+    Printf.printf "naive:      %.3e s\n" t_naive;
+    Printf.printf "optimized:  %.3e s (%.2fx, %d evaluations)\n"
+      outcome.time_s (t_naive /. outcome.time_s) outcome.evaluations;
+    if outcome.moves <> [] then begin
+      print_endline "moves:";
+      List.iter (Printf.printf "  %s\n") outcome.moves
+    end;
+    print_endline "schedule:";
+    print_endline (Ir.Printer.body outcome.schedule);
+    if check then begin
+      let small = e.build_small () in
+      let small_outcome =
+        Perfdojo.optimize ~seed (strategy_of_string budget strategy) t small
+      in
+      match Interp.equivalent small small_outcome.schedule with
+      | Ok () ->
+          print_endline "numerical check (small variant): OK"
+      | Error msg -> Printf.printf "numerical check FAILED: %s\n" msg
+    end;
+    if emit_c then begin
+      print_endline "/* generated C */";
+      print_string (Codegen.program outcome.schedule)
+    end
+  in
+  let c_arg =
+    Arg.(value & flag & info [ "c" ] ~doc:"Print C for the winning schedule.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-run the strategy on a small variant of the kernel and \
+             verify numerically against the reference interpreter.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a kernel for a target machine.")
+    Term.(
+      const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
+      $ seed_arg $ c_arg $ check_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run kernel target =
+    let e = find_kernel kernel in
+    let t = target_of_string target in
+    let caps = Machine.caps t in
+    let p = e.build_small () in
+    (* apply every applicable instance once and verify each result: the
+       paper's empirical validation of the applicability rules *)
+    let insts = Transform.Xforms.all caps p in
+    let failures = ref 0 in
+    List.iter
+      (fun (i : Transform.Xforms.instance) ->
+        let p' = i.apply p in
+        match Interp.equivalent ~tol:1e-4 p p' with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Printf.printf "FAIL %s: %s\n" (Transform.Xforms.describe i) msg)
+      insts;
+    Printf.printf "%d transformations verified on %s, %d failures\n"
+      (List.length insts) e.label !failures;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Numerically verify every applicable transformation of a kernel \
+          (small shape) against the reference interpreter.")
+    Term.(const run $ kernel_arg $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* game: the interactive Dojo                                          *)
+(* ------------------------------------------------------------------ *)
+
+let game_cmd =
+  let run kernel target trace_file =
+    let e = find_kernel kernel in
+    let t = target_of_string target in
+    let game = Game.start t (e.build ()) in
+    let t0 = Machine.time t (Game.state game) in
+    let print_state () =
+      Printf.printf "\n%s\n" (Ir.Printer.body (Game.state game));
+      let now = Machine.time t (Game.state game) in
+      Printf.printf "runtime %.3e s  (%.2fx vs start)\n" now (t0 /. now)
+    in
+    let print_moves () =
+      List.iter
+        (fun (i, d) -> Printf.printf "%3d  %s\n" i d)
+        (Game.moves game)
+    in
+    let save_trace () =
+      match trace_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          List.iter (fun m -> output_string oc (m ^ "\n"))
+            (Game.moves_played game);
+          close_out oc;
+          Printf.printf "trace saved to %s\n" path
+    in
+    Printf.printf
+      "PerfDojo game: %s on %s\n\
+       commands: <n> play move n | m list moves | s show state | u undo |\n\
+      \          u <k> undo k-th move back | v verify | c emit C | q quit\n"
+      e.label
+      (Machine.Desc.target_name t);
+    print_state ();
+    (try
+       while true do
+         print_string "> ";
+         let line = String.trim (read_line ()) in
+         match String.split_on_char ' ' line with
+         | [ "q" ] | [ "quit" ] -> raise Exit
+         | [ "m" ] -> print_moves ()
+         | [ "s" ] -> print_state ()
+         | [ "v" ] -> (
+             match Game.verify game with
+             | Ok () -> print_endline "numerically equivalent to start: OK"
+             | Error msg -> Printf.printf "FAILED: %s\n" msg)
+         | [ "c" ] -> print_string (Codegen.program (Game.state game))
+         | [ "u" ] -> (
+             match Game.undo game with
+             | Some _ -> print_state ()
+             | None -> print_endline "nothing to undo")
+         | [ "u"; k ] -> (
+             match int_of_string_opt k with
+             | Some k -> (
+                 match Game.undo_at game k with
+                 | Some _ -> print_state ()
+                 | None ->
+                     print_endline
+                       "cannot remove: later moves depend on it")
+             | None -> print_endline "usage: u <k>")
+         | [ n ] when int_of_string_opt n <> None -> (
+             match int_of_string_opt n with
+             | Some i -> (
+                 try
+                   let time = Game.play game i in
+                   Printf.printf "-> %.3e s\n" time
+                 with Invalid_argument m -> print_endline m)
+             | None -> ())
+         | [ "" ] -> ()
+         | _ -> print_endline "unknown command (q m s u v c or a move number)"
+       done
+     with Exit | End_of_file -> ());
+    save_trace ()
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Save the played move sequence to FILE on exit.")
+  in
+  Cmd.v
+    (Cmd.info "game"
+       ~doc:
+         "Play the performance game interactively: list moves, apply \
+          them, watch the modelled runtime, undo, verify.")
+    Term.(const run $ kernel_arg $ target_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay: apply a saved trace                                         *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let run kernel target file emit_c =
+    let e = find_kernel kernel in
+    let t = target_of_string target in
+    let caps = Machine.caps t in
+    let ic = open_in file in
+    let rec read acc =
+      match input_line ic with
+      | line -> read (String.trim line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    let moves = List.filter (fun l -> l <> "") (read []) in
+    let p = e.build () in
+    match Transform.Engine.replay caps p moves with
+    | Error msg ->
+        Printf.eprintf "replay failed: %s\n" msg;
+        exit 1
+    | Ok result ->
+        Printf.printf "replayed %d moves\n" (List.length moves);
+        Printf.printf "runtime: %.3e s -> %.3e s\n" (Machine.time t p)
+          (Machine.time t result);
+        print_endline (Ir.Printer.body result);
+        if emit_c then print_string (Codegen.program result)
+  in
+  let file_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE")
+  in
+  let c_arg = Arg.(value & flag & info [ "c" ] ~doc:"Also print C.") in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a move trace saved by the game command.")
+    Term.(const run $ kernel_arg $ target_arg $ file_arg $ c_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze: performance-model breakdown                                *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run kernel target strategy budget seed =
+    let e = find_kernel kernel in
+    let t = target_of_string target in
+    let p = e.build () in
+    let sched =
+      if strategy = "none" then p
+      else
+        (Perfdojo.optimize ~seed (strategy_of_string budget strategy) t p)
+          .schedule
+    in
+    Printf.printf "kernel:   %s (%s), schedule: %s\n" e.label e.shape_desc
+      strategy;
+    Printf.printf "target:   %s\n" (Machine.Desc.target_name t);
+    Printf.printf "runtime:  %.3e s   (%.2f GFLOP/s)\n"
+      (Machine.time t sched) (Machine.gflops t sched);
+    (match t with
+    | Machine.Desc.Cpu c ->
+        let b = Machine.Cpu_model.breakdown c sched in
+        let cycles = Float.max b.comp b.mem +. b.ovh in
+        Printf.printf
+          "cycles:   %.3e   compute %.3e (%.0f%%)  memory %.3e (%.0f%%)  \
+           overhead %.3e (%.0f%%)\n"
+          cycles b.comp
+          (100. *. b.comp /. cycles)
+          b.mem
+          (100. *. b.mem /. cycles)
+          b.ovh
+          (100. *. b.ovh /. cycles);
+        Printf.printf "bound:    %s\n"
+          (if b.mem > b.comp then "memory" else "compute")
+    | Machine.Desc.Snitch sn ->
+        let cycles = Machine.Snitch_sim.cycles sn sched in
+        Printf.printf "cycles:   %.3e   fraction of peak: %.3f\n" cycles
+          (Machine.Snitch_sim.peak_fraction sn sched)
+    | Machine.Desc.Gpu g ->
+        (* report per grid-mapped kernel *)
+        let idx = ref 0 in
+        Ir.Prog.iter_nodes
+          (fun path node ->
+            match node with
+            | Ir.Types.Scope sc when sc.annot = Ir.Types.GpuGrid ->
+                let depth = Ir.Prog.depth_of_path sched path in
+                let st = Machine.Gpu_model.analyze_kernel g sched depth sc in
+                Printf.printf
+                  "kernel %d: %.3e flops, %.3e B traffic, %.0f threads, \
+                   wavefront eff %.2f, vectorized %b\n"
+                  !idx st.flops st.traffic_bytes st.total_threads st.wave_eff
+                  st.vectorized;
+                incr idx
+            | _ -> ())
+          sched;
+        if !idx = 0 then
+          print_endline "no GPU-mapped kernels: everything runs on the host");
+    print_endline "\nschedule:";
+    print_endline (Ir.Printer.body sched)
+  in
+  let strategy_arg =
+    let doc = "Schedule to analyze: none (naive) or any optimize strategy." in
+    Arg.(value & opt string "none" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Explain where the modelled time goes (compute / memory / \
+          overhead; per-GPU-kernel stats) for a kernel's naive or \
+          optimized schedule.")
+    Term.(
+      const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate: the automated library generation pipeline                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's end product: for a target architecture, optimize every
+   operator and emit a C library (one translation unit per kernel, a
+   header, and the schedules as replayable IR). *)
+let generate_cmd =
+  let run target strategy budget seed out =
+    let t = target_of_string target in
+    (try Unix.mkdir out 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let sanitize label =
+      String.map (fun c -> if c = ' ' then '_' else c) label
+    in
+    let entries =
+      match t with
+      | Machine.Desc.Snitch _ -> Kernels.snitch_micro @ Kernels.table3
+      | _ -> Kernels.table3
+    in
+    let index = Buffer.create 256 in
+    Buffer.add_string index
+      (Printf.sprintf
+         "/* PerfDojo generated library for %s (strategy %s, budget %d) */\n"
+         (Machine.Desc.target_name t) strategy budget);
+    let total_speedup = ref [] in
+    List.iter
+      (fun (e : Kernels.entry) ->
+        let p = e.build () in
+        let t_naive = Machine.time t p in
+        let outcome =
+          Perfdojo.optimize ~seed (strategy_of_string budget strategy) t p
+        in
+        let speedup = t_naive /. outcome.time_s in
+        total_speedup := speedup :: !total_speedup;
+        let base = sanitize e.label in
+        (* the C implementation *)
+        let oc = open_out (Filename.concat out (base ^ ".c")) in
+        Printf.fprintf oc
+          "/* %s (%s): %s\n   modelled %.3e s (%.2fx over naive) */\n%s"
+          e.label e.shape_desc e.description outcome.time_s speedup
+          (Codegen.program outcome.schedule);
+        close_out oc;
+        (* the schedule itself, replayable via `perfdojo replay` /
+           Ir.Parser *)
+        let oc = open_out (Filename.concat out (base ^ ".pdj")) in
+        output_string oc (Ir.Printer.program outcome.schedule);
+        close_out oc;
+        Buffer.add_string index
+          (Printf.sprintf "/* %-14s %-18s %.3e s  %6.2fx */\n" e.label
+             e.shape_desc outcome.time_s speedup);
+        Printf.printf "generated %-14s %.3e s (%.2fx)\n%!" e.label
+          outcome.time_s speedup)
+      entries;
+    let geo =
+      Util.Stats.geomean (Array.of_list !total_speedup)
+    in
+    Buffer.add_string index
+      (Printf.sprintf "/* geomean speedup over naive: %.2fx */\n" geo);
+    let oc = open_out (Filename.concat out "INDEX.h") in
+    Buffer.output_buffer oc index;
+    close_out oc;
+    Printf.printf
+      "\nlibrary written to %s/ (%d kernels, geomean %.2fx over naive)\n" out
+      (List.length entries) geo
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "perfdojo_lib"
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate an optimized kernel library for a target: optimize \
+          every built-in operator and emit C sources, replayable \
+          schedules and an index.")
+    Term.(
+      const run $ target_arg $ strategy_arg $ budget_arg $ seed_arg $ out_arg)
+
+let () =
+  let doc = "PerfDojo: transformation-centric kernel optimization." in
+  let info = Cmd.info "perfdojo" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
+            verify_cmd; game_cmd; replay_cmd; generate_cmd; analyze_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/attention_block.ml: Array Baselines Float Hashtbl Interp Ir List Machine Perfdojo Printf Util

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Float Hashtbl Interp Ir List Machine Perfdojo Printf Util

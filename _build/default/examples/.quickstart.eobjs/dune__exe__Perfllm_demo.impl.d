@@ -1,0 +1,1 @@
+examples/perfllm_demo.ml: Array Interp Ir Kernels List Machine Perfdojo Printf Rl String

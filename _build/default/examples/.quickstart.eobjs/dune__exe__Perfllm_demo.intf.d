@@ -1,0 +1,1 @@
+examples/perfllm_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Game Ir Kernels List Machine Perfdojo Printf String

@@ -1,0 +1,1 @@
+examples/snitch_tuning.ml: Codegen Ir Kernels List Machine Perfdojo Printf Search

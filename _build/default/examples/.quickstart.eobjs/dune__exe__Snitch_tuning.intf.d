@@ -1,0 +1,1 @@
+examples/snitch_tuning.mli:

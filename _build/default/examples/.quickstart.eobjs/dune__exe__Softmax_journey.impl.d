@@ -1,0 +1,1 @@
+examples/softmax_journey.ml: Codegen Game Ir Kernels List Machine Perfdojo Printf

@@ -1,0 +1,1 @@
+examples/softmax_journey.mli:

@@ -1,0 +1,59 @@
+(* The manual transformation-centric workflow of Figure 2 / Figure 4:
+   a human engineer optimizes softmax step by step, watching the modelled
+   runtime after every move, undoing a move that did not pay off, and
+   finally emitting C.
+
+   Run with:  dune exec examples/softmax_journey.exe *)
+
+open Perfdojo
+
+let play game name =
+  let t = Game.play_named game name in
+  Printf.printf "  %-42s -> %.3e s\n" name t;
+  t
+
+let () =
+  let target = Machine.Desc.Cpu Machine.Desc.avx512_cpu in
+  let prog = Kernels.softmax ~n:24576 ~m:512 in
+  let game = Game.start target prog in
+  Printf.printf "start: %.3e s\n" (Machine.time target prog);
+
+  (* Fuse the exponentiation with the running sum: one pass over the
+     row instead of two. *)
+  ignore (play game "join_scopes([0,3])");
+
+  (* The row temporaries are privatized per row; move them to the
+     stack. *)
+  ignore (play game "set_storage(mx -> stack)");
+  ignore (play game "set_storage(s -> stack)");
+
+  (* Rows are independent: parallelize. *)
+  ignore (play game "parallelize([0])");
+
+  (* Try tiling the max-reduction loop... *)
+  let before = Machine.time target (Game.state game) in
+  let after = play game "split_scope([0,1] factor 16)" in
+  if after >= before then begin
+    (* ...it did not help (the reduction cannot vectorize): undo it.
+       The history is non-destructive, every later state is rebuilt. *)
+    match Game.undo game with
+    | Some _ -> print_endline "  (undone: tiling the max loop did not pay)"
+    | None -> ()
+  end;
+
+  (* Vectorize the division loop: tile by the AVX-512 width first, the
+     vectorize move is only offered once the trip count matches. *)
+  ignore (play game "split_scope([0,4] factor 16)");
+  ignore (play game "vectorize([0,4,0])");
+
+  Printf.printf "\nmoves played:\n";
+  List.iter (Printf.printf "  %s\n") (Game.moves_played game);
+
+  (match Game.verify game with
+  | Ok () -> print_endline "\nnumerical check vs original: OK"
+  | Error e -> failwith e);
+
+  print_endline "\nfinal schedule:";
+  print_endline (Ir.Printer.body (Game.state game));
+  print_endline "\ngenerated C:";
+  print_string (Codegen.program (Game.state game))

@@ -1,0 +1,61 @@
+(** Simulated framework baselines.
+
+    The paper compares against real frameworks on real hardware; this
+    reproduction models each framework as a {e scheduling policy} over
+    the same IR, scored by the same performance models as our own
+    schedules (see DESIGN.md for the substitution table).  The policies
+    encode the behaviours the paper attributes to each system:
+    library-centric per-operator scheduling (PyTorch), elementwise
+    fusion (JAX/XLA), conservative defaults (ONNXRuntime), near-optimal
+    covered kernels (OneDNN), template-restricted budgeted search with
+    the reported validation failures (TVM/Ansor), parallel+tile without
+    vectorization and the LayerNorm numerical failure (Pluto), and
+    SSR/FREP-aware handwritten Snitch kernels. *)
+
+module Desc = Machine.Desc
+
+type verdict =
+  | Valid
+  | Failed_validation  (** produced a numerically wrong result (§4.2) *)
+  | No_valid_schedule  (** auto-scheduler timeout; default schedule used *)
+
+type scheduled = {
+  framework : string;
+  prog : Ir.Prog.t;  (** the schedule actually timed *)
+  dispatches : int;  (** framework-level kernel dispatches *)
+  verdict : verdict;
+}
+
+val count_nests : Ir.Prog.t -> int
+
+val library_tune : ?budget:int -> Desc.target -> Ir.Prog.t -> Ir.Prog.t
+(** Per-operator structural refinement (mapping, tiling, interchange,
+    padding — never cross-operator fusion or shape-specialized vectors):
+    vendor libraries ship well-tuned launch configurations. *)
+
+val pytorch : Desc.target -> Ir.Prog.t -> scheduled
+val jax : Desc.target -> Ir.Prog.t -> scheduled
+val onnxruntime : Desc.target -> Ir.Prog.t -> scheduled
+val onednn : Desc.target -> Ir.Prog.t -> scheduled
+val pluto : label:string -> Desc.target -> Ir.Prog.t -> scheduled
+
+val tvm_template : Transform.Xforms.instance -> bool
+(** The Ansor-style template restriction: structural moves only. *)
+
+val tvm_fails : Desc.target -> string -> bool
+(** Deterministic failure model per the paper's observations (batchnorm
+    and swiglu never produce a valid schedule; additional GPU kernels
+    time out). *)
+
+val tvm :
+  ?budget:int -> ?seed:int -> label:string -> Desc.target -> Ir.Prog.t ->
+  scheduled
+
+val handwritten_snitch : Transform.Xforms.caps -> Ir.Prog.t -> scheduled
+
+val dispatch_overhead : Desc.target -> float
+(** Per-dispatch framework overhead (operator dispatch, tensor
+    bookkeeping). *)
+
+val time : Desc.target -> scheduled -> float
+(** Modelled runtime including dispatch overheads. *)

@@ -1,0 +1,176 @@
+(* PerfDojo: the top-level facade.
+
+   This module ties the IR, the transformation engine, the performance
+   models and the search/RL machinery into the two interfaces the paper
+   describes:
+
+   - {!Game}: the interactive "performance game" (§2) — a session over a
+     program where each move is a semantics-preserving transformation
+     and the score is the modelled runtime.  This is the environment
+     PerfLLM trains in, and equally the interface for manual
+     transformation-centric optimization (Figure 2).
+   - {!optimize}: one-call automatic optimization under a chosen
+     strategy (the §4.1 passes, §4.2 stochastic searches, or §3 RL). *)
+
+module Ir = Ir
+module Interp = Interp
+module Transform = Transform
+module Machine = Machine
+module Kernels = Kernels
+module Search = Search
+module Rl = Rl
+module Baselines = Baselines
+module Codegen = Codegen
+module Util = Util
+
+type target = Machine.Desc.target
+
+(* ------------------------------------------------------------------ *)
+(* The performance game                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Game = struct
+  type t = {
+    session : Transform.Engine.session;
+    target : target;
+    reward_c : float;
+    mutable evaluations : int;
+  }
+
+  let start (target : target) (prog : Ir.Prog.t) : t =
+    Ir.Validate.check_exn prog;
+    let caps = Machine.caps target in
+    let session = Transform.Engine.start caps prog in
+    let t0 = Machine.time target prog in
+    { session; target; reward_c = t0; evaluations = 1 }
+
+  let state (g : t) = g.session.current
+  let moves_played (g : t) =
+    List.map Transform.Xforms.describe (Transform.Engine.moves g.session)
+
+  (* Applicable moves at the current state, each with its description. *)
+  let moves (g : t) : (int * string) list =
+    List.mapi
+      (fun i inst -> (i, Transform.Xforms.describe inst))
+      (Transform.Engine.applicable g.session)
+
+  let time (g : t) : float =
+    g.evaluations <- g.evaluations + 1;
+    Machine.time g.target (state g)
+
+  (* Reward of the current state: r = c / T (§3.1). *)
+  let reward (g : t) : float = g.reward_c /. Float.max (time g) 1e-12
+
+  (* Play move [i] from the current applicable list; returns the new
+     runtime. *)
+  let play (g : t) (i : int) : float =
+    let insts = Transform.Engine.applicable g.session in
+    match List.nth_opt insts i with
+    | None -> invalid_arg "Game.play: no such move"
+    | Some inst ->
+        ignore (Transform.Engine.apply g.session inst);
+        time g
+
+  (* Play a move by its description string. *)
+  let play_named (g : t) (name : string) : float =
+    let insts = Transform.Engine.applicable g.session in
+    match
+      List.find_opt (fun i -> Transform.Xforms.describe i = name) insts
+    with
+    | None -> invalid_arg (Printf.sprintf "Game.play_named: %S not applicable" name)
+    | Some inst ->
+        ignore (Transform.Engine.apply g.session inst);
+        time g
+
+  let undo (g : t) = Transform.Engine.undo g.session
+  let undo_at (g : t) k = Transform.Engine.undo_at g.session k
+
+  (* Numerical check of the whole session against the initial program —
+     the empirical validation loop of §2.2. *)
+  let verify (g : t) : (unit, string) result =
+    Interp.equivalent g.session.initial (state g)
+end
+
+(* ------------------------------------------------------------------ *)
+(* One-call optimization                                               *)
+(* ------------------------------------------------------------------ *)
+
+type strategy =
+  | Naive (* fuse + reuse until exhaustion (§4.1) *)
+  | Greedy (* naive + hardware transformations exhaustively *)
+  | Heuristic (* hardware-expert pass *)
+  | Sampling of { budget : int; space : Search.Stochastic.space }
+  | Annealing of { budget : int; space : Search.Stochastic.space }
+  | Rl_search of Rl.Perfllm.config
+
+type outcome = {
+  schedule : Ir.Prog.t;
+  time_s : float;
+  moves : string list;
+  evaluations : int;
+}
+
+let heuristic_pass_for (target : target) caps prog =
+  match target with
+  | Machine.Desc.Snitch _ -> Search.Passes.heuristic caps prog
+  | Machine.Desc.Cpu _ -> Search.Passes.cpu_heuristic caps prog
+  | Machine.Desc.Gpu g ->
+      Search.Passes.gpu_heuristic ~warp:g.warp
+        ~score:(fun p -> Machine.time target p)
+        caps prog
+
+let optimize ?(seed = 1) (strategy : strategy) (target : target)
+    (prog : Ir.Prog.t) : outcome =
+  let caps = Machine.caps target in
+  let objective p = Machine.time target p in
+  match strategy with
+  | Naive ->
+      let s = Search.Passes.naive caps prog in
+      { schedule = s; time_s = objective s; moves = []; evaluations = 1 }
+  | Greedy ->
+      let s = Search.Passes.greedy caps prog in
+      { schedule = s; time_s = objective s; moves = []; evaluations = 1 }
+  | Heuristic ->
+      let s = heuristic_pass_for target caps prog in
+      { schedule = s; time_s = objective s; moves = []; evaluations = 1 }
+  | Sampling { budget; space } ->
+      let r =
+        Search.Stochastic.random_sampling ~seed ~space ~budget caps objective
+          prog
+      in
+      {
+        schedule = r.best;
+        time_s = r.best_time;
+        moves = r.best_moves;
+        evaluations = r.evals;
+      }
+  | Annealing { budget; space } ->
+      let r =
+        Search.Stochastic.simulated_annealing ~seed ~space ~budget caps
+          objective prog
+      in
+      {
+        schedule = r.best;
+        time_s = r.best_time;
+        moves = r.best_moves;
+        evaluations = r.evals;
+      }
+  | Rl_search cfg ->
+      let r, _agent = Rl.Perfllm.optimize ~cfg ~seed caps objective prog in
+      {
+        schedule = r.best;
+        time_s = r.best_time;
+        moves = r.best_moves;
+        evaluations = r.evaluations;
+      }
+
+(* Best-of: run a heuristic pass and a search, keep the winner — the
+   usual production setting. *)
+let optimize_best ?(seed = 1) ?(budget = 300) target prog =
+  let h = optimize ~seed Heuristic target prog in
+  let s =
+    optimize ~seed
+      (Annealing { budget; space = Search.Stochastic.Heuristic })
+      target prog
+  in
+  if h.time_s <= s.time_s then h else s

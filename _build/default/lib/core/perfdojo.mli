@@ -1,0 +1,88 @@
+(** PerfDojo: the top-level facade.
+
+    Ties the IR, the transformation engine, the performance models and
+    the search/RL machinery into the two interfaces the paper describes:
+    the interactive performance {!Game} (§2, Figure 2) and one-call
+    automatic {!optimize} (§3, §4). *)
+
+module Ir = Ir
+module Interp = Interp
+module Transform = Transform
+module Machine = Machine
+module Kernels = Kernels
+module Search = Search
+module Rl = Rl
+module Baselines = Baselines
+module Codegen = Codegen
+module Util = Util
+
+type target = Machine.Desc.target
+
+(** The performance game (§2): a session over a program where each move
+    is a semantics-preserving transformation and the score is the
+    modelled runtime — the environment PerfLLM trains in, and equally the
+    interface for manual transformation-centric optimization. *)
+module Game : sig
+  type t = {
+    session : Transform.Engine.session;
+    target : target;
+    reward_c : float;  (** the c of the reward r = c / T (§3.1) *)
+    mutable evaluations : int;
+  }
+
+  val start : target -> Ir.Prog.t -> t
+  (** Validates the program and opens a session.  Raises
+      {!Ir.Validate.Invalid} on a structurally invalid program. *)
+
+  val state : t -> Ir.Prog.t
+  val moves_played : t -> string list
+
+  val moves : t -> (int * string) list
+  (** Applicable moves at the current state with their indices. *)
+
+  val time : t -> float
+  (** Modelled runtime of the current state (counted as an evaluation). *)
+
+  val reward : t -> float
+  (** r = c / T of the current state. *)
+
+  val play : t -> int -> float
+  (** Apply move [i] from the current {!moves} list; returns the new
+      runtime. *)
+
+  val play_named : t -> string -> float
+  (** Apply a move by its description string. *)
+
+  val undo : t -> Ir.Prog.t option
+  val undo_at : t -> int -> Ir.Prog.t option
+
+  val verify : t -> (unit, string) result
+  (** Numerical check of the whole session against the initial program
+      (the paper's §2.2 empirical validation). *)
+end
+
+type strategy =
+  | Naive  (** fuse + reuse until exhaustion (§4.1) *)
+  | Greedy  (** naive + hardware transformations exhaustively *)
+  | Heuristic  (** the per-target hardware-expert pass *)
+  | Sampling of { budget : int; space : Search.Stochastic.space }
+  | Annealing of { budget : int; space : Search.Stochastic.space }
+  | Rl_search of Rl.Perfllm.config  (** PerfLLM (§3) *)
+
+type outcome = {
+  schedule : Ir.Prog.t;
+  time_s : float;
+  moves : string list;
+  evaluations : int;
+}
+
+val heuristic_pass_for :
+  target -> Transform.Xforms.caps -> Ir.Prog.t -> Ir.Prog.t
+
+val optimize : ?seed:int -> strategy -> target -> Ir.Prog.t -> outcome
+(** One-call optimization of a kernel for a target.  Deterministic given
+    the seed. *)
+
+val optimize_best : ?seed:int -> ?budget:int -> target -> Ir.Prog.t -> outcome
+(** Heuristic pass and a heuristic-space annealing run; keeps the
+    winner. *)

@@ -1,0 +1,1 @@
+lib/ir/index.mli: Types

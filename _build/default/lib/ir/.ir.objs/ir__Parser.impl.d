@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Float Index List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Float Format Index List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Hashtbl Index List Printf Prog Types

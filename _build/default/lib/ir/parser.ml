@@ -1,0 +1,466 @@
+(* Parser for the textual IR form produced by {!Printer}.  The format is
+   line-oriented: buffer declarations, then [inputs:] / [outputs:] lines,
+   then the body where leading "| " bars encode tree depth. *)
+
+open Types
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer for statements and index expressions                      *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQUALS
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' -> incr i
+    | '{' -> push LBRACE; incr i
+    | '}' -> push RBRACE; incr i
+    | '[' -> push LBRACKET; incr i
+    | ']' -> push RBRACKET; incr i
+    | '(' -> push LPAREN; incr i
+    | ')' -> push RPAREN; incr i
+    | ',' -> push COMMA; incr i
+    | '+' -> push PLUS; incr i
+    | '-' -> push MINUS; incr i
+    | '*' -> push STAR; incr i
+    | '/' -> push SLASH; incr i
+    | '=' -> push EQUALS; incr i
+    | '0' .. '9' ->
+        let start = !i in
+        while
+          !i < n
+          && (match s.[!i] with
+             | '0' .. '9' | '.' | 'e' -> true
+             | '-' | '+' -> !i > start && s.[!i - 1] = 'e'
+             | _ -> false)
+        do
+          incr i
+        done;
+        let lit = String.sub s start (!i - start) in
+        if String.contains lit '.' || String.contains lit 'e' then
+          push (FLOAT (float_of_string lit))
+        else push (INT (int_of_string lit))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !i in
+        while
+          !i < n
+          && (match s.[!i] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false)
+        do
+          incr i
+        done;
+        push (IDENT (String.sub s start (!i - start)))
+    | c -> fail "unexpected character %C in %S" c s);
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent expression parser                                 *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> fail "unexpected end of line"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t =
+  let got = next st in
+  if got <> t then fail "unexpected token"
+
+(* Indices: affine combinations of {k} references and integers. *)
+let rec parse_index st : index =
+  let term sign =
+    match next st with
+    | INT c -> (
+        match peek st with
+        | Some STAR ->
+            ignore (next st);
+            expect st LBRACE;
+            let d = match next st with
+              | INT d -> d
+              | _ -> fail "expected depth in {}"
+            in
+            expect st RBRACE;
+            Index.iter ~coeff:(sign * c) d
+        | _ -> Index.const (sign * c))
+    | LBRACE ->
+        let d = match next st with
+          | INT d -> d
+          | _ -> fail "expected depth in {}"
+        in
+        expect st RBRACE;
+        let coeff =
+          match peek st with
+          | Some STAR -> (
+              ignore (next st);
+              match next st with
+              | INT c -> c
+              | _ -> fail "expected coefficient")
+          | _ -> 1
+        in
+        Index.iter ~coeff:(sign * coeff) d
+    | _ -> fail "bad index term"
+  in
+  let rec loop acc =
+    match peek st with
+    | Some PLUS ->
+        ignore (next st);
+        loop (Index.add acc (term 1))
+    | Some MINUS ->
+        ignore (next st);
+        loop (Index.add acc (term (-1)))
+    | _ -> acc
+  in
+  let first =
+    match peek st with
+    | Some MINUS ->
+        ignore (next st);
+        term (-1)
+    | _ -> term 1
+  in
+  loop first
+
+and parse_index_list st =
+  let rec go acc =
+    let i = parse_index st in
+    match peek st with
+    | Some COMMA ->
+        ignore (next st);
+        go (i :: acc)
+    | _ -> List.rev (i :: acc)
+  in
+  go []
+
+let unop_of_name = function
+  | "exp" -> Some Exp
+  | "log" -> Some Log
+  | "sqrt" -> Some Sqrt
+  | "neg" -> Some Neg
+  | "recip" -> Some Recip
+  | "relu" -> Some Relu
+  | _ -> None
+
+let rec parse_expr st : expr =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | Some PLUS ->
+        ignore (next st);
+        loop (Bin (Add, lhs, parse_term st))
+    | Some MINUS ->
+        ignore (next st);
+        loop (Bin (Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st : expr =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match peek st with
+    | Some STAR ->
+        ignore (next st);
+        loop (Bin (Mul, lhs, parse_factor st))
+    | Some SLASH ->
+        ignore (next st);
+        loop (Bin (Div, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st : expr =
+  match next st with
+  | INT n -> Const (float_of_int n)
+  | FLOAT f -> Const f
+  | MINUS -> (
+      match parse_factor st with
+      | Const c -> Const (-.c)
+      | e -> Un (Neg, e))
+  | LPAREN ->
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | LBRACE -> (
+      (* index as value: {d} is the iterator of the scope at depth d *)
+      match next st with
+      | INT d ->
+          expect st RBRACE;
+          IterVal (Index.iter d)
+      | _ -> fail "expected depth in {}")
+  | IDENT "inf" -> Const Float.infinity
+  | IDENT "idx" ->
+      (* general affine index-as-value: idx(2*{0}+{1}-3) *)
+      expect st LPAREN;
+      let i = parse_index st in
+      expect st RPAREN;
+      IterVal i
+  | IDENT name -> (
+      match peek st with
+      | Some LBRACKET ->
+          ignore (next st);
+          let idx = parse_index_list st in
+          expect st RBRACKET;
+          Ref { array = name; idx }
+      | Some LPAREN -> (
+          ignore (next st);
+          match unop_of_name name with
+          | Some op ->
+              let e = parse_expr st in
+              expect st RPAREN;
+              Un (op, e)
+          | None ->
+              let binop =
+                match name with
+                | "max" -> Max
+                | "min" -> Min
+                | _ -> fail "unknown function %s" name
+              in
+              let e1 = parse_expr st in
+              expect st COMMA;
+              let e2 = parse_expr st in
+              expect st RPAREN;
+              Bin (binop, e1, e2))
+      | _ -> Ref { array = name; idx = [] })
+  | _ -> fail "bad expression"
+
+(* The {%d} inside IterVal must re-enter index parsing: handle the common
+   printed form "{k}" by treating a bare brace term above.  The printer
+   emits IterVal as "{<affine>}", which the LBRACE case handles. *)
+
+let parse_stmt_line (line : string) : stmt =
+  let st = { toks = tokenize line } in
+  let dst =
+    match next st with
+    | IDENT name -> (
+        match peek st with
+        | Some LBRACKET ->
+            ignore (next st);
+            let idx = parse_index_list st in
+            expect st RBRACKET;
+            { array = name; idx }
+        | _ -> { array = name; idx = [] })
+    | _ -> fail "statement must start with destination: %S" line
+  in
+  expect st EQUALS;
+  let rhs = parse_expr st in
+  if st.toks <> [] then fail "trailing tokens in %S" line;
+  { dst; rhs }
+
+(* ------------------------------------------------------------------ *)
+(* Line classification and tree reconstruction                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_scope_header (line : string) : scope option =
+  (* size[:flag,...][/guard]; any parse failure means "not a scope line" *)
+  let line = String.trim line in
+  let main, guard =
+    match String.index_opt line '/' with
+    | Some i -> (
+        match
+          int_of_string_opt
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+        with
+        | Some g -> (String.sub line 0 i, Some g)
+        | None -> (line, None))
+    | None -> (line, None)
+  in
+  let size_str, flags =
+    match String.index_opt main ':' with
+    | Some i ->
+        ( String.sub main 0 i,
+          String.split_on_char ','
+            (String.sub main (i + 1) (String.length main - i - 1)) )
+    | None -> (main, [])
+  in
+  match int_of_string_opt (String.trim size_str) with
+  | None -> None
+  | Some size ->
+      let annot = ref Seq and ssr = ref false in
+      let ok =
+        List.for_all
+          (fun f ->
+            match String.trim f with
+            | "u" -> annot := Unroll; true
+            | "p" -> annot := Par; true
+            | "v" -> annot := Vec; true
+            | "g" -> annot := GpuGrid; true
+            | "b" -> annot := GpuBlock; true
+            | "w" -> annot := GpuWarp; true
+            | "f" -> annot := Frep; true
+            | "ssr" -> ssr := true; true
+            | _ -> false)
+          flags
+      in
+      if ok then Some { size; annot = !annot; ssr = !ssr; guard; body = [] }
+      else None
+
+(* Count the leading "| " bars of a body line; returns (depth, rest). *)
+let strip_bars (line : string) : int * string =
+  let rec go i depth =
+    if i + 1 < String.length line && line.[i] = '|' then
+      go (i + 2) (depth + 1)
+    else (depth, String.sub line i (String.length line - i))
+  in
+  go 0 0
+
+let parse_buffer_line (line : string) : buffer option =
+  (* name dtype [shape] location [-> arrays] *)
+  let line = String.trim line in
+  match String.index_opt line '[' with
+  | None -> None
+  | Some lb -> (
+      match String.index_opt line ']' with
+      | None -> None
+      | Some rb ->
+          let head = String.trim (String.sub line 0 lb) in
+          let shape_str = String.sub line (lb + 1) (rb - lb - 1) in
+          let tail =
+            String.trim (String.sub line (rb + 1) (String.length line - rb - 1))
+          in
+          (match String.split_on_char ' ' head with
+          | [ name; dt ] -> (
+              let dtype =
+                match dt with
+                | "f32" -> Some F32
+                | "f64" -> Some F64
+                | "i32" -> Some I32
+                | _ -> None
+              in
+              match dtype with
+              | None -> None
+              | Some dtype ->
+                  let dims =
+                    List.map String.trim (String.split_on_char ',' shape_str)
+                  in
+                  let shape, reuse =
+                    List.split
+                      (List.map
+                         (fun d ->
+                           match String.split_on_char ':' d with
+                           | [ n ] -> (int_of_string n, false)
+                           | [ n; "N" ] -> (int_of_string n, true)
+                           | _ -> fail "bad buffer dimension %S" d)
+                         dims)
+                  in
+                  let loc_str, arrays =
+                    match String.index_opt tail '-' with
+                    | Some i when i + 1 < String.length tail && tail.[i+1] = '>'
+                      ->
+                        ( String.trim (String.sub tail 0 i),
+                          List.map String.trim
+                            (String.split_on_char ','
+                               (String.sub tail (i + 2)
+                                  (String.length tail - i - 2))) )
+                    | _ -> (tail, [ name ])
+                  in
+                  let loc =
+                    match loc_str with
+                    | "heap" -> Heap
+                    | "stack" -> Stack
+                    | "shared" -> Shared
+                    | "register" -> Register
+                    | s -> fail "bad location %S" s
+                  in
+                  Some { bname = name; dtype; shape; reuse; loc; arrays })
+          | _ -> None))
+
+let parse_io_line prefix line =
+  let n = String.length prefix in
+  if String.length line >= n && String.sub line 0 n = prefix then
+    Some
+      (List.filter
+         (fun s -> s <> "")
+         (List.map String.trim
+            (String.split_on_char ','
+               (String.sub line n (String.length line - n)))))
+  else None
+
+let program (text : string) : program =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "" && not (String.length (String.trim l) > 0
+                                            && (String.trim l).[0] = '#'))
+      (String.split_on_char '\n' text)
+  in
+  let buffers = ref [] and inputs = ref [] and outputs = ref [] in
+  let body_lines = ref [] in
+  List.iter
+    (fun line ->
+      match parse_io_line "inputs:" (String.trim line) with
+      | Some l -> inputs := l
+      | None -> (
+          match parse_io_line "outputs:" (String.trim line) with
+          | Some l -> outputs := l
+          | None ->
+              let depth, _rest = strip_bars (String.trim line) in
+              if depth = 0 && !body_lines = [] then
+                match parse_buffer_line line with
+                | Some b -> buffers := b :: !buffers
+                | None -> body_lines := line :: !body_lines
+              else body_lines := line :: !body_lines))
+    lines;
+  let body_lines = List.rev !body_lines in
+  (* Reconstruct the tree from (depth, content) pairs. *)
+  let items =
+    List.map
+      (fun line ->
+        let depth, rest = strip_bars (String.trim line) in
+        (depth, String.trim rest))
+      body_lines
+  in
+  let rec parse_level depth items : node list * (int * string) list =
+    match items with
+    | [] -> ([], [])
+    | (d, _) :: _ when d < depth -> ([], items)
+    | (d, content) :: rest when d = depth -> (
+        match parse_scope_header content with
+        | Some sc ->
+            let children, rest' = parse_level (depth + 1) rest in
+            let siblings, rest'' = parse_level depth rest' in
+            (Scope { sc with body = children } :: siblings, rest'')
+        | None ->
+            let stmt = parse_stmt_line content in
+            let siblings, rest' = parse_level depth rest in
+            (Stmt stmt :: siblings, rest'))
+    | (d, _) :: _ -> fail "line at depth %d, expected <= %d" d depth
+  in
+  let body, leftover = parse_level 0 items in
+  if leftover <> [] then fail "could not consume all body lines";
+  {
+    buffers = List.rev !buffers;
+    inputs = !inputs;
+    outputs = !outputs;
+    body;
+  }

@@ -1,0 +1,21 @@
+(** Parser for the textual IR form produced by {!Printer}.
+
+    The format is line-oriented: buffer declarations, optional
+    [inputs:] / [outputs:] lines, then the body where leading ["| "] bars
+    encode tree depth.  Lines starting with [#] are comments. *)
+
+exception Parse_error of string
+
+val program : string -> Types.program
+(** Parse a full program.  Raises {!Parse_error} on malformed input. *)
+
+val parse_stmt_line : string -> Types.stmt
+(** Parse a single statement like ["z[{0},{1}] = x[{0},{1}] * 2"]. *)
+
+val parse_scope_header : string -> Types.scope option
+(** Parse a scope header like ["1024:v"] or ["320:b/300"]; [None] when
+    the line is not a scope header (its body is left empty). *)
+
+val parse_buffer_line : string -> Types.buffer option
+(** Parse a buffer declaration like
+    ["t f32 [8, 4:N] stack -> t1, t2"]. *)

@@ -1,0 +1,21 @@
+(** Human-readable textual form of the IR (Figure 3b).
+
+    Scopes print as their iteration count with annotation suffixes
+    ([1024:v], [320:b/300] for a padded scope); child relationship is
+    rendered with vertical bars; buffer declarations
+    ([name dtype [d1, d2:N] location -> aliases]) precede the body.  The
+    output of {!program} parses back with {!Parser.program}. *)
+
+val program : Types.program -> string
+(** Full program: buffers, inputs/outputs, body. *)
+
+val body : Types.program -> string
+(** Body only — the state text fed to the PerfLLM embedding. *)
+
+val stmt_str : Types.stmt -> string
+val expr_str : ?prec:int -> Types.expr -> string
+val access_str : Types.access -> string
+val scope_header : Types.scope -> string
+val buffer_str : Types.buffer -> string
+val float_str : float -> string
+val pp : Format.formatter -> Types.program -> unit

@@ -1,0 +1,100 @@
+(* Core data structures of the PerfDojo intermediate representation (§2.1).
+
+   A program is an ordered tree.  Internal vertices (scopes) are
+   single-dimensional iteration ranges; leaves are scalar statements whose
+   operands address multidimensional arrays with affine index expressions.
+   An index term [{k}] refers to the iteration variable of the ancestor
+   scope at depth [k], counting from the outermost scope (depth 0). *)
+
+type dtype = F32 | F64 | I32
+
+let dtype_bytes = function F32 -> 4 | F64 -> 8 | I32 -> 4
+let dtype_name = function F32 -> "f32" | F64 -> "f64" | I32 -> "i32"
+
+type location = Heap | Stack | Shared | Register
+
+let location_name = function
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Shared -> "shared"
+  | Register -> "register"
+
+(* Affine index expression: sum of coeff*{depth} terms plus a constant.
+   Terms are kept sorted by depth with non-zero coefficients (see
+   {!Index.normalize}). *)
+type index = { terms : (int * int) list; (* (coeff, depth) *) offset : int }
+
+type access = { array : string; idx : index list }
+
+type binop = Add | Sub | Mul | Div | Max | Min
+
+type unop = Exp | Log | Sqrt | Neg | Recip | Relu
+
+type expr =
+  | Ref of access
+  | IterVal of index (* "index as value" (Table 2) *)
+  | Const of float
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+
+type stmt = { dst : access; rhs : expr }
+
+(* Scope annotations map iteration ranges onto hardware features (§2.1):
+   [:u] unroll, [:p] CPU-parallel, [:v] vectorize, [:g]/[:b]/[:w] GPU grid /
+   block / warp, and the Snitch FREP hardware loop. *)
+type annot = Seq | Unroll | Par | Vec | GpuGrid | GpuBlock | GpuWarp | Frep
+
+let annot_suffix = function
+  | Seq -> None
+  | Unroll -> Some "u"
+  | Par -> Some "p"
+  | Vec -> Some "v"
+  | GpuGrid -> Some "g"
+  | GpuBlock -> Some "b"
+  | GpuWarp -> Some "w"
+  | Frep -> Some "f"
+
+type node = Scope of scope | Stmt of stmt
+
+and scope = {
+  size : int;
+  annot : annot;
+  ssr : bool; (* memory accesses of the body are streamed via Snitch SSRs *)
+  guard : int option; (* [Some n]: padded loop, iterations >= n are masked *)
+  body : node list;
+}
+
+(* Buffer declaration: name, element type, shape (with per-dimension
+   materialization flags: [reuse.(i) = true] corresponds to the [:N] suffix
+   and collapses dimension [i] to extent 1 in storage), memory location and
+   the list of array names that alias this storage. *)
+type buffer = {
+  bname : string;
+  dtype : dtype;
+  shape : int list;
+  reuse : bool list;
+  loc : location;
+  arrays : string list;
+}
+
+type program = {
+  buffers : buffer list;
+  inputs : string list; (* array names bound before execution *)
+  outputs : string list; (* array names read after execution *)
+  body : node list;
+}
+
+(* A path addresses a node in the tree by child indices from the root. *)
+type path = int list
+
+let scope ?(annot = Seq) ?(ssr = false) ?guard size body =
+  Scope { size; annot; ssr; guard; body }
+
+let buffer ?(loc = Heap) ?reuse ?arrays name dtype shape =
+  let reuse =
+    match reuse with Some r -> r | None -> List.map (fun _ -> false) shape
+  in
+  let arrays = match arrays with Some a -> a | None -> [ name ] in
+  if List.length reuse <> List.length shape then
+    invalid_arg "Types.buffer: reuse list must match shape";
+  { bname = name; dtype; shape; reuse; loc; arrays }

@@ -1,0 +1,90 @@
+(** Core data structures of the PerfDojo IR (§2.1).
+
+    A program is an ordered tree: internal vertices are
+    single-dimensional iteration {!scope}s, leaves are scalar statements
+    whose operands address multidimensional arrays with affine
+    {!index} expressions.  [{k}] refers to the iterator of the ancestor
+    scope at depth [k], counted from the outermost (depth 0).  The order
+    of children defines execution order. *)
+
+type dtype = F32 | F64 | I32
+
+val dtype_bytes : dtype -> int
+val dtype_name : dtype -> string
+
+type location = Heap | Stack | Shared | Register
+
+val location_name : location -> string
+
+(** Affine index: sum of [coeff * {depth}] terms plus a constant.  Kept
+    in normal form (terms sorted by depth, no zero coefficients) — see
+    {!Index.normalize}. *)
+type index = { terms : (int * int) list; offset : int }
+
+type access = { array : string; idx : index list }
+
+type binop = Add | Sub | Mul | Div | Max | Min
+type unop = Exp | Log | Sqrt | Neg | Recip | Relu
+
+type expr =
+  | Ref of access
+  | IterVal of index  (** "index as value" (Table 2) *)
+  | Const of float
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+
+type stmt = { dst : access; rhs : expr }
+
+(** Scope annotations map iteration ranges onto hardware features:
+    [:u] unroll, [:p] CPU threads, [:v] vector lanes, [:g]/[:b]/[:w]
+    GPU grid/block/warp, and the Snitch FREP hardware loop. *)
+type annot = Seq | Unroll | Par | Vec | GpuGrid | GpuBlock | GpuWarp | Frep
+
+val annot_suffix : annot -> string option
+
+type node = Scope of scope | Stmt of stmt
+
+and scope = {
+  size : int;
+  annot : annot;
+  ssr : bool;  (** body memory accesses stream through Snitch SSRs *)
+  guard : int option;  (** [Some n]: padded loop, iterations >= n masked *)
+  body : node list;
+}
+
+(** Buffer declaration: element type, logical shape, per-dimension
+    materialization flags ([reuse.(i) = true] is the [:N] suffix —
+    storage extent 1), memory location, and the array names aliasing
+    this storage. *)
+type buffer = {
+  bname : string;
+  dtype : dtype;
+  shape : int list;
+  reuse : bool list;
+  loc : location;
+  arrays : string list;
+}
+
+type program = {
+  buffers : buffer list;
+  inputs : string list;  (** arrays bound before execution *)
+  outputs : string list;  (** arrays read after execution *)
+  body : node list;
+}
+
+type path = int list
+(** A node address: child indices from the root. *)
+
+val scope : ?annot:annot -> ?ssr:bool -> ?guard:int -> int -> node list -> node
+(** [scope n body] builds a sequential scope of [n] iterations. *)
+
+val buffer :
+  ?loc:location ->
+  ?reuse:bool list ->
+  ?arrays:string list ->
+  string ->
+  dtype ->
+  int list ->
+  buffer
+(** [buffer name dtype shape] with heap location, no reuse and a single
+    array of the same name by default. *)

@@ -1,0 +1,124 @@
+(* Structural validation of programs.  Transformations preserve these
+   invariants; the engine re-checks them after every move in debug builds
+   and the test suite checks them after every transformation. *)
+
+open Types
+
+type error =
+  | Unknown_array of string
+  | Rank_mismatch of string * int * int (* array, expected, got *)
+  | Bad_depth_ref of string * int * int (* context, depth, max-depth *)
+  | Out_of_bounds of string * int * int * int (* array, dim, lo/hi, extent *)
+  | Bad_scope_size of int
+  | Bad_guard of int * int
+  | Duplicate_array of string
+  | Vec_scope_not_innermost
+  | Empty_scope
+
+let error_to_string = function
+  | Unknown_array a -> Printf.sprintf "unknown array %S" a
+  | Rank_mismatch (a, want, got) ->
+      Printf.sprintf "array %S: expected rank %d, got %d" a want got
+  | Bad_depth_ref (ctx, d, maxd) ->
+      Printf.sprintf "%s: reference {%d} but only %d enclosing scopes" ctx d
+        maxd
+  | Out_of_bounds (a, dim, v, ext) ->
+      Printf.sprintf "array %S dim %d: index reaches %d, extent %d" a dim v ext
+  | Bad_scope_size n -> Printf.sprintf "scope size %d must be positive" n
+  | Bad_guard (g, n) ->
+      Printf.sprintf "guard %d must be in [1, size=%d]" g n
+  | Duplicate_array a -> Printf.sprintf "array %S declared twice" a
+  | Vec_scope_not_innermost -> "vectorized scope must wrap statements only"
+  | Empty_scope -> "scope with empty body"
+
+exception Invalid of error list
+
+let check (prog : Prog.t) : error list =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  (* unique array names *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun a ->
+          if Hashtbl.mem seen a then err (Duplicate_array a)
+          else Hashtbl.add seen a b)
+        b.arrays)
+    prog.buffers;
+  let find_buffer a = Hashtbl.find_opt seen a in
+  (* walk tree tracking enclosing scope sizes *)
+  let rec walk (sizes : int list (* innermost first *)) nodes =
+    List.iter
+      (fun node ->
+        match node with
+        | Scope sc ->
+            if sc.size <= 0 then err (Bad_scope_size sc.size);
+            (match sc.guard with
+            | Some g when g < 1 || g > sc.size -> err (Bad_guard (g, sc.size))
+            | _ -> ());
+            if sc.body = [] then err Empty_scope;
+            if
+              sc.annot = Vec
+              && List.exists (function Scope _ -> true | _ -> false) sc.body
+            then err Vec_scope_not_innermost;
+            (* padded iterations are masked, so the effective extent an
+               iterator contributes to indices is the guard *)
+            let extent =
+              match sc.guard with Some g -> g | None -> sc.size
+            in
+            walk (extent :: sizes) sc.body
+        | Stmt s ->
+            let depth_count = List.length sizes in
+            let sizes_arr = Array.of_list (List.rev sizes) in
+            (* The extent an iterator contributes is its guard when the
+               scope is padded; indices must stay in bounds for the
+               *unpadded* range, and padded iterations are masked. *)
+            let size_fn d =
+              if d >= 0 && d < Array.length sizes_arr then sizes_arr.(d) else 1
+            in
+            let check_access kind (a : access) =
+              let ctx = Printf.sprintf "%s of %s" kind a.array in
+              (match find_buffer a.array with
+              | None -> err (Unknown_array a.array)
+              | Some b ->
+                  let rank = List.length b.shape in
+                  if List.length a.idx <> rank then
+                    err (Rank_mismatch (a.array, rank, List.length a.idx))
+                  else
+                    List.iteri
+                      (fun dim idx ->
+                        let ext = List.nth b.shape dim in
+                        let lo, hi = Index.value_range size_fn idx in
+                        if lo < 0 then err (Out_of_bounds (a.array, dim, lo, ext))
+                        else if hi >= ext then
+                          err (Out_of_bounds (a.array, dim, hi, ext)))
+                      a.idx);
+              List.iter
+                (fun idx ->
+                  List.iter
+                    (fun d ->
+                      if d < 0 || d >= depth_count then
+                        err (Bad_depth_ref (ctx, d, depth_count)))
+                    (Index.depths idx))
+                a.idx
+            in
+            check_access "write" s.dst;
+            List.iter (check_access "read") (Prog.expr_refs s.rhs);
+            Prog.expr_iter_index
+              (fun idx ->
+                List.iter
+                  (fun d ->
+                    if d < 0 || d >= depth_count then
+                      err (Bad_depth_ref ("iterval", d, depth_count)))
+                  (Index.depths idx))
+              s.rhs)
+      nodes
+  in
+  walk [] prog.body;
+  List.rev !errors
+
+let check_exn prog =
+  match check prog with [] -> () | errs -> raise (Invalid errs)
+
+let is_valid prog = check prog = []

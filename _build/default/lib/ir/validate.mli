@@ -1,0 +1,32 @@
+(** Structural validation.
+
+    Transformations preserve these invariants by construction; the engine
+    re-checks after every applied move and the tests after every
+    transformation: known arrays, matching ranks, in-bounds affine index
+    ranges, depth references within the enclosing scope chain, positive
+    scope sizes, guards within range, vectorized scopes wrapping
+    statements only. *)
+
+type error =
+  | Unknown_array of string
+  | Rank_mismatch of string * int * int  (** array, expected, got *)
+  | Bad_depth_ref of string * int * int  (** context, depth, max-depth *)
+  | Out_of_bounds of string * int * int * int
+      (** array, dim, reached value, extent *)
+  | Bad_scope_size of int
+  | Bad_guard of int * int
+  | Duplicate_array of string
+  | Vec_scope_not_innermost
+  | Empty_scope
+
+val error_to_string : error -> string
+
+exception Invalid of error list
+
+val check : Prog.t -> error list
+(** All violations, in traversal order (empty = valid). *)
+
+val check_exn : Prog.t -> unit
+(** Raises {!Invalid} when {!check} finds violations. *)
+
+val is_valid : Prog.t -> bool

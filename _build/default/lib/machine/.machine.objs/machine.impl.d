@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Costs Cpu_model Desc Gpu_model Ir Snitch_sim

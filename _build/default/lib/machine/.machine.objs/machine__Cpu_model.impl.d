@@ -1,0 +1,1 @@
+lib/machine/cpu_model.ml: Costs Desc Float Ir List

@@ -1,0 +1,1 @@
+lib/machine/desc.ml: Transform

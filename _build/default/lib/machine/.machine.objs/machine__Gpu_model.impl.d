@@ -1,0 +1,1 @@
+lib/machine/gpu_model.ml: Costs Desc Float Ir List

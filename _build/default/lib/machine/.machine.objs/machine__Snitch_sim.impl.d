@@ -1,0 +1,1 @@
+lib/machine/snitch_sim.ml: Costs Desc Float Ir List

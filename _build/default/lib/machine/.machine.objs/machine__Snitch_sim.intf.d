@@ -1,0 +1,1 @@
+lib/machine/snitch_sim.mli: Desc Ir

@@ -1,0 +1,50 @@
+(* Shared helpers for the performance models. *)
+
+open Ir.Types
+
+(* Number of issued arithmetic instructions for an expression, with
+   multiply-accumulate fusion: Add/Sub with a Mul operand issues as a
+   single FMA.  The same count is used for the theoretical peak (§4.1
+   counts required arithmetic operations at 1 instruction/cycle). *)
+let rec fused_ops = function
+  | Ref _ | IterVal _ | Const _ -> 0
+  | Bin ((Add | Sub), e1, Bin (Mul, a, b)) ->
+      1 + fused_ops e1 + fused_ops a + fused_ops b
+  | Bin ((Add | Sub), Bin (Mul, a, b), e2) ->
+      1 + fused_ops a + fused_ops b + fused_ops e2
+  | Bin (_, e1, e2) -> 1 + fused_ops e1 + fused_ops e2
+  | Un (_, e) -> 1 + fused_ops e
+
+let stmt_fused_ops (s : stmt) = fused_ops s.rhs
+
+(* Total fused operations of a program (guards count the masked range
+   only — masked iterations execute no arithmetic). *)
+let total_fused_ops (prog : Ir.Prog.t) : float =
+  let rec go mult nodes =
+    List.fold_left
+      (fun acc n ->
+        match n with
+        | Stmt s -> acc +. (mult *. float_of_int (stmt_fused_ops s))
+        | Scope sc ->
+            let trip =
+              match sc.guard with Some g -> g | None -> sc.size
+            in
+            acc +. go (mult *. float_of_int trip) sc.body)
+      0.0 nodes
+  in
+  go 1.0 prog.body
+
+(* A statement is a read-modify-write reduction when its destination also
+   appears among its operands with an identical index vector. *)
+let is_rmw (s : stmt) : bool =
+  List.exists
+    (fun (a : access) ->
+      a.array = s.dst.array
+      && List.length a.idx = List.length s.dst.idx
+      && List.for_all2 Ir.Index.equal a.idx s.dst.idx)
+    (Ir.Prog.expr_refs s.rhs)
+
+(* All accesses of a statement: rhs reads then the destination write. *)
+let stmt_accesses (s : stmt) : (bool (* is_write *) * access) list =
+  List.map (fun a -> (false, a)) (Ir.Prog.expr_refs s.rhs)
+  @ [ (true, s.dst) ]

@@ -1,0 +1,20 @@
+(** Shared helpers for the performance models. *)
+
+val fused_ops : Ir.Types.expr -> int
+(** Issued arithmetic instructions with multiply-accumulate fusion:
+    Add/Sub with a Mul operand issues as one FMA.  Also the basis of the
+    theoretical-peak op count (§4.1). *)
+
+val stmt_fused_ops : Ir.Types.stmt -> int
+
+val total_fused_ops : Ir.Prog.t -> float
+(** Whole-program fused-op count; guarded (padded) iterations execute no
+    arithmetic. *)
+
+val is_rmw : Ir.Types.stmt -> bool
+(** The destination also appears among the operands with an identical
+    index vector — a read-modify-write reduction. *)
+
+val stmt_accesses : Ir.Types.stmt -> (bool * Ir.Types.access) list
+(** All accesses: rhs reads ([false]) then the destination write
+    ([true]). *)

@@ -1,0 +1,240 @@
+(* Analytic CPU cost model.
+
+   The model walks the scheduled IR and produces separate compute, memory
+   and overhead cycle counts; the final estimate overlaps compute with
+   memory (max) and adds overheads.  It deliberately captures exactly the
+   effects the paper's transformations trade off:
+     - vectorization amortizes issue slots and cache accesses over lanes;
+     - unrolling creates independent dependency chains that hide FP
+       pipeline latency in reductions;
+     - fusion and reuse_dims shrink buffer footprints, moving traffic up
+       the cache hierarchy;
+     - parallelization divides compute by cores but memory only up to the
+       bandwidth-scaling limit;
+     - padding costs masked iterations' loop overhead.
+   Absolute numbers are not the point (the substrate is a model, not the
+   authors' testbed); schedule *ordering* is. *)
+
+open Ir.Types
+
+type cost = { comp : float; mem : float; ovh : float }
+
+let zero = { comp = 0.0; mem = 0.0; ovh = 0.0 }
+let add a b = { comp = a.comp +. b.comp; mem = a.mem +. b.mem; ovh = a.ovh +. b.ovh }
+let scale k a = { comp = k *. a.comp; mem = k *. a.mem; ovh = k *. a.ovh }
+
+type ctx = {
+  (* enclosing scopes, innermost first: (depth, scope) *)
+  stack : (int * scope) list;
+  cores_left : int;
+}
+
+(* Innermost enclosing loop of any kind: accesses invariant in it are
+   register-carried. *)
+let innermost ctx = match ctx.stack with [] -> None | (d, s) :: _ -> Some (d, s)
+
+let access_invariant prog ctx (a : access) =
+  match innermost ctx with
+  | None -> true
+  | Some (d, _) ->
+      let b = Ir.Prog.buffer_of_array prog a.array in
+      not
+        (List.exists2
+           (fun i r -> (not r) && Ir.Index.depends_on d i)
+           a.idx b.reuse)
+
+(* Contiguity of an access w.r.t. the fastest-varying iterator [d]:
+   [`Seq] unit stride in the last dimension, [`Strided] otherwise,
+   [`Invariant] when independent of [d]. *)
+let access_stride (prog : Ir.Prog.t) d (a : access) =
+  let b = Ir.Prog.buffer_of_array prog a.array in
+  let n = List.length a.idx in
+  (* a reused ([:N]) dimension has storage extent 1: iterator terms in it
+     do not move the address, so they are ignored here *)
+  let live_deps =
+    List.exists2
+      (fun i r -> (not r) && Ir.Index.depends_on d i)
+      a.idx b.reuse
+  in
+  if not live_deps then `Invariant
+  else begin
+    let ok = ref true in
+    List.iteri
+      (fun dim i ->
+        let c = Ir.Index.coeff_of d i in
+        let reused = List.nth b.reuse dim in
+        if (not reused) && c <> 0 && (dim <> n - 1 || c <> 1) then
+          ok := false)
+      a.idx;
+    if !ok then `Seq else `Strided
+  end
+
+let stmt_cost (cpu : Desc.cpu) (prog : Ir.Prog.t) (ctx : ctx) (s : stmt) : cost
+    =
+  let vec =
+    match innermost ctx with
+    | Some (d, sc) when sc.annot = Vec -> Some (d, sc.size)
+    | _ -> None
+  in
+  let lanes = match vec with Some (_, l) -> float_of_int l | None -> 1.0 in
+  (* --- compute --- *)
+  let ops = float_of_int (Costs.stmt_fused_ops s) in
+  let issue = ops /. float_of_int cpu.issue_width in
+  let comp =
+    if Costs.is_rmw s then begin
+      (* A serial dependency chain exists whenever some enclosing loop
+         (serial OR unrolled: unrolled instances still execute back to
+         back) re-executes the statement on the same accumulator.
+         Enclosing unrolled/vectorized iterators that the destination
+         *does* vary with contribute independent chains that hide the FP
+         latency. *)
+      let dst_dep d =
+        List.exists (fun i -> Ir.Index.depends_on d i) s.dst.idx
+      in
+      let chained =
+        List.exists (fun (d, (_ : scope)) -> not (dst_dep d)) ctx.stack
+      in
+      if chained then begin
+        let chains =
+          List.fold_left
+            (fun acc (du, su) ->
+              match su.annot with
+              | Unroll | Vec when dst_dep du ->
+                  acc *. float_of_int su.size
+              | _ -> acc)
+            1.0 ctx.stack
+        in
+        Float.max issue (float_of_int cpu.fp_latency /. chains)
+      end
+      else issue
+    end
+    else issue
+  in
+  (* --- memory --- *)
+  let bw_single =
+    (* single-stream DRAM bandwidth in bytes/cycle *)
+    cpu.dram_gbs /. cpu.mem_par_scale /. cpu.freq_ghz
+  in
+  let judge_iter =
+    match vec with
+    | Some (d, _) -> Some d
+    | None -> ( match innermost ctx with Some (d, _) -> Some d | None -> None)
+  in
+  let access_cost (a : access) =
+    let b = Ir.Prog.buffer_of_array prog a.array in
+    match b.loc with
+    | Register -> 0.0
+    | _ ->
+        if access_invariant prog ctx a then 0.05 (* register-carried *)
+        else begin
+          let bytes = float_of_int (dtype_bytes b.dtype) in
+          let footprint = Ir.Prog.buffer_bytes b in
+          let cache_level_cost =
+            if b.loc = Stack || b.loc = Shared then 0.25
+            else if footprint <= cpu.l1_bytes then 0.25
+            else if footprint <= cpu.l2_bytes then 0.6
+            else if footprint <= cpu.llc_bytes then 1.2
+            else (bytes /. bw_single) +. 1.0
+          in
+          let stride =
+            match judge_iter with
+            | None -> `Seq
+            | Some d -> access_stride prog d a
+          in
+          let stride_factor =
+            match stride with
+            | `Seq -> 1.0
+            | `Invariant -> 1.0
+            | `Strided -> if footprint > cpu.l2_bytes then 4.0 else 2.0
+          in
+          let vec_factor =
+            match vec with
+            | None -> 1.0
+            | Some _ ->
+                (* one wide load replaces [lanes] scalar loads for cache-
+                   resident data; DRAM-bound streams gain less (fewer
+                   transactions) *)
+                if footprint <= cpu.llc_bytes || b.loc = Stack then
+                  1.0 /. lanes
+                else 0.8
+          in
+          cache_level_cost *. stride_factor *. vec_factor
+        end
+  in
+  let mem =
+    List.fold_left
+      (fun acc (_, a) -> acc +. access_cost a)
+      0.0 (Costs.stmt_accesses s)
+  in
+  (* in vector context one statement instance covers [lanes] elements,
+     so its compute stays a single (vector) instruction while memory
+     above was already charged per element times the vector factor *)
+  { comp; mem = mem *. lanes; ovh = 0.0 }
+
+let rec nodes_cost cpu prog ctx depth nodes : cost =
+  List.fold_left (fun acc n -> add acc (node_cost cpu prog ctx depth n)) zero
+    nodes
+
+and node_cost cpu prog ctx depth node : cost =
+  match node with
+  | Stmt s -> stmt_cost cpu prog ctx s
+  | Scope sc -> (
+      let trips = float_of_int sc.size in
+      let work_trips =
+        match sc.guard with Some g -> float_of_int g | None -> trips
+      in
+      match sc.annot with
+      | Vec ->
+          (* executes once as vector code; statement costs account for
+             the lanes *)
+          let body =
+            nodes_cost cpu prog
+              { ctx with stack = (depth, sc) :: ctx.stack }
+              (depth + 1) sc.body
+          in
+          { body with ovh = body.ovh +. 1.0 }
+      | Unroll ->
+          let body =
+            nodes_cost cpu prog
+              { ctx with stack = (depth, sc) :: ctx.stack }
+              (depth + 1) sc.body
+          in
+          (* fully unrolled: no per-iteration branch *)
+          scale work_trips body
+      | Par ->
+          let p = min ctx.cores_left sc.size in
+          let p = max p 1 in
+          let body =
+            nodes_cost cpu prog
+              {
+                stack = (depth, sc) :: ctx.stack;
+                cores_left = max 1 (ctx.cores_left / p);
+              }
+              (depth + 1) sc.body
+          in
+          let total = scale work_trips body in
+          {
+            comp = total.comp /. float_of_int p;
+            mem =
+              total.mem
+              /. Float.min (float_of_int p) cpu.mem_par_scale;
+            ovh =
+              (total.ovh /. float_of_int p) +. cpu.par_region_overhead;
+          }
+      | Seq | Frep | GpuGrid | GpuBlock | GpuWarp ->
+          let body =
+            nodes_cost cpu prog
+              { ctx with stack = (depth, sc) :: ctx.stack }
+              (depth + 1) sc.body
+          in
+          let c = scale work_trips body in
+          { c with ovh = c.ovh +. (trips *. cpu.loop_overhead) })
+
+let breakdown (cpu : Desc.cpu) (prog : Ir.Prog.t) : cost =
+  nodes_cost cpu prog { stack = []; cores_left = cpu.cores } 0 prog.body
+
+(* Estimated runtime in seconds. *)
+let time (cpu : Desc.cpu) (prog : Ir.Prog.t) : float =
+  let c = breakdown cpu prog in
+  let cycles = Float.max c.comp c.mem +. c.ovh in
+  cycles /. (cpu.freq_ghz *. 1e9)

@@ -1,0 +1,27 @@
+(** Analytic CPU cost model.
+
+    Walks the scheduled IR producing separate compute, memory and
+    overhead cycle counts; the estimate overlaps compute with memory
+    (max) and adds overheads.  It captures exactly the effects the
+    transformations trade off: vectorization amortizes issue slots and
+    cache accesses over lanes; unrolling creates independent dependency
+    chains that hide FP latency in reductions; fusion and reuse_dims
+    shrink footprints, moving traffic up the cache hierarchy;
+    parallelization divides compute by cores but memory only up to the
+    bandwidth-scaling limit; padding costs masked iterations' overhead.
+    Absolute numbers are model outputs; schedule {e ordering} is the
+    point (see DESIGN.md). *)
+
+type cost = { comp : float; mem : float; ovh : float }
+
+val access_stride :
+  Ir.Prog.t -> int -> Ir.Types.access -> [ `Seq | `Strided | `Invariant ]
+(** Contiguity of an access w.r.t. the iterator at the given depth,
+    judged on storage-effective indices (reused dimensions do not move
+    the address). *)
+
+val breakdown : Desc.cpu -> Ir.Prog.t -> cost
+(** Compute / memory / overhead cycle totals of the walk. *)
+
+val time : Desc.cpu -> Ir.Prog.t -> float
+(** Estimated runtime in seconds. *)

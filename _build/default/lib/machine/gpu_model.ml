@@ -1,0 +1,221 @@
+(* Analytic GPU cost model.
+
+   A kernel is a GpuGrid-annotated scope; everything else runs on the
+   host.  Host loops that contain kernels relaunch them per iteration
+   (this is how the paper's MI300A batchnorm computes its temporaries on
+   the CPU before launching the normalization kernel).
+
+   Per kernel the model is a roofline: compute time from the peak FP
+   throughput derated by occupancy and wavefront padding efficiency,
+   memory time from HBM bandwidth derated by coalescing and transaction
+   width, plus a launch overhead. *)
+
+open Ir.Types
+
+(* ------------------------------------------------------------------ *)
+(* Kernel analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_stats = {
+  flops : float;
+  traffic_bytes : float; (* HBM traffic after coalescing derating *)
+  total_threads : float;
+  wave_eff : float; (* useful fraction of wavefront slots *)
+  vectorized : bool; (* per-thread wide loads present *)
+  has_block : bool;
+}
+
+let scope_trip (sc : scope) =
+  match sc.guard with Some g -> g | None -> sc.size
+
+(* Analyze the subtree of a grid scope. *)
+let analyze_kernel (gpu : Desc.gpu) (prog : Ir.Prog.t) (grid_depth : int)
+    (grid : scope) : kernel_stats =
+  let flops = ref 0.0 in
+  let traffic = ref 0.0 in
+  let blocks = ref (float_of_int grid.size) in
+  let max_tpb = ref 1.0 in
+  let wave_eff = ref 1.0 in
+  let vectorized = ref false in
+  let has_block = ref false in
+  (* [loops]: enclosing (depth, scope, trip) inside the kernel, innermost
+     first; [block_iter]: depth of the innermost block-mapped scope,
+     which is the lane dimension for coalescing; [vec]: innermost
+     enclosing Vec scope (depth, lanes) *)
+  let coalesce_of block_iter vec (a : access) =
+    match block_iter with
+    | None -> 2.0 (* no block mapping: poor access pattern *)
+    | Some bd ->
+        let n = List.length a.idx in
+        let depends_bd =
+          List.exists (fun i -> Ir.Index.depends_on bd i) a.idx
+        in
+        if not depends_bd then 0.1 (* broadcast through cache *)
+        else begin
+          (* contiguous iff the block iterator only drives the last
+             dimension, either with unit stride or with stride equal to
+             the per-thread vector width while the vector lane covers the
+             gap (each thread loads one contiguous 128-bit chunk) *)
+          let ok = ref false and bad = ref false in
+          List.iteri
+            (fun dim i ->
+              let cb = Ir.Index.coeff_of bd i in
+              if cb <> 0 then begin
+                if dim <> n - 1 then bad := true
+                else if cb = 1 then ok := true
+                else
+                  match vec with
+                  | Some (vd, lanes)
+                    when cb = lanes && Ir.Index.coeff_of vd i = 1 ->
+                      ok := true
+                  | _ -> bad := true
+              end)
+            a.idx;
+          if !ok && not !bad then 1.0 else 8.0
+        end
+  in
+  let rec go depth loops block_iter vec tpb mult nodes =
+    List.iter
+      (fun node ->
+        match node with
+        | Stmt s ->
+            flops := !flops +. (mult *. float_of_int (Costs.stmt_fused_ops s));
+            if vec <> None then vectorized := true;
+            List.iter
+              (fun ((_ : bool), (a : access)) ->
+                let b = Ir.Prog.buffer_of_array prog a.array in
+                if b.loc = Register || b.loc = Shared then ()
+                else begin
+                  let bytes = float_of_int (dtype_bytes b.dtype) in
+                  (* elements touched by this site: product of trips of
+                     enclosing kernel loops the access varies with *)
+                  let varying =
+                    List.fold_left
+                      (fun acc (d, _, trip) ->
+                        if List.exists (fun i -> Ir.Index.depends_on d i) a.idx
+                        then acc *. trip
+                        else acc)
+                      1.0 loops
+                  in
+                  let buffer_bytes =
+                    float_of_int (Ir.Prog.buffer_bytes b)
+                  in
+                  let raw = varying *. bytes in
+                  (* repeated sweeps over a cache-resident buffer hit L2 *)
+                  let bytes_moved =
+                    if
+                      raw > buffer_bytes
+                      && buffer_bytes <= 48.0 *. 1024.0 *. 1024.0
+                    then buffer_bytes
+                    else raw
+                  in
+                  let coalesce = coalesce_of block_iter vec a in
+                  traffic := !traffic +. (bytes_moved *. coalesce)
+                end)
+              (Costs.stmt_accesses s)
+        | Scope sc ->
+            let trip = float_of_int (scope_trip sc) in
+            (match sc.annot with
+            | GpuBlock | GpuWarp ->
+                has_block := true;
+                (* sibling block-mapped phases run one after another with
+                   the same thread pool: threads per block along a path
+                   multiply (block x warp lanes), phases take the max *)
+                let tpb' = tpb *. float_of_int sc.size in
+                max_tpb := Float.max !max_tpb tpb';
+                if sc.annot = GpuBlock then begin
+                  let slots =
+                    float_of_int
+                      ((sc.size + gpu.warp - 1) / gpu.warp * gpu.warp)
+                  in
+                  wave_eff :=
+                    Float.min !wave_eff (float_of_int sc.size /. slots)
+                end;
+                go (depth + 1)
+                  ((depth, sc, trip) :: loops)
+                  (Some depth) vec tpb' (mult *. trip) sc.body
+            | GpuGrid ->
+                (* nested grid scopes just add blocks *)
+                blocks := !blocks *. float_of_int sc.size;
+                go (depth + 1)
+                  ((depth, sc, trip) :: loops)
+                  block_iter vec tpb (mult *. trip) sc.body
+            | Vec ->
+                go (depth + 1)
+                  ((depth, sc, trip) :: loops)
+                  block_iter
+                  (Some (depth, sc.size))
+                  tpb (mult *. trip) sc.body
+            | _ ->
+                go (depth + 1)
+                  ((depth, sc, trip) :: loops)
+                  block_iter vec tpb
+                  (mult *. trip)
+                  sc.body))
+      nodes
+  in
+  go (grid_depth + 1)
+    [ (grid_depth, grid, float_of_int grid.size) ]
+    None None 1.0
+    (float_of_int (scope_trip grid))
+    grid.body;
+  (* masked wavefront slots still execute: account via wave efficiency on
+     compute; flops above already counted only useful (guarded) trips *)
+  {
+    flops = !flops;
+    traffic_bytes = !traffic;
+    total_threads = !blocks *. !max_tpb;
+    wave_eff = !wave_eff;
+    vectorized = !vectorized;
+    has_block = !has_block;
+  }
+
+let kernel_time (gpu : Desc.gpu) (stats : kernel_stats) : float =
+  (* occupancy: need enough threads to fill the machine *)
+  let fill = stats.total_threads /. (float_of_int gpu.sms *. 512.0) in
+  let occupancy = Float.min 1.0 fill in
+  let occupancy = Float.max occupancy 2e-3 in
+  (* threads not grouped into blocks execute one thread per SM slot *)
+  let occupancy = if stats.has_block then occupancy else occupancy /. 32.0 in
+  let compute_s =
+    stats.flops
+    /. (gpu.fp32_gflops *. 1e9 *. occupancy *. stats.wave_eff)
+  in
+  let bw_eff = if stats.vectorized then 1.0 else 0.65 in
+  let mem_s =
+    stats.traffic_bytes /. (gpu.hbm_gbs *. 1e9 *. bw_eff *. occupancy ** 0.25)
+  in
+  Float.max compute_s mem_s +. gpu.launch_overhead_s
+
+(* ------------------------------------------------------------------ *)
+(* Host walk                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec host_time (gpu : Desc.gpu) (prog : Ir.Prog.t) depth nodes : float =
+  List.fold_left
+    (fun acc node ->
+      acc
+      +.
+      match node with
+      | Stmt s ->
+          let flops = float_of_int (Costs.stmt_fused_ops s) in
+          let bytes =
+            List.fold_left
+              (fun acc ((_ : bool), (a : access)) ->
+                let b = Ir.Prog.buffer_of_array prog a.array in
+                acc +. float_of_int (dtype_bytes b.dtype))
+              0.0 (Costs.stmt_accesses s)
+          in
+          (flops /. (gpu.host_gflops *. 1e9))
+          +. (bytes /. (gpu.host_gbs *. 1e9))
+      | Scope sc when sc.annot = GpuGrid ->
+          kernel_time gpu (analyze_kernel gpu prog depth sc)
+      | Scope sc ->
+          let trip = float_of_int (scope_trip sc) in
+          trip *. host_time gpu prog (depth + 1) sc.body)
+    0.0 nodes
+
+(* Estimated runtime in seconds.  A program with no GPU-mapped scope runs
+   entirely on the (slow) host — the search quickly learns to map. *)
+let time (gpu : Desc.gpu) (prog : Ir.Prog.t) : float =
+  host_time gpu prog 0 prog.body

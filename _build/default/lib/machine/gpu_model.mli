@@ -1,0 +1,30 @@
+(** Analytic GPU cost model.
+
+    A kernel is a GpuGrid-annotated scope; everything else runs on the
+    (slow) host, and host loops containing kernels relaunch them per
+    iteration — this is how the paper's MI300A batchnorm computes its
+    temporaries on the CPU before the kernel launch (§4.3).
+
+    Per kernel the model is a roofline: compute from peak FP throughput
+    derated by occupancy and wavefront-padding efficiency; memory from
+    HBM bandwidth derated by coalescing (lockstep unit-stride block
+    lanes, or per-thread 128-bit vectors covering the gap) and
+    transaction width; plus a launch overhead. *)
+
+type kernel_stats = {
+  flops : float;
+  traffic_bytes : float;  (** HBM traffic after coalescing derating *)
+  total_threads : float;
+  wave_eff : float;  (** useful fraction of wavefront slots *)
+  vectorized : bool;  (** per-thread wide loads present *)
+  has_block : bool;
+}
+
+val analyze_kernel :
+  Desc.gpu -> Ir.Prog.t -> int -> Ir.Types.scope -> kernel_stats
+(** Analyze the subtree of a grid scope at the given depth. *)
+
+val kernel_time : Desc.gpu -> kernel_stats -> float
+
+val time : Desc.gpu -> Ir.Prog.t -> float
+(** Estimated runtime in seconds of the whole program (host + kernels). *)

@@ -1,0 +1,22 @@
+(* Unified entry point over the three performance backends. *)
+
+module Desc = Desc
+module Costs = Costs
+module Cpu_model = Cpu_model
+module Gpu_model = Gpu_model
+module Snitch_sim = Snitch_sim
+
+let time (target : Desc.target) (prog : Ir.Prog.t) : float =
+  match target with
+  | Desc.Cpu c -> Cpu_model.time c prog
+  | Desc.Gpu g -> Gpu_model.time g prog
+  | Desc.Snitch s -> Snitch_sim.time s prog
+
+let caps = Desc.caps_of
+
+(* GFLOP/s achieved by a schedule under its target's model, counting the
+   program's logical (unfused) arithmetic. *)
+let gflops (target : Desc.target) (prog : Ir.Prog.t) : float =
+  let t = time target prog in
+  if t <= 0.0 then 0.0
+  else float_of_int (Ir.Prog.total_flops prog) /. t /. 1e9

@@ -1,0 +1,22 @@
+(** Unified entry point over the three performance backends (analytic
+    CPU model, analytic GPU model, cycle-approximate Snitch simulator).
+
+    Submodules re-exported for external users: {!Desc} (machine
+    descriptors), {!Costs}, {!Cpu_model}, {!Gpu_model}, {!Snitch_sim}. *)
+
+module Desc = Desc
+module Costs = Costs
+module Cpu_model = Cpu_model
+module Gpu_model = Gpu_model
+module Snitch_sim = Snitch_sim
+
+val time : Desc.target -> Ir.Prog.t -> float
+(** Modelled runtime in seconds of a scheduled program on the target. *)
+
+val caps : Desc.target -> Transform.Xforms.caps
+(** The transformation capabilities the target exposes — the paper's
+    vendor interface: hardware-aware transformations, not libraries. *)
+
+val gflops : Desc.target -> Ir.Prog.t -> float
+(** Achieved GFLOP/s under the target's model, counting the program's
+    logical (unfused) arithmetic. *)

@@ -1,0 +1,129 @@
+(* Cycle-approximate simulator for a single Snitch core with the SSR and
+   FREP ISA extensions (Zaruba et al., Schuiki et al.) — the substitute
+   for the paper's Verilator RTL model (§4.1).
+
+   Modelled microarchitecture:
+     - single-issue in-order core: every instruction (FP op, load, store,
+       integer loop bookkeeping) occupies one issue slot;
+     - 4-cycle FP use latency: a reduction whose accumulator is reused by
+       the next iteration stalls unless enough independent chains exist
+       (the paper's tile-outer-by-4-and-unroll heuristic exists exactly
+       to create those chains);
+     - SSR: memory accesses of a streamed loop issue zero instructions
+       (data flows through stream semantic registers); configuring the
+       streams costs a fixed setup per loop-nest entry;
+     - FREP: the FP repetition buffer removes the loop bookkeeping
+       instructions of the annotated loop;
+     - loop bookkeeping: add + branch (2 cycles) per iteration of an
+       ordinary software loop; unrolled loops replicate their body and
+       pay no bookkeeping.
+
+   The simulation is execution-structure-driven but computes per-
+   iteration costs symbolically (bodies of affine loops cost the same
+   every iteration), so it is exact for this IR while running in time
+   proportional to program size, not trip count. *)
+
+open Ir.Types
+
+let ssr_setup_cycles = 27.0 (* stream configuration per loop-nest entry *)
+
+type ctx = {
+  stack : (int * scope) list; (* enclosing scopes, innermost first *)
+  streamed : bool; (* some enclosing scope has SSR enabled *)
+}
+
+let access_invariant ctx (a : access) =
+  match ctx.stack with
+  | [] -> true
+  | (d, _) :: _ -> not (List.exists (fun i -> Ir.Index.depends_on d i) a.idx)
+
+(* Issue slots of one statement instance. *)
+let stmt_issue (prog : Ir.Prog.t) (ctx : ctx) (s : stmt) : float =
+  let fp = float_of_int (Costs.stmt_fused_ops s) in
+  let mem_slots =
+    if ctx.streamed then 0.0
+    else
+      List.fold_left
+        (fun acc ((_ : bool), (a : access)) ->
+          let b = Ir.Prog.buffer_of_array prog a.array in
+          if b.loc = Register then acc
+          else if access_invariant ctx a then acc (* kept in a register *)
+          else acc +. 1.0)
+        0.0 (Costs.stmt_accesses s)
+  in
+  fp +. mem_slots
+
+(* Independent accumulation chains provided by enclosing unrolled scopes
+   whose iterator the destination varies with (the paper's tile-by-4 +
+   unroll heuristic creates exactly these). *)
+let chains_for ctx (s : stmt) : float =
+  List.fold_left
+    (fun acc (d, (sc : scope)) ->
+      match sc.annot with
+      | Unroll
+        when List.exists (fun i -> Ir.Index.depends_on d i) s.dst.idx ->
+          acc *. float_of_int sc.size
+      | _ -> acc)
+    1.0 ctx.stack
+
+(* Cycles of one dynamic statement instance: issue slots, extended to the
+   FP use latency when the statement extends a serial accumulation
+   chain.  A chain exists whenever some enclosing loop — serial or
+   unrolled, since unrolled instances still execute back to back —
+   re-executes the statement on the same accumulator. *)
+let stmt_cycles (sn : Desc.snitch) prog ctx (s : stmt) : float =
+  let issue = stmt_issue prog ctx s in
+  if Costs.is_rmw s then begin
+    let dst_dep d =
+      List.exists (fun i -> Ir.Index.depends_on d i) s.dst.idx
+    in
+    let chained =
+      List.exists (fun (d, (_ : scope)) -> not (dst_dep d)) ctx.stack
+    in
+    if chained then
+      Float.max issue (float_of_int sn.sn_fp_latency /. chains_for ctx s)
+    else issue
+  end
+  else issue
+
+let rec nodes_cycles (sn : Desc.snitch) prog ctx depth nodes : float =
+  List.fold_left
+    (fun acc n -> acc +. node_cycles sn prog ctx depth n)
+    0.0 nodes
+
+and node_cycles (sn : Desc.snitch) prog ctx depth node : float =
+  match node with
+  | Stmt s -> stmt_cycles sn prog ctx s
+  | Scope sc ->
+      let trips = float_of_int sc.size in
+      let work_trips =
+        match sc.guard with Some g -> float_of_int g | None -> trips
+      in
+      let ctx' =
+        {
+          stack = (depth, sc) :: ctx.stack;
+          streamed = ctx.streamed || sc.ssr;
+        }
+      in
+      let body = nodes_cycles sn prog ctx' (depth + 1) sc.body in
+      let bookkeeping =
+        match sc.annot with
+        | Frep | Unroll -> 0.0
+        | Seq | Par | Vec | GpuGrid | GpuBlock | GpuWarp ->
+            float_of_int sn.sn_loop_overhead
+      in
+      let setup = if sc.ssr then ssr_setup_cycles else 0.0 in
+      (work_trips *. body) +. (trips *. bookkeeping) +. setup
+
+let cycles (sn : Desc.snitch) (prog : Ir.Prog.t) : float =
+  nodes_cycles sn prog { stack = []; streamed = false } 0 prog.body
+
+let time (sn : Desc.snitch) (prog : Ir.Prog.t) : float =
+  cycles sn prog /. (sn.sn_freq_ghz *. 1e9)
+
+(* Fraction of the theoretical compute peak (§4.1): required arithmetic
+   instructions at 1.0 instructions/cycle versus simulated cycles. *)
+let peak_fraction (sn : Desc.snitch) (prog : Ir.Prog.t) : float =
+  let ops = Costs.total_fused_ops prog in
+  let cyc = cycles sn prog in
+  if cyc <= 0.0 then 0.0 else ops /. cyc

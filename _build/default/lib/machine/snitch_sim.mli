@@ -1,0 +1,25 @@
+(** Cycle-approximate simulator of a single Snitch core with the SSR and
+    FREP ISA extensions — the substitute for the paper's Verilator RTL
+    model (§4.1, see DESIGN.md).
+
+    Modelled: single-issue in-order execution (every FP op, load, store
+    and loop-bookkeeping instruction takes an issue slot), the 4-cycle FP
+    use latency on accumulation chains, SSR streams eliminating
+    load/store issue slots (with a fixed stream-setup cost per loop-nest
+    entry), FREP eliminating loop bookkeeping, and unrolling replicating
+    code without bookkeeping.  Per-iteration costs are computed
+    symbolically, so the simulation is exact for this affine IR while
+    running in time proportional to program size. *)
+
+val ssr_setup_cycles : float
+
+val cycles : Desc.snitch -> Ir.Prog.t -> float
+(** Simulated execution cycles. *)
+
+val time : Desc.snitch -> Ir.Prog.t -> float
+(** Seconds at the core frequency. *)
+
+val peak_fraction : Desc.snitch -> Ir.Prog.t -> float
+(** Fraction of the theoretical compute peak: required arithmetic
+    instructions at 1.0 instruction/cycle versus simulated cycles (the
+    paper's §4.1 metric). *)

@@ -1,0 +1,1 @@
+lib/rl/dqn.ml: Array Embed Float List Nn Replay Util

@@ -1,0 +1,1 @@
+lib/rl/dqn.mli: Nn Replay Util

@@ -1,0 +1,1 @@
+lib/rl/embed.ml: Array Char Float Int64 Ir List String

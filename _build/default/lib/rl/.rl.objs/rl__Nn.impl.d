@@ -1,0 +1,1 @@
+lib/rl/nn.ml: Array List Util

@@ -1,0 +1,1 @@
+lib/rl/nn.mli: Util

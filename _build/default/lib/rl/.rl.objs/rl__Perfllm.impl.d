@@ -1,0 +1,1 @@
+lib/rl/perfllm.ml: Array Dqn Embed Float Ir List Transform Util Xforms

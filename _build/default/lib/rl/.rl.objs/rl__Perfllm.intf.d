@@ -1,0 +1,1 @@
+lib/rl/perfllm.mli: Dqn Ir Transform Util

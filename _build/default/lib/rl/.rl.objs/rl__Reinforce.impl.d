@@ -1,0 +1,1 @@
+lib/rl/reinforce.ml: Array Embed Float Ir List Nn Perfllm Transform Util Xforms

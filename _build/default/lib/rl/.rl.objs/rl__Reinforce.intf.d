@@ -1,0 +1,1 @@
+lib/rl/reinforce.mli: Ir Transform

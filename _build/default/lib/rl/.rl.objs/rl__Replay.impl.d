@@ -1,0 +1,1 @@
+lib/rl/replay.ml: Array Float List Util

@@ -1,0 +1,1 @@
+lib/rl/replay.mli: Util

@@ -1,0 +1,192 @@
+(* Deep Q-learning over transformation actions (§3.2, §3.3).
+
+   The Q function takes the action representation — the concatenation of
+   the program embedding before and after the candidate transformation —
+   and returns a scalar value.  Supported variants, all ablatable:
+
+   - Double DQN: action selection by the online network, evaluation by a
+     periodically synchronized target network (van Hasselt et al.).
+   - Dueling heads: Q(s,a) = V(s) + A(s,a); V reads the state half of the
+     action pair, A reads the full pair (adapted to the continuous action
+     encoding: the advantage mean-centering of the discrete formulation
+     is dropped since the candidate set varies per state).
+   - Max Q-learning (Gottipati et al.): the max-Bellman target
+     y = max(r, gamma * max_a' Q(s', a')) replaces the summed return,
+     prioritizing the single best trajectory — the right objective when
+     only the best program found matters. *)
+
+type config = {
+  gamma : float;
+  lr : float;
+  eps_start : float;
+  eps_end : float;
+  eps_decay : int; (* steps over which epsilon anneals *)
+  double_dqn : bool;
+  dueling : bool;
+  max_bellman : bool;
+  batch : int;
+  buffer_capacity : int;
+  target_sync : int; (* steps between target-network refreshes *)
+  hidden : int;
+  prioritized : bool; (* prioritized experience replay (off: the paper
+                         evaluated and excluded it, §3.3) *)
+}
+
+let default_config =
+  {
+    gamma = 0.95;
+    lr = 1e-3;
+    eps_start = 1.0;
+    eps_end = 0.15;
+    eps_decay = 350;
+    double_dqn = true;
+    dueling = true;
+    max_bellman = true;
+    batch = 32;
+    buffer_capacity = 4096;
+    target_sync = 200;
+    hidden = 64;
+    prioritized = false;
+  }
+
+type qnet = { adv : Nn.t; value : Nn.t option (* dueling V head *) }
+
+let make_qnet cfg rng =
+  let pair_dim = 2 * Embed.dim in
+  {
+    adv = Nn.create rng [ pair_dim; cfg.hidden; cfg.hidden / 2; 1 ];
+    value =
+      (if cfg.dueling then
+         Some (Nn.create rng [ Embed.dim; cfg.hidden / 2; 1 ])
+       else None);
+  }
+
+type t = {
+  cfg : config;
+  online : qnet;
+  target : qnet;
+  replay : Replay.t;
+  rng : Util.Rng.t;
+  mutable steps : int;
+}
+
+let create ?(cfg = default_config) seed =
+  let rng = Util.Rng.create seed in
+  let online = make_qnet cfg rng in
+  let target = make_qnet cfg rng in
+  Nn.copy_weights ~src:online.adv ~dst:target.adv;
+  (match (online.value, target.value) with
+  | Some s, Some d -> Nn.copy_weights ~src:s ~dst:d
+  | _ -> ());
+  {
+    cfg;
+    online;
+    target;
+    replay = Replay.create cfg.buffer_capacity;
+    rng;
+    steps = 0;
+  }
+
+let state_half (pair : float array) = Array.sub pair 0 Embed.dim
+
+let q_value (net : qnet) (pair : float array) : float =
+  let a = (Nn.forward net.adv pair).(0) in
+  match net.value with
+  | None -> a
+  | Some v -> a +. (Nn.forward v (state_half pair)).(0)
+
+let best_q (net : qnet) (pairs : float array array) : int * float =
+  let best_i = ref 0 and best = ref neg_infinity in
+  Array.iteri
+    (fun i p ->
+      let q = q_value net p in
+      if q > !best then begin
+        best := q;
+        best_i := i
+      end)
+    pairs;
+  (!best_i, !best)
+
+let epsilon (agent : t) =
+  let frac =
+    Float.min 1.0 (float_of_int agent.steps /. float_of_int agent.cfg.eps_decay)
+  in
+  agent.cfg.eps_start +. (frac *. (agent.cfg.eps_end -. agent.cfg.eps_start))
+
+(* Epsilon-greedy selection among candidate action pairs. *)
+let select (agent : t) (pairs : float array array) : int =
+  if Util.Rng.float agent.rng < epsilon agent then
+    Util.Rng.int agent.rng (Array.length pairs)
+  else fst (best_q agent.online pairs)
+
+let remember (agent : t) tr = Replay.add agent.replay tr
+
+(* The training target for one transition. *)
+let target_of (agent : t) (tr : Replay.transition) : float =
+  let cfg = agent.cfg in
+  let future =
+    if tr.terminal || Array.length tr.next_actions = 0 then 0.0
+    else if cfg.double_dqn then begin
+      let i, _ = best_q agent.online tr.next_actions in
+      q_value agent.target tr.next_actions.(i)
+    end
+    else snd (best_q agent.target tr.next_actions)
+  in
+  if cfg.max_bellman then Float.max tr.reward (cfg.gamma *. future)
+  else tr.reward +. (cfg.gamma *. future)
+
+(* One SGD step on a uniformly sampled minibatch. *)
+let train_step (agent : t) : float =
+  let cfg = agent.cfg in
+  if Replay.size agent.replay < cfg.batch then 0.0
+  else begin
+    let batch =
+      if cfg.prioritized then
+        Replay.sample_prioritized agent.replay agent.rng cfg.batch
+      else
+        List.map (fun tr -> (-1, tr))
+          (Replay.sample agent.replay agent.rng cfg.batch)
+    in
+    Nn.zero_grad agent.online.adv;
+    (match agent.online.value with Some v -> Nn.zero_grad v | None -> ());
+    let total_loss = ref 0.0 in
+    List.iter
+      (fun ((idx : int), (tr : Replay.transition)) ->
+        let y = target_of agent tr in
+        let tape_a, out_a = Nn.forward_tape agent.online.adv tr.action in
+        let v_part =
+          match agent.online.value with
+          | None -> None
+          | Some vnet ->
+              let tape_v, out_v =
+                Nn.forward_tape vnet (state_half tr.action)
+              in
+              Some (vnet, tape_v, out_v.(0))
+        in
+        let q =
+          out_a.(0) +. (match v_part with Some (_, _, v) -> v | None -> 0.0)
+        in
+        let err = q -. y in
+        if cfg.prioritized then Replay.update_priority agent.replay idx err;
+        total_loss := !total_loss +. (err *. err);
+        (* Huber gradient, clipped at 1 *)
+        let g = Float.max (-1.0) (Float.min 1.0 err) in
+        let scale = 1.0 /. float_of_int cfg.batch in
+        Nn.backward agent.online.adv tape_a [| g *. scale |];
+        match v_part with
+        | Some (vnet, tape_v, _) -> Nn.backward vnet tape_v [| g *. scale |]
+        | None -> ())
+      batch;
+    Nn.adam_step ~lr:cfg.lr agent.online.adv;
+    (match agent.online.value with
+    | Some v -> Nn.adam_step ~lr:cfg.lr v
+    | None -> ());
+    agent.steps <- agent.steps + 1;
+    if agent.steps mod cfg.target_sync = 0 then begin
+      Nn.copy_weights ~src:agent.online.adv ~dst:agent.target.adv;
+      match (agent.online.value, agent.target.value) with
+      | Some s, Some d -> Nn.copy_weights ~src:s ~dst:d
+      | _ -> ()
+    end;
+    !total_loss /. float_of_int cfg.batch
+  end

@@ -1,0 +1,64 @@
+(** Deep Q-learning over transformation actions (§3.2, §3.3).
+
+    The Q function reads the action representation (embedding before +
+    after the candidate move) and returns a scalar.  Ablatable variants:
+    Double DQN (van Hasselt et al.), dueling heads, and Max Q-learning
+    (Gottipati et al.): the max-Bellman target
+    [y = max(r, gamma * max_a' Q(s', a'))]. *)
+
+type config = {
+  gamma : float;
+  lr : float;
+  eps_start : float;
+  eps_end : float;
+  eps_decay : int;  (** steps over which epsilon anneals *)
+  double_dqn : bool;
+  dueling : bool;
+  max_bellman : bool;
+  batch : int;
+  buffer_capacity : int;
+  target_sync : int;  (** steps between target-network refreshes *)
+  hidden : int;
+  prioritized : bool;
+      (** prioritized experience replay — off by default (the paper
+          evaluated and excluded it, §3.3) *)
+}
+
+val default_config : config
+
+type qnet = { adv : Nn.t; value : Nn.t option (** dueling V head *) }
+
+type t = {
+  cfg : config;
+  online : qnet;
+  target : qnet;
+  replay : Replay.t;
+  rng : Util.Rng.t;
+  mutable steps : int;
+}
+
+val create : ?cfg:config -> int -> t
+(** [create seed] builds online and target networks with identical
+    initial weights. *)
+
+val q_value : qnet -> float array -> float
+(** Q of one action pair. *)
+
+val best_q : qnet -> float array array -> int * float
+(** Argmax (index, value) over candidate action pairs. *)
+
+val epsilon : t -> float
+(** Current annealed exploration rate. *)
+
+val select : t -> float array array -> int
+(** Epsilon-greedy choice among candidate pairs. *)
+
+val remember : t -> Replay.transition -> unit
+
+val target_of : t -> Replay.transition -> float
+(** The training target under the configured Bellman variant. *)
+
+val train_step : t -> float
+(** One SGD step on a uniform minibatch; returns the mean squared TD
+    error (0 while the buffer is smaller than a batch).  Refreshes the
+    target network every [target_sync] steps. *)

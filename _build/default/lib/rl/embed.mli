@@ -1,0 +1,24 @@
+(** Program-state embedding E(k) (§3.1).
+
+    The paper uses an LLM to encode the PerfDojo textual representation;
+    this reproduction substitutes a deterministic hashed character-n-gram
+    embedding of the same text, augmented with structural features (scope
+    annotations, buffer locations, nesting depth).  See DESIGN.md for the
+    substitution note. *)
+
+val ngram_dims : int
+(** Width of the hashed-n-gram block (L2-normalized). *)
+
+val struct_dims : int
+(** Width of the structural-feature block. *)
+
+val dim : int
+(** Total embedding dimension, [ngram_dims + struct_dims]. *)
+
+val embed : Ir.Prog.t -> float array
+(** Deterministic embedding of a program state. *)
+
+val action_pair : float array -> float array -> float array
+(** Action representation: concat of the embeddings before and after the
+    transformation; the stop action concatenates two identical
+    embeddings. *)

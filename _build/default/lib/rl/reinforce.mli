@@ -1,0 +1,37 @@
+(** REINFORCE: the policy-gradient alternative the paper considers and
+    rejects for this task (§3.2, high variance and sample inefficiency
+    in large discrete action spaces).  Implemented over the same
+    candidate interface as the DQN agent so the rl-ablation bench can
+    compare them at an equal evaluation budget. *)
+
+type config = {
+  episodes : int;
+  max_steps : int;
+  action_cap : int;
+  lr : float;
+  gamma : float;
+  hidden : int;
+}
+
+val default_config : config
+
+type result = {
+  best : Ir.Prog.t;
+  best_time : float;
+  best_moves : string list;
+  episode_best : float array;
+  evaluations : int;
+}
+
+val softmax : float array -> float array
+(** Numerically stable softmax over candidate scores. *)
+
+val optimize :
+  ?cfg:config ->
+  seed:int ->
+  Transform.Xforms.caps ->
+  (Ir.Prog.t -> float) ->
+  Ir.Prog.t ->
+  result
+(** Train a policy on one kernel with episodic REINFORCE (returns-to-go
+    with a mean baseline) and return the best schedule found. *)

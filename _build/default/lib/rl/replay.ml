@@ -1,0 +1,68 @@
+(* Experience replay buffer (§3.3): fixed-capacity ring; uniform
+   sampling breaks the temporal correlation of sequentially collected
+   transitions. *)
+
+type transition = {
+  action : float array; (* concat(E(k_t), E(k_{t+1})) *)
+  reward : float;
+  next_state : float array; (* E(k_{t+1}) *)
+  next_actions : float array array; (* candidate pairs at k_{t+1} *)
+  terminal : bool;
+}
+
+type t = {
+  data : transition option array;
+  priorities : float array; (* |TD error| + eps; used only when the
+                               prioritized variant samples *)
+  mutable size : int;
+  mutable next : int;
+}
+
+let create capacity =
+  {
+    data = Array.make capacity None;
+    priorities = Array.make capacity 1.0;
+    size = 0;
+    next = 0;
+  }
+
+let add (buf : t) (tr : transition) =
+  buf.data.(buf.next) <- Some tr;
+  (* new experiences enter with the current maximum priority so they are
+     replayed at least once (Schaul et al.) *)
+  let mx = ref 1.0 in
+  for i = 0 to buf.size - 1 do
+    if buf.priorities.(i) > !mx then mx := buf.priorities.(i)
+  done;
+  buf.priorities.(buf.next) <- !mx;
+  buf.next <- (buf.next + 1) mod Array.length buf.data;
+  buf.size <- min (buf.size + 1) (Array.length buf.data)
+
+let sample (buf : t) rng n : transition list =
+  if buf.size = 0 then []
+  else
+    List.init n (fun _ ->
+        match buf.data.(Util.Rng.int rng buf.size) with
+        | Some tr -> tr
+        | None -> assert false)
+
+(* Proportional prioritized sampling (§3.3: evaluated by the paper and
+   excluded as not providing meaningful gains; reproduced for the
+   rl-ablation bench).  Returns indices so the caller can update
+   priorities with the new TD errors. *)
+let sample_prioritized (buf : t) rng n : (int * transition) list =
+  if buf.size = 0 then []
+  else begin
+    let weights = Array.sub buf.priorities 0 buf.size in
+    List.init n (fun _ ->
+        let i = Util.Rng.weighted_index rng weights in
+        match buf.data.(i) with
+        | Some tr -> (i, tr)
+        | None -> assert false)
+  end
+
+let update_priority (buf : t) i td_error =
+  if i >= 0 && i < buf.size then
+    buf.priorities.(i) <- Float.abs td_error +. 1e-3
+
+let size (buf : t) = buf.size

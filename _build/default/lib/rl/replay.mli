@@ -1,0 +1,34 @@
+(** Experience replay (§3.3): a fixed-capacity ring buffer with uniform
+    sampling, breaking the temporal correlation of sequentially collected
+    transitions. *)
+
+type transition = {
+  action : float array;  (** concat(E(k_t), E(k_(t+1))) *)
+  reward : float;
+  next_state : float array;  (** E(k_(t+1)) *)
+  next_actions : float array array;  (** candidate pairs at k_(t+1) *)
+  terminal : bool;
+}
+
+type t
+
+val create : int -> t
+(** [create capacity] *)
+
+val add : t -> transition -> unit
+(** Insert, overwriting the oldest entry when full. *)
+
+val sample : t -> Util.Rng.t -> int -> transition list
+(** [sample buf rng n] draws [n] transitions uniformly with
+    replacement (empty list when the buffer is empty). *)
+
+val sample_prioritized : t -> Util.Rng.t -> int -> (int * transition) list
+(** Proportional prioritized sampling (Schaul et al.): draws indices with
+    probability proportional to stored |TD error| priorities.  The paper
+    evaluated and excluded prioritized replay (§3.3); it is reproduced
+    for the rl-ablation bench. *)
+
+val update_priority : t -> int -> float -> unit
+(** Record a transition's new TD error after a training step. *)
+
+val size : t -> int

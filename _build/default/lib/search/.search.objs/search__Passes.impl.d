@@ -1,0 +1,1 @@
+lib/search/passes.ml: Dep Ir List Printf String Transform Xforms

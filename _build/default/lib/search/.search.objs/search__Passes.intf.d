@@ -1,0 +1,1 @@
+lib/search/passes.mli: Ir Transform

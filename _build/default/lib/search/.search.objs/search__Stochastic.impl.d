@@ -1,0 +1,1 @@
+lib/search/stochastic.ml: Array Float Ir List Transform Util Xforms

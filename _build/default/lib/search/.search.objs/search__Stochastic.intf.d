@@ -1,0 +1,1 @@
+lib/search/stochastic.mli: Ir Transform Util

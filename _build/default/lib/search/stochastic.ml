@@ -1,0 +1,226 @@
+(* Stochastic schedule search (§4.2).
+
+   Two search-space structures:
+     - [`Edges]: the search graph mirrors the transformation graph; a
+       candidate is grown by appending one applicable move to a parent.
+     - [`Heuristic]: a candidate is a complete transformation *sequence*;
+       neighbors are produced by modifying the sequence at an arbitrary
+       point (replace / delete / insert a move) and replaying the rest,
+       skipping moves that became inapplicable — the paper's
+       "iteratively refined at arbitrary points" structure.
+
+   Two methods:
+     - weighted random sampling over all previously encountered
+       candidates, with selection probability based on the *parent's*
+       runtime (so children of weak candidates rarely get budget);
+     - simulated annealing, whose cost is the candidate's own runtime.
+
+   Every candidate evaluation increments the budget; the best-so-far
+   curve is recorded for the convergence comparison (Figure 12). *)
+
+open Transform
+
+type objective = Ir.Prog.t -> float
+
+type space = Edges | Heuristic
+
+type result = {
+  best : Ir.Prog.t;
+  best_time : float;
+  best_moves : string list;
+  curve : float array; (* best-so-far runtime after each evaluation *)
+  evals : int;
+}
+
+(* Replay a sequence of move names from [prog], skipping moves that are
+   not applicable at their point.  Returns the final program and the
+   names that actually applied. *)
+let replay_skipping ?(filter = fun (_ : Xforms.instance) -> true) caps prog
+    names =
+  List.fold_left
+    (fun (p, applied) name ->
+      match
+        List.find_opt
+          (fun i -> filter i && Xforms.describe i = name)
+          (Xforms.all caps p)
+      with
+      | Some inst -> (inst.apply p, name :: applied)
+      | None -> (p, applied))
+    (prog, []) names
+  |> fun (p, applied) -> (p, List.rev applied)
+
+(* One structural mutation of a move sequence. *)
+let mutate ?(filter = fun (_ : Xforms.instance) -> true) caps rng prog
+    (names : string list) : string list =
+  let n = List.length names in
+  let arr = Array.of_list names in
+  let choice = Util.Rng.int rng 3 in
+  if n = 0 || choice = 2 then begin
+    (* insert a random applicable move at a random point *)
+    let pos = if n = 0 then 0 else Util.Rng.int rng (n + 1) in
+    let prefix = Array.to_list (Array.sub arr 0 pos) in
+    let suffix = Array.to_list (Array.sub arr pos (n - pos)) in
+    let p, _ = replay_skipping ~filter caps prog prefix in
+    let insts = List.filter filter (Xforms.all caps p) in
+    if insts = [] then names
+    else
+      let inst = List.nth insts (Util.Rng.int rng (List.length insts)) in
+      prefix @ [ Xforms.describe inst ] @ suffix
+  end
+  else if choice = 0 then begin
+    (* delete a random move *)
+    let pos = Util.Rng.int rng n in
+    List.filteri (fun i _ -> i <> pos) names
+  end
+  else begin
+    (* replace a random move by another applicable at the same point *)
+    let pos = Util.Rng.int rng n in
+    let prefix = Array.to_list (Array.sub arr 0 pos) in
+    let suffix = Array.to_list (Array.sub arr (pos + 1) (n - pos - 1)) in
+    let p, _ = replay_skipping ~filter caps prog prefix in
+    let insts = List.filter filter (Xforms.all caps p) in
+    if insts = [] then names
+    else
+      let inst = List.nth insts (Util.Rng.int rng (List.length insts)) in
+      prefix @ [ Xforms.describe inst ] @ suffix
+  end
+
+type candidate = {
+  moves : string list;
+  prog : Ir.Prog.t;
+  runtime : float;
+  parent_runtime : float;
+}
+
+let eval_moves ?filter caps (objective : objective) prog names parent_runtime
+    =
+  let p, applied = replay_skipping ?filter caps prog names in
+  { moves = applied; prog = p; runtime = objective p; parent_runtime }
+
+(* Produce a child candidate according to the space structure.  In the
+   edges-structured space the child program is the parent program plus
+   one move, so it is returned directly (no replay from the root). *)
+let expand ?(filter = fun (_ : Xforms.instance) -> true) space caps rng root
+    (parent : candidate) : string list * Ir.Prog.t option =
+  match space with
+  | Edges -> (
+      (* append one applicable move *)
+      let insts = List.filter filter (Xforms.all caps parent.prog) in
+      match insts with
+      | [] -> (parent.moves, Some parent.prog)
+      | _ ->
+          let inst = List.nth insts (Util.Rng.int rng (List.length insts)) in
+          ( parent.moves @ [ Xforms.describe inst ],
+            Some (inst.apply parent.prog) ))
+  | Heuristic -> (mutate ~filter caps rng root parent.moves, None)
+
+let run_curve budget f =
+  let curve = Array.make budget infinity in
+  let best = ref infinity in
+  for i = 0 to budget - 1 do
+    let t = f i in
+    if t < !best then best := t;
+    curve.(i) <- !best
+  done;
+  curve
+
+(* ------------------------------------------------------------------ *)
+(* Weighted random sampling                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_sampling ?(seed = 1) ?filter ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
+  let rng = Util.Rng.create seed in
+  let pool = ref [| { moves = []; prog = root;
+                      runtime = objective root;
+                      parent_runtime = objective root } |] in
+  let best = ref !pool.(0) in
+  let curve =
+    run_curve budget (fun _ ->
+        let weights =
+          Array.map (fun c -> 1.0 /. Float.max c.parent_runtime 1e-12) !pool
+        in
+        let parent = !pool.(Util.Rng.weighted_index rng weights) in
+        let child_moves, direct = expand ?filter space caps rng root parent in
+        let child =
+          match direct with
+          | Some p ->
+              {
+                moves = child_moves;
+                prog = p;
+                runtime = objective p;
+                parent_runtime = parent.runtime;
+              }
+          | None ->
+              eval_moves ?filter caps objective root child_moves
+                parent.runtime
+        in
+        pool := Array.append !pool [| child |];
+        if child.runtime < !best.runtime then best := child;
+        child.runtime)
+  in
+  {
+    best = !best.prog;
+    best_time = !best.runtime;
+    best_moves = !best.moves;
+    curve;
+    evals = budget;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Simulated annealing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let simulated_annealing ?(seed = 1) ?filter ?(t0 = 0.5) ?(cooling = 0.995)
+    ~(space : space) ~(budget : int) caps (objective : objective)
+    (root : Ir.Prog.t) : result =
+  let rng = Util.Rng.create seed in
+  let current =
+    ref
+      {
+        moves = [];
+        prog = root;
+        runtime = objective root;
+        parent_runtime = objective root;
+      }
+  in
+  let best = ref !current in
+  let temp = ref t0 in
+  let curve =
+    run_curve budget (fun _ ->
+        let child_moves, direct = expand ?filter space caps rng root !current
+        in
+        let child =
+          match direct with
+          | Some p ->
+              {
+                moves = child_moves;
+                prog = p;
+                runtime = objective p;
+                parent_runtime = !current.runtime;
+              }
+          | None ->
+              eval_moves ?filter caps objective root child_moves
+                !current.runtime
+        in
+        let accept =
+          child.runtime <= !current.runtime
+          ||
+          let delta =
+            (child.runtime -. !current.runtime)
+            /. Float.max !current.runtime 1e-12
+          in
+          Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
+        in
+        if accept then current := child;
+        if child.runtime < !best.runtime then best := child;
+        temp := !temp *. cooling;
+        child.runtime)
+  in
+  {
+    best = !best.prog;
+    best_time = !best.runtime;
+    best_moves = !best.moves;
+    curve;
+    evals = budget;
+  }

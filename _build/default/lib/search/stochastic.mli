@@ -1,0 +1,72 @@
+(** Stochastic schedule search (§4.2).
+
+    Search space structures:
+    - {!Edges}: the search graph mirrors the transformation graph; a
+      candidate grows by appending one applicable move to a parent.
+    - {!Heuristic}: a candidate is a complete move {e sequence}; a
+      neighbor modifies it at an arbitrary point (replace / delete /
+      insert) and replays the rest, skipping moves that became
+      inapplicable — the structure the paper derives from expert
+      hand-tuning.
+
+    Methods: weighted random sampling (selection probability from the
+    {e parent}'s runtime) and simulated annealing (cost is the
+    candidate's own runtime).  Both record the best-so-far curve for the
+    Figure-12 convergence comparison. *)
+
+type objective = Ir.Prog.t -> float
+(** Modelled runtime in seconds; lower is better. *)
+
+type space = Edges | Heuristic
+
+type result = {
+  best : Ir.Prog.t;
+  best_time : float;
+  best_moves : string list;  (** replayable via {!replay_skipping} *)
+  curve : float array;  (** best-so-far runtime after each evaluation *)
+  evals : int;
+}
+
+val replay_skipping :
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  Transform.Xforms.caps ->
+  Ir.Prog.t ->
+  string list ->
+  Ir.Prog.t * string list
+(** Replay a sequence of {!Transform.Xforms.describe} strings from a
+    root, skipping entries not applicable at their point; returns the
+    final program and the names that actually applied. *)
+
+val mutate :
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  Transform.Xforms.caps ->
+  Util.Rng.t ->
+  Ir.Prog.t ->
+  string list ->
+  string list
+(** One structural mutation of a move sequence (replace / delete /
+    insert at a random point). *)
+
+val random_sampling :
+  ?seed:int ->
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  space:space ->
+  budget:int ->
+  Transform.Xforms.caps ->
+  objective ->
+  Ir.Prog.t ->
+  result
+(** Global weighted sampling over all previously encountered candidates;
+    [filter] restricts the move set (used by the TVM-template baseline). *)
+
+val simulated_annealing :
+  ?seed:int ->
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  ?t0:float ->
+  ?cooling:float ->
+  space:space ->
+  budget:int ->
+  Transform.Xforms.caps ->
+  objective ->
+  Ir.Prog.t ->
+  result

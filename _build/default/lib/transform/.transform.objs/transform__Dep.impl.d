@@ -1,0 +1,1 @@
+lib/transform/dep.ml: Ir List

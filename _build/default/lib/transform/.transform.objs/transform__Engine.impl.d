@@ -1,0 +1,1 @@
+lib/transform/engine.ml: Ir List Printf String Xforms

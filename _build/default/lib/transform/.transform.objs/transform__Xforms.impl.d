@@ -1,0 +1,1 @@
+lib/transform/xforms.ml: Array Dep Float Ir List Printf String

@@ -1,0 +1,1 @@
+lib/transform/xforms.mli: Ir

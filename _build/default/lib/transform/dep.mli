@@ -1,0 +1,73 @@
+(** Dependence analyses underpinning transformation applicability (§2.2).
+
+    All rules are deliberately conservative: a transformation is offered
+    only when these checks {e prove} semantic preservation.  Analyses
+    operate on {e storage-effective} indices — a reused ([:N]) dimension
+    collapses every logical index to the same slot — which keeps them
+    sound after [reuse_dims] has been applied.  The test suite validates
+    the rules empirically by numerically comparing every transformed
+    program against its original, exactly as the paper does. *)
+
+open Ir.Types
+
+val same_component : depth:int -> access -> access -> bool
+(** Both accesses move in lockstep along the iterator at [depth]: equal
+    coefficients everywhere, at least one dimension carrying the
+    iterator, fully identical index expressions in those dimensions —
+    hence zero dependence distance along that loop. *)
+
+val is_commutative_reduction : stmt -> bool
+(** [z[I] = z[I] (+|*|max|min) e] with [e] not referencing [z]:
+    reordering its iterations only reassociates a commutative operator
+    (accepted up to floating-point rounding, validated with tolerance). *)
+
+val effective : Ir.Prog.t -> access -> access
+(** The storage-effective index vector: reused dimensions become
+    constant 0. *)
+
+val ordered_accesses :
+  Ir.Prog.t ->
+  node list ->
+  (Ir.Prog.access_kind * access * stmt * int) list
+(** Every (kind, effective access, statement, document order) tuple in
+    execution order. *)
+
+val accesses_conflict :
+  Ir.Prog.t -> Ir.Prog.access_kind -> access -> Ir.Prog.access_kind ->
+  access -> bool
+(** At least one write, and the arrays share storage. *)
+
+val nodes_independent : Ir.Prog.t -> node -> node -> bool
+(** No array written by one node is accessed by the other — the
+    condition for reordering siblings. *)
+
+val fusion_safe :
+  Ir.Prog.t -> depth:int -> node list -> node list -> bool
+(** Fusing two sibling scopes at [depth] is safe when every conflicting
+    access pair between the bodies moves in lockstep along the fused
+    iterator. *)
+
+val fission_safe :
+  Ir.Prog.t -> depth:int -> node list -> node list -> bool
+(** Loop distribution obeys the same zero-distance condition. *)
+
+val interchange_safe : Ir.Prog.t -> depth:int -> node list -> bool
+(** Swapping the loops at [depth] and [depth+1] around the given subtree:
+    conflicting pairs must move in lockstep along both loops, arise from
+    a commutative reduction, or be intra-iteration accesses to
+    loop-invariant locations in write-before-read order. *)
+
+val parallel_safe : Ir.Prog.t -> depth:int -> node list -> bool
+(** Iterations touch disjoint data: every conflicting pair moves in
+    lockstep along the loop. *)
+
+val parallel_reduction_safe : Ir.Prog.t -> depth:int -> node list -> bool
+(** Like {!parallel_safe}, additionally tolerating a single commutative
+    reduction statement (GPU thread blocks reduce cooperatively). *)
+
+val reuse_safe : Ir.Prog.t -> buffer -> dim:int -> bool
+(** Collapsing [dim] of the buffer to storage extent 1 is safe: not an
+    interface buffer, every access indexes [dim] with exactly [{d}] for
+    one common {e sequential} scope node, and the first access per
+    iteration is a write (the Figure-5 rule: legal after fusion, illegal
+    before). *)

@@ -1,0 +1,94 @@
+(* The transformation engine: enumerates applicable moves, applies them,
+   and keeps a non-destructive history so any move can be undone while
+   later state is reconstructible (Table 1's "non-destructive
+   transformations" requirement: programs are immutable values, a session
+   records every intermediate state). *)
+
+type session = {
+  caps : Xforms.caps;
+  initial : Ir.Prog.t;
+  mutable current : Ir.Prog.t;
+  mutable history : (Xforms.instance * Ir.Prog.t) list;
+      (* most recent first; the stored program is the state *before* the
+         move was applied *)
+}
+
+let start caps prog = { caps; initial = prog; current = prog; history = [] }
+
+let applicable session = Xforms.all session.caps session.current
+
+let apply session (inst : Xforms.instance) =
+  let before = session.current in
+  let after = inst.apply before in
+  (match Ir.Validate.check after with
+  | [] -> ()
+  | errs ->
+      let msgs = String.concat "; " (List.map Ir.Validate.error_to_string errs)
+      in
+      invalid_arg
+        (Printf.sprintf "%s produced invalid program: %s"
+           (Xforms.describe inst) msgs));
+  session.history <- (inst, before) :: session.history;
+  session.current <- after;
+  after
+
+(* Undo the most recent move. *)
+let undo session =
+  match session.history with
+  | [] -> None
+  | (_, before) :: rest ->
+      session.history <- rest;
+      session.current <- before;
+      Some before
+
+(* Undo the move [k] steps back (0 = most recent) while replaying every
+   later move.  Returns [None] when some later move is no longer
+   applicable after the removal — the engine refuses to produce an
+   invalid program. *)
+let undo_at session k =
+  let hist = List.rev session.history in (* oldest first *)
+  let n = List.length hist in
+  if k < 0 || k >= n then None
+  else begin
+    let idx = n - 1 - k in
+    let replay =
+      List.filteri (fun i _ -> i <> idx) hist
+    in
+    try
+      let state = ref session.initial in
+      let new_hist = ref [] in
+      List.iter
+        (fun ((inst : Xforms.instance), _) ->
+          let before = !state in
+          let after = inst.apply before in
+          Ir.Validate.check_exn after;
+          new_hist := (inst, before) :: !new_hist;
+          state := after)
+        replay;
+      session.history <- !new_hist;
+      session.current <- !state;
+      Some !state
+    with _ -> None
+  end
+
+let moves session = List.rev_map (fun (i, _) -> i) session.history
+
+(* Apply a named sequence of moves, resolving each by [describe] string
+   against the applicable set at that point.  Used to express recorded
+   optimization journeys (Figure 4). *)
+let replay caps prog (names : string list) : (Ir.Prog.t, string) result =
+  let session = start caps prog in
+  let rec go = function
+    | [] -> Ok session.current
+    | name :: rest -> (
+        match
+          List.find_opt
+            (fun i -> Xforms.describe i = name)
+            (applicable session)
+        with
+        | Some inst ->
+            ignore (apply session inst);
+            go rest
+        | None -> Error (Printf.sprintf "move %S not applicable" name))
+  in
+  go names

@@ -1,0 +1,38 @@
+(** The transformation engine: a session over a program with applicable-
+    move enumeration, application with structural re-validation, and a
+    non-destructive history (any move can be undone while later moves are
+    replayed — Table 1's "non-destructive transformations"). *)
+
+type session = {
+  caps : Xforms.caps;
+  initial : Ir.Prog.t;
+  mutable current : Ir.Prog.t;
+  mutable history : (Xforms.instance * Ir.Prog.t) list;
+      (** most recent first; each entry stores the state {e before} the
+          move *)
+}
+
+val start : Xforms.caps -> Ir.Prog.t -> session
+
+val applicable : session -> Xforms.instance list
+(** All moves offered at the current state. *)
+
+val apply : session -> Xforms.instance -> Ir.Prog.t
+(** Apply a move, validate the result structurally, record history.
+    Raises [Invalid_argument] when the instance does not apply cleanly. *)
+
+val undo : session -> Ir.Prog.t option
+(** Undo the most recent move. *)
+
+val undo_at : session -> int -> Ir.Prog.t option
+(** [undo_at s k] removes the move [k] steps back (0 = most recent) and
+    replays every later move.  Returns [None] — leaving the session
+    unchanged — when a later move no longer applies without it. *)
+
+val moves : session -> Xforms.instance list
+(** Moves played so far, oldest first. *)
+
+val replay :
+  Xforms.caps -> Ir.Prog.t -> string list -> (Ir.Prog.t, string) result
+(** Replay a recorded sequence of {!Xforms.describe} strings, resolving
+    each against the applicable set at that point. *)

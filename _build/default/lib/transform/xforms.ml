@@ -1,0 +1,1059 @@
+(* The atomic transformation library (§2.2).
+
+   Each transformation comes with applicability discovery: [find_*]
+   enumerates every program location where the transformation is provably
+   semantics-preserving and returns ready-to-apply instances.  Applying an
+   instance never requires further checks.  Instances are small immutable
+   values over immutable programs, which makes the whole history
+   non-destructive: any prefix of moves can be replayed or undone. *)
+
+open Ir.Types
+
+type instance = {
+  xname : string; (* transformation name, e.g. "split_scope" *)
+  target : string; (* human-readable location/parameters *)
+  apply : Ir.Prog.t -> Ir.Prog.t;
+}
+
+let describe i = Printf.sprintf "%s(%s)" i.xname i.target
+
+(* Hardware capabilities gate which transformations are offered.  This is
+   the paper's "hardware knowledge exposed to the search only as a library
+   of transformations". *)
+type caps = {
+  vec_lanes : int list; (* permitted vector widths; [] = no vector unit *)
+  max_unroll : int;
+  can_parallelize : bool;
+  gpu : bool;
+  max_block : int; (* max threads per GPU block *)
+  snitch : bool; (* SSR / FREP extensions available *)
+  max_stack_bytes : int;
+  split_factors : int list;
+  reduction_split : int list; (* partial-accumulator counts offered *)
+}
+
+let cpu_caps ?(vec_lanes = [ 4; 8; 16 ]) ?(max_unroll = 16) () =
+  {
+    vec_lanes;
+    max_unroll;
+    can_parallelize = true;
+    gpu = false;
+    max_block = 0;
+    snitch = false;
+    max_stack_bytes = 1 lsl 20;
+    split_factors = [ 2; 4; 8; 16; 32; 64 ];
+    reduction_split = [ 4; 8 ];
+  }
+
+let gpu_caps ?(max_block = 1024) () =
+  {
+    vec_lanes = [ 4; 2 ]; (* 128/64-bit vector loads per thread *)
+    max_unroll = 8;
+    can_parallelize = false;
+    gpu = true;
+    max_block;
+    snitch = false;
+    max_stack_bytes = 1 lsl 16;
+    split_factors = [ 2; 4; 8; 16; 32; 64; 128; 256 ];
+    reduction_split = [];
+  }
+
+let snitch_caps () =
+  {
+    vec_lanes = [];
+    max_unroll = 8;
+    can_parallelize = false;
+    gpu = false;
+    max_block = 0;
+    snitch = true;
+    max_stack_bytes = 1 lsl 17;
+    split_factors = [ 2; 4; 8 ];
+    reduction_split = [ 4 ];
+  }
+
+let path_str p = "[" ^ String.concat "," (List.map string_of_int p) ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* split_scope (tiling)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Splitting the scope at [p] (depth [d], size [n = f * m]) into an outer
+   scope of [m] and inner scope of [f].  The old iterator {d} becomes
+   f*{d} + {d+1}; deeper references shift by one. *)
+let apply_split p depth factor prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope sc when sc.size mod factor = 0 && sc.guard = None ->
+          let remap (i : index) =
+            Ir.Index.subst
+              (fun d ->
+                if d = depth then
+                  Ir.Index.add
+                    (Ir.Index.iter ~coeff:factor depth)
+                    (Ir.Index.iter (depth + 1))
+                else if d > depth then Ir.Index.iter (d + 1)
+                else Ir.Index.iter d)
+              i
+          in
+          let body = List.map (Ir.Prog.node_map_index remap) sc.body in
+          [
+            Scope
+              {
+                sc with
+                size = sc.size / factor;
+                body = [ Scope { size = factor; annot = Seq; ssr = false;
+                                 guard = None; body } ];
+              };
+          ]
+      | _ -> invalid_arg "split_scope: not applicable")
+
+let find_split (caps : caps) (prog : Ir.Prog.t) : instance list =
+  Ir.Prog.fold_nodes
+    (fun acc p node ->
+      match node with
+      | Scope sc when sc.guard = None && sc.annot = Seq ->
+          let depth = Ir.Prog.depth_of_path prog p in
+          List.fold_left
+            (fun acc f ->
+              if f > 1 && f < sc.size && sc.size mod f = 0 then
+                {
+                  xname = "split_scope";
+                  target = Printf.sprintf "%s factor %d" (path_str p) f;
+                  apply = apply_split p depth f;
+                }
+                :: acc
+              else acc)
+            acc caps.split_factors
+      | _ -> acc)
+    [] prog
+
+(* ------------------------------------------------------------------ *)
+(* join_scopes (loop fusion)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fuses the scope at [p] with the sibling scope that immediately follows
+   it (as in Figure 5). *)
+let apply_join p prog =
+  let parent = match p with [] -> invalid_arg "join" | _ ->
+    List.filteri (fun i _ -> i < List.length p - 1) p
+  in
+  let i = List.nth p (List.length p - 1) in
+  let splice nodes =
+    match (List.nth_opt nodes i, List.nth_opt nodes (i + 1)) with
+    | Some (Scope s1), Some (Scope s2)
+      when s1.size = s2.size && s1.annot = Seq && s2.annot = Seq
+           && s1.guard = None && s2.guard = None ->
+        List.concat
+          (List.mapi
+             (fun j n ->
+               if j = i then [ Scope { s1 with body = s1.body @ s2.body } ]
+               else if j = i + 1 then []
+               else [ n ])
+             nodes)
+    | _ -> invalid_arg "join_scopes: not applicable"
+  in
+  if parent = [] then { prog with body = splice prog.body }
+  else
+    Ir.Prog.rewrite_at prog parent (fun node ->
+        match node with
+        | Scope sc -> [ Scope { sc with body = splice sc.body } ]
+        | Stmt _ -> invalid_arg "join_scopes: bad parent")
+
+let find_join (prog : Ir.Prog.t) : instance list =
+  let candidates parent_path nodes depth =
+    let rec go i acc = function
+      | Scope s1 :: (Scope s2 :: _ as rest)
+        when s1.size = s2.size && s1.annot = Seq && s2.annot = Seq
+             && s1.guard = None && s2.guard = None
+             && Dep.fusion_safe prog ~depth s1.body s2.body ->
+          let p = parent_path @ [ i ] in
+          go (i + 1)
+            ({
+               xname = "join_scopes";
+               target = path_str p;
+               apply = apply_join p;
+             }
+            :: acc)
+            rest
+      | _ :: rest -> go (i + 1) acc rest
+      | [] -> acc
+    in
+    go 0 [] nodes
+  in
+  let acc = ref (candidates [] prog.body 0) in
+  Ir.Prog.iter_nodes
+    (fun p node ->
+      match node with
+      | Scope sc ->
+          let depth = Ir.Prog.depth_of_path prog p + 1 in
+          acc := candidates p sc.body depth @ !acc
+      | Stmt _ -> ())
+    prog;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* fission (loop distribution)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let apply_fission p k prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope sc when k > 0 && k < List.length sc.body ->
+          let part1 = List.filteri (fun j _ -> j < k) sc.body in
+          let part2 = List.filteri (fun j _ -> j >= k) sc.body in
+          [ Scope { sc with body = part1 }; Scope { sc with body = part2 } ]
+      | _ -> invalid_arg "fission: not applicable")
+
+let find_fission (prog : Ir.Prog.t) : instance list =
+  Ir.Prog.fold_nodes
+    (fun acc p node ->
+      match node with
+      | Scope sc
+        when sc.annot = Seq && sc.guard = None && List.length sc.body > 1 ->
+          let depth = Ir.Prog.depth_of_path prog p in
+          let n = List.length sc.body in
+          let rec go k acc =
+            if k >= n then acc
+            else
+              let part1 = List.filteri (fun j _ -> j < k) sc.body in
+              let part2 = List.filteri (fun j _ -> j >= k) sc.body in
+              if Dep.fission_safe prog ~depth part1 part2 then
+                go (k + 1)
+                  ({
+                     xname = "fission";
+                     target = Printf.sprintf "%s at %d" (path_str p) k;
+                     apply = apply_fission p k;
+                   }
+                  :: acc)
+              else go (k + 1) acc
+          in
+          go 1 acc
+      | _ -> acc)
+    [] prog
+
+(* ------------------------------------------------------------------ *)
+(* interchange                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Swap the scope at [p] with its sole child scope. *)
+let apply_interchange p depth prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope outer -> (
+          match outer.body with
+          | [ Scope inner ] when outer.guard = None && inner.guard = None ->
+              let swap (i : index) =
+                Ir.Index.subst
+                  (fun d ->
+                    if d = depth then Ir.Index.iter (depth + 1)
+                    else if d = depth + 1 then Ir.Index.iter depth
+                    else Ir.Index.iter d)
+                  i
+              in
+              let body = List.map (Ir.Prog.node_map_index swap) inner.body in
+              [
+                Scope
+                  {
+                    inner with
+                    body = [ Scope { outer with body } ];
+                  };
+              ]
+          | _ -> invalid_arg "interchange: not applicable")
+      | Stmt _ -> invalid_arg "interchange: not applicable")
+
+let find_interchange (prog : Ir.Prog.t) : instance list =
+  Ir.Prog.fold_nodes
+    (fun acc p node ->
+      match node with
+      | Scope outer -> (
+          match outer.body with
+          | [ Scope inner ]
+            when outer.annot = Seq && inner.annot = Seq && outer.guard = None
+                 && inner.guard = None ->
+              let depth = Ir.Prog.depth_of_path prog p in
+              if Dep.interchange_safe prog ~depth inner.body then
+                {
+                  xname = "interchange";
+                  target = path_str p;
+                  apply = apply_interchange p depth;
+                }
+                :: acc
+              else acc
+          | _ -> acc)
+      | Stmt _ -> acc)
+    [] prog
+
+(* ------------------------------------------------------------------ *)
+(* reorder (swap adjacent siblings)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let apply_reorder parent i prog =
+  let swap nodes =
+    if i + 1 >= List.length nodes then invalid_arg "reorder: out of range";
+    List.mapi
+      (fun j n ->
+        if j = i then List.nth nodes (i + 1)
+        else if j = i + 1 then List.nth nodes i
+        else n)
+      nodes
+  in
+  if parent = [] then { prog with body = swap prog.body }
+  else
+    Ir.Prog.rewrite_at prog parent (fun node ->
+        match node with
+        | Scope sc -> [ Scope { sc with body = swap sc.body } ]
+        | Stmt _ -> invalid_arg "reorder: bad parent")
+
+let find_reorder (prog : Ir.Prog.t) : instance list =
+  let candidates parent_path nodes =
+    let arr = Array.of_list nodes in
+    let acc = ref [] in
+    for i = 0 to Array.length arr - 2 do
+      if Dep.nodes_independent prog arr.(i) arr.(i + 1) then
+        acc :=
+          {
+            xname = "reorder";
+            target = path_str (parent_path @ [ i ]);
+            apply = apply_reorder parent_path i;
+          }
+          :: !acc
+    done;
+    !acc
+  in
+  let acc = ref (candidates [] prog.body) in
+  Ir.Prog.iter_nodes
+    (fun p node ->
+      match node with
+      | Scope sc -> acc := candidates p sc.body @ !acc
+      | Stmt _ -> ())
+    prog;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Annotation transformations: unroll / vectorize / parallelize / gpu  *)
+(* ------------------------------------------------------------------ *)
+
+let set_annot p annot prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope sc -> [ Scope { sc with annot } ]
+      | Stmt _ -> invalid_arg "set_annot: not a scope")
+
+(* Total code replication an unroll would cause: the scope's own trip
+   count times that of every unrolled scope above and below it.  Bounding
+   it keeps unrolling realistic (instruction-cache pressure). *)
+let unroll_replication (prog : Ir.Prog.t) (p : Ir.Types.path) (sc : scope) :
+    int =
+  let enclosing =
+    let rec go nodes path acc =
+      match path with
+      | [] | [ _ ] -> acc
+      | i :: rest -> (
+          match List.nth_opt nodes i with
+          | Some (Scope s) ->
+              go s.body rest (if s.annot = Unroll then acc * s.size else acc)
+          | _ -> acc)
+    in
+    go prog.body p 1
+  in
+  let rec below nodes =
+    List.fold_left
+      (fun acc n ->
+        match n with
+        | Scope s -> max acc (if s.annot = Unroll then s.size * below s.body
+                              else below s.body)
+        | Stmt _ -> acc)
+      1 nodes
+  in
+  enclosing * sc.size * below sc.body
+
+let find_unroll (caps : caps) (prog : Ir.Prog.t) : instance list =
+  Ir.Prog.fold_nodes
+    (fun acc p node ->
+      match node with
+      | Scope sc
+        when sc.annot = Seq && sc.guard = None && sc.size <= caps.max_unroll
+             && unroll_replication prog p sc <= 4 * caps.max_unroll ->
+          {
+            xname = "unroll";
+            target = path_str p;
+            apply = set_annot p Unroll;
+          }
+          :: acc
+      | _ -> acc)
+    [] prog
+
+(* Vectorization applies to an innermost scope whose trip count equals the
+   vector width and which wraps a single statement whose accesses are
+   either invariant in the loop or contiguous: the iterator appears with
+   coefficient 1 and only in the last index dimension (unit stride, since
+   the last storage dimension is contiguous).  This mirrors the paper's
+   explicit tile-then-vectorize discipline. *)
+let vectorizable_stmt (prog : Ir.Prog.t) ~depth (s : stmt) : bool =
+  let access_ok (a : access) =
+    let b = Ir.Prog.buffer_of_array prog a.array in
+    let n = List.length a.idx in
+    let ok = ref true in
+    List.iteri
+      (fun dim i ->
+        let c = Ir.Index.coeff_of depth i in
+        if c <> 0 then begin
+          if dim <> n - 1 || c <> 1 then ok := false;
+          (* reused last dimension has stride 0, not contiguous *)
+          if List.nth b.reuse dim then ok := false
+        end)
+      a.idx;
+    !ok
+  in
+  let iterval_free =
+    (* no "index as value" of the vector lane (no iota vectors) *)
+    let rec go = function
+      | IterVal i -> not (Ir.Index.depends_on depth i)
+      | Ref _ | Const _ -> true
+      | Bin (_, e1, e2) -> go e1 && go e2
+      | Un (_, e) -> go e
+    in
+    go s.rhs
+  in
+  (* destination must be contiguous in the vector lane (no scalar dst) *)
+  let dst_vectorized =
+    List.exists (fun i -> Ir.Index.depends_on depth i) s.dst.idx
+  in
+  iterval_free && dst_vectorized && access_ok s.dst
+  && List.for_all access_ok (Ir.Prog.expr_refs s.rhs)
+
+let find_vectorize (caps : caps) (prog : Ir.Prog.t) : instance list =
+  if caps.vec_lanes = [] then []
+  else
+    Ir.Prog.fold_nodes
+      (fun acc p node ->
+        match node with
+        | Scope sc
+          when sc.annot = Seq && sc.guard = None
+               && List.mem sc.size caps.vec_lanes -> (
+            match sc.body with
+            | [ Stmt s ] ->
+                let depth = Ir.Prog.depth_of_path prog p in
+                if vectorizable_stmt prog ~depth s then
+                  {
+                    xname = "vectorize";
+                    target = path_str p;
+                    apply = set_annot p Vec;
+                  }
+                  :: acc
+                else acc
+            | _ -> acc)
+        | _ -> acc)
+      [] prog
+
+(* No enclosing parallel/GPU scope (simple nesting discipline). *)
+let enclosing_annots (prog : Ir.Prog.t) (p : Ir.Types.path) : annot list =
+  let rec go nodes path acc =
+    match path with
+    | [] | [ _ ] -> acc
+    | i :: rest -> (
+        match List.nth_opt nodes i with
+        | Some (Scope s) -> go s.body rest (s.annot :: acc)
+        | _ -> acc)
+  in
+  go prog.body p []
+
+let find_parallelize (caps : caps) (prog : Ir.Prog.t) : instance list =
+  if not caps.can_parallelize then []
+  else
+    Ir.Prog.fold_nodes
+      (fun acc p node ->
+        match node with
+        | Scope sc when sc.annot = Seq && sc.guard = None ->
+            let depth = Ir.Prog.depth_of_path prog p in
+            let enclosing = enclosing_annots prog p in
+            if
+              (not (List.mem Par enclosing))
+              && Dep.parallel_safe prog ~depth sc.body
+            then
+              {
+                xname = "parallelize";
+                target = path_str p;
+                apply = set_annot p Par;
+              }
+              :: acc
+            else acc
+        | _ -> acc)
+      [] prog
+
+(* GPU mapping discipline: grid outermost, block under grid, warp under
+   block; each scope mapped at most once; all require iteration
+   independence. *)
+let find_gpu_map (caps : caps) (prog : Ir.Prog.t) : instance list =
+  if not caps.gpu then []
+  else
+    Ir.Prog.fold_nodes
+      (fun acc p node ->
+        match node with
+        | Scope sc when sc.annot = Seq ->
+            let depth = Ir.Prog.depth_of_path prog p in
+            let enclosing = enclosing_annots prog p in
+            let has a = List.mem a enclosing in
+            (* a scope whose subtree already contains a GPU mapping must
+               not be mapped itself (blocks don't nest around blocks) *)
+            let subtree_mapped =
+              let rec go nodes =
+                List.exists
+                  (function
+                    | Scope s ->
+                        s.annot = GpuGrid || s.annot = GpuBlock || go s.body
+                    | Stmt _ -> false)
+                  nodes
+              in
+              go sc.body
+            in
+            let mk annot label =
+              {
+                xname = "gpu_map";
+                target = Printf.sprintf "%s %s" (path_str p) label;
+                apply = set_annot p annot;
+              }
+            in
+            (* grid: iterations must be fully independent (blocks cannot
+               cooperate); block: a commutative reduction is allowed —
+               thread blocks reduce cooperatively *)
+            let acc =
+              if
+                (not subtree_mapped)
+                && (not (has GpuGrid))
+                && (not (has GpuBlock))
+                && Dep.parallel_safe prog ~depth sc.body
+              then mk GpuGrid "grid" :: acc
+              else acc
+            in
+            let acc =
+              if
+                (not subtree_mapped)
+                && has GpuGrid
+                && (not (has GpuBlock))
+                && sc.size <= caps.max_block
+                && Dep.parallel_reduction_safe prog ~depth sc.body
+              then mk GpuBlock "block" :: acc
+              else acc
+            in
+            (* warp lanes: a small loop inside a block executes across
+               the lanes of one warp (cooperative reductions allowed) *)
+            let acc =
+              if
+                (not subtree_mapped)
+                && has GpuBlock
+                && (not (has GpuWarp))
+                && sc.size >= 2 && sc.size <= 64
+                && Dep.parallel_reduction_safe prog ~depth sc.body
+              then mk GpuWarp "warp" :: acc
+              else acc
+            in
+            acc
+        | _ -> acc)
+      [] prog
+
+(* ------------------------------------------------------------------ *)
+(* unannotate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Revert a scope's execution annotation (and SSR streaming) to plain
+   sequential execution.  Trivially semantics-preserving; it makes the
+   annotation space fully explorable for searches working forward in the
+   transformation graph (a misplaced mapping can be moved without
+   rewinding history). *)
+let apply_unannotate p prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope sc -> [ Scope { sc with annot = Seq; ssr = false } ]
+      | Stmt _ -> invalid_arg "unannotate: not a scope")
+
+let find_unannotate (prog : Ir.Prog.t) : instance list =
+  Ir.Prog.fold_nodes
+    (fun acc p node ->
+      match node with
+      | Scope sc when sc.annot <> Seq || sc.ssr ->
+          {
+            xname = "unannotate";
+            target = path_str p;
+            apply = apply_unannotate p;
+          }
+          :: acc
+      | _ -> acc)
+    [] prog
+
+(* ------------------------------------------------------------------ *)
+(* pad_scope                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pads the trip count up to the next multiple of [m]; the extra
+   iterations are masked (guard), so semantics are trivially preserved.
+   On GPU models the cost of the padded iterations is still paid, which
+   is exactly the batchnorm trade-off discussed in §4.3. *)
+let apply_pad p m prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope sc when sc.guard = None && sc.size mod m <> 0 ->
+          let padded = (sc.size + m - 1) / m * m in
+          [ Scope { sc with size = padded; guard = Some sc.size } ]
+      | _ -> invalid_arg "pad_scope: not applicable")
+
+let find_pad (caps : caps) (prog : Ir.Prog.t) : instance list =
+  let multiples =
+    if caps.gpu then [ 32; 64 ]
+    else if caps.vec_lanes <> [] then caps.vec_lanes
+    else [ 4 ]
+  in
+  Ir.Prog.fold_nodes
+    (fun acc p node ->
+      match node with
+      | Scope sc
+        when (sc.annot = Seq || sc.annot = GpuBlock || sc.annot = GpuWarp)
+             && sc.guard = None ->
+          List.fold_left
+            (fun acc m ->
+              if sc.size mod m <> 0 && m > 1 then
+                {
+                  xname = "pad_scope";
+                  target = Printf.sprintf "%s to multiple of %d" (path_str p) m;
+                  apply = apply_pad p m;
+                }
+                :: acc
+              else acc)
+            acc multiples
+      | _ -> acc)
+    [] prog
+
+(* ------------------------------------------------------------------ *)
+(* reuse_dims                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let apply_reuse bname dim prog =
+  let b = Ir.Prog.buffer_by_name prog bname in
+  let reuse = List.mapi (fun i r -> if i = dim then true else r) b.reuse in
+  Ir.Prog.replace_buffer prog { b with reuse }
+
+let find_reuse_dims (prog : Ir.Prog.t) : instance list =
+  List.concat_map
+    (fun b ->
+      List.concat
+        (List.mapi
+           (fun dim _ ->
+             if Dep.reuse_safe prog b ~dim then
+               [
+                 {
+                   xname = "reuse_dims";
+                   target = Printf.sprintf "%s dim %d" b.bname dim;
+                   apply = apply_reuse b.bname dim;
+                 };
+               ]
+             else [])
+           b.shape))
+    prog.buffers
+
+(* ------------------------------------------------------------------ *)
+(* set_storage                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let apply_storage bname loc prog =
+  let b = Ir.Prog.buffer_by_name prog bname in
+  Ir.Prog.replace_buffer prog { b with loc }
+
+let find_set_storage (caps : caps) (prog : Ir.Prog.t) : instance list =
+  let is_io b =
+    List.exists
+      (fun a -> List.mem a prog.inputs || List.mem a prog.outputs)
+      b.arrays
+  in
+  List.concat_map
+    (fun b ->
+      if is_io b then []
+      else begin
+        let bytes = Ir.Prog.buffer_bytes b in
+        let options =
+          (if b.loc <> Stack && bytes <= caps.max_stack_bytes then [ Stack ]
+           else [])
+          @ (if b.loc <> Heap then [ Heap ] else [])
+          @ (if caps.gpu && b.loc <> Shared && bytes <= 48 * 1024 then
+               [ Shared ]
+             else [])
+          @
+          if b.loc <> Register && bytes <= 256 then [ Register ] else []
+        in
+        List.map
+          (fun loc ->
+            {
+              xname = "set_storage";
+              target = Printf.sprintf "%s -> %s" b.bname (location_name loc);
+              apply = apply_storage b.bname loc;
+            })
+          options
+      end)
+    prog.buffers
+
+(* ------------------------------------------------------------------ *)
+(* reorder_buffer_dims (layout transposition)                          *)
+(* ------------------------------------------------------------------ *)
+
+let apply_reorder_dims bname perm prog =
+  let b = Ir.Prog.buffer_by_name prog bname in
+  let permute l = List.map (List.nth l) perm in
+  let prog =
+    Ir.Prog.replace_buffer prog
+      { b with shape = permute b.shape; reuse = permute b.reuse }
+  in
+  let fix_access (a : access) =
+    if List.mem a.array b.arrays then { a with idx = permute a.idx } else a
+  in
+  {
+    prog with
+    body =
+      List.map
+        (fun n ->
+          let rec fix = function
+            | Stmt s ->
+                Stmt
+                  {
+                    dst = fix_access s.dst;
+                    rhs = Ir.Prog.expr_map_access fix_access s.rhs;
+                  }
+            | Scope sc -> Scope { sc with body = List.map fix sc.body }
+          in
+          fix n)
+        prog.body;
+  }
+
+let find_reorder_dims (prog : Ir.Prog.t) : instance list =
+  let is_io b =
+    List.exists
+      (fun a -> List.mem a prog.inputs || List.mem a prog.outputs)
+      b.arrays
+  in
+  List.concat_map
+    (fun b ->
+      let n = List.length b.shape in
+      if is_io b || n < 2 then []
+      else begin
+        (* adjacent-dimension swaps keep the move atomic *)
+        let rec swaps i acc =
+          if i >= n - 1 then acc
+          else
+            let perm = List.init n (fun j ->
+                if j = i then i + 1 else if j = i + 1 then i else j)
+            in
+            swaps (i + 1)
+              ({
+                 xname = "reorder_buffer_dims";
+                 target = Printf.sprintf "%s swap %d,%d" b.bname i (i + 1);
+                 apply = apply_reorder_dims b.bname perm;
+               }
+              :: acc)
+        in
+        swaps 0 []
+      end)
+    prog.buffers
+
+(* ------------------------------------------------------------------ *)
+(* Snitch: SSR and FREP                                                *)
+(* ------------------------------------------------------------------ *)
+
+let set_ssr p v prog =
+  Ir.Prog.rewrite_at prog p (fun node ->
+      match node with
+      | Scope sc -> [ Scope { sc with ssr = v } ]
+      | Stmt _ -> invalid_arg "ssr: not a scope")
+
+(* SSR streams at most three iterating operand sequences through stream
+   semantic registers; all accesses in the loop body must be affine
+   (guaranteed by the IR) and the body must be straight-line code.
+   Scalar operands (constant indices) live in ordinary registers and do
+   not consume a stream.  A loop already inside a streamed region is not
+   offered (the streams are configured once, at the outermost level).
+   Instances are returned outermost-first so exhaustive passes prefer
+   amortizing the stream setup over the largest trip count. *)
+let find_ssr (caps : caps) (prog : Ir.Prog.t) : instance list =
+  if not caps.snitch then []
+  else
+    let has_ssr_ancestor p =
+      let rec go nodes = function
+        | [] | [ _ ] -> false
+        | i :: rest -> (
+            match List.nth_opt nodes i with
+            | Some (Scope s) -> s.ssr || go s.body rest
+            | _ -> false)
+      in
+      go prog.body p
+    in
+    let insts =
+      Ir.Prog.fold_nodes
+        (fun acc p node ->
+          match node with
+          | Scope sc
+            when (not sc.ssr) && sc.guard = None && not (has_ssr_ancestor p)
+            ->
+              (* the streamed loop body must be straight-line code: plain
+                 statements, possibly through fully unrolled sub-scopes *)
+              let rec straightline nodes =
+                List.for_all
+                  (function
+                    | Stmt _ -> true
+                    | Scope s -> s.annot = Unroll && straightline s.body)
+                  nodes
+              in
+              let streamed_arrays =
+                List.sort_uniq compare
+                  (List.concat_map
+                     (fun n ->
+                       List.filter_map
+                         (fun ((_ : Ir.Prog.access_kind), (a : access)) ->
+                           if
+                             List.exists
+                               (fun i -> not (Ir.Index.is_const i))
+                               a.idx
+                           then Some a.array
+                           else None)
+                         (Ir.Prog.node_accesses n))
+                     sc.body)
+              in
+              if straightline sc.body && List.length streamed_arrays <= 3 then
+                {
+                  xname = "enable_ssr";
+                  target = path_str p;
+                  apply = set_ssr p true;
+                }
+                :: acc
+              else acc
+          | _ -> acc)
+        [] prog
+    in
+    (* fold_nodes visits outer scopes first and prepends: reverse to get
+       outermost-first *)
+    List.rev insts
+
+(* FREP repeats the floating-point instruction block in hardware;
+   requires the loop's memory traffic to flow through SSRs. *)
+let find_frep (caps : caps) (prog : Ir.Prog.t) : instance list =
+  if not caps.snitch then []
+  else
+    Ir.Prog.fold_nodes
+      (fun acc p node ->
+        match node with
+        | Scope sc when sc.annot = Seq && sc.ssr && sc.guard = None ->
+            {
+              xname = "enable_frep";
+              target = path_str p;
+              apply = set_annot p Frep;
+            }
+            :: acc
+        | _ -> acc)
+      [] prog
+
+(* ------------------------------------------------------------------ *)
+(* split_reduction (partial accumulators)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A reduction carried by a loop,  S: for i < N { z[I] = z[I] op e },
+   serializes on the FP pipeline because every iteration reads the
+   previous one's result.  split_reduction introduces [k] partial
+   accumulators:
+
+     for j < k         { part[j] = identity(op) }
+     for i' < N/k
+       for j < k       { part[j] = part[j] op e[i := k*i' + j] }
+     for j < k         { z[I] = z[I] op part[j] }
+
+   which is semantics-preserving up to the floating-point reassociation
+   inherent to any reduction reordering (validated numerically with
+   tolerance, like interchange of reduction loops). *)
+
+let identity_of = function
+  | Add -> 0.0
+  | Mul -> 1.0
+  | Max -> Float.neg_infinity
+  | Min -> Float.infinity
+  | Sub | Div -> invalid_arg "identity_of: not commutative"
+
+let fresh_buffer_name (prog : Ir.Prog.t) base =
+  let taken name =
+    List.exists
+      (fun (b : buffer) -> b.bname = name || List.mem name b.arrays)
+      prog.buffers
+  in
+  let rec go i =
+    let cand = Printf.sprintf "%s__part%s" base
+        (if i = 0 then "" else string_of_int i)
+    in
+    if taken cand then go (i + 1) else cand
+  in
+  go 0
+
+let apply_split_reduction p depth k prog =
+  match Ir.Prog.node_at prog p with
+  | Scope sc when sc.size mod k = 0 && sc.guard = None -> (
+      match sc.body with
+      | [ Stmt s ] -> (
+          let decompose = function
+            | Bin (op, Ref a, e)
+              when a.array = s.dst.array
+                   && List.for_all2 Ir.Index.equal a.idx s.dst.idx ->
+                Some (op, a, e)
+            | Bin (op, e, Ref a)
+              when a.array = s.dst.array
+                   && List.for_all2 Ir.Index.equal a.idx s.dst.idx ->
+                Some (op, a, e)
+            | _ -> None
+          in
+          match decompose s.rhs with
+          | Some (op, a, e) -> (
+              let dstbuf = Ir.Prog.buffer_of_array prog s.dst.array in
+              let pname = fresh_buffer_name prog s.dst.array in
+              let part =
+                Ir.Types.buffer ~loc:Stack pname dstbuf.dtype [ k ]
+              in
+              (* main nest: old {depth} -> k*{depth} + {depth+1}; deeper
+                 refs cannot occur (single-stmt innermost loop may still
+                 have deeper refs if e used only shallower ones) *)
+              let remap (i : index) =
+                Ir.Index.subst
+                  (fun d ->
+                    if d = depth then
+                      Ir.Index.add
+                        (Ir.Index.iter ~coeff:k depth)
+                        (Ir.Index.iter (depth + 1))
+                    else if d > depth then Ir.Index.iter (d + 1)
+                    else Ir.Index.iter d)
+                  i
+              in
+              let e' = Ir.Prog.expr_map_index remap e in
+              let part_acc j : access =
+                { array = pname; idx = [ Ir.Index.iter j ] }
+              in
+              let init =
+                Scope
+                  {
+                    size = k; annot = Seq; ssr = false; guard = None;
+                    body =
+                      [ Stmt { dst = part_acc depth;
+                               rhs = Const (identity_of op) } ];
+                  }
+              in
+              let main =
+                Scope
+                  {
+                    sc with
+                    size = sc.size / k;
+                    body =
+                      [
+                        Scope
+                          {
+                            size = k; annot = Seq; ssr = false; guard = None;
+                            body =
+                              [
+                                Stmt
+                                  {
+                                    dst = part_acc (depth + 1);
+                                    rhs =
+                                      Bin (op, Ref (part_acc (depth + 1)), e');
+                                  };
+                              ];
+                          };
+                      ];
+                  }
+              in
+              let combine =
+                Scope
+                  {
+                    size = k; annot = Seq; ssr = false; guard = None;
+                    body =
+                      [
+                        Stmt
+                          {
+                            dst = s.dst;
+                            rhs = Bin (op, Ref { a with idx = s.dst.idx },
+                                       Ref (part_acc depth));
+                          };
+                      ];
+                  }
+              in
+              let prog =
+                { prog with buffers = prog.buffers @ [ part ] }
+              in
+              Ir.Prog.rewrite_at prog p (fun _ -> [ init; main; combine ]))
+          | None -> invalid_arg "split_reduction: not a commutative reduction")
+      | _ -> invalid_arg "split_reduction: body must be a single statement")
+  | _ -> invalid_arg "split_reduction: not applicable"
+
+let find_split_reduction (caps : caps) (prog : Ir.Prog.t) : instance list =
+  if caps.reduction_split = [] then []
+  else
+    Ir.Prog.fold_nodes
+      (fun acc p node ->
+        match node with
+        | Scope sc when sc.annot = Seq && sc.guard = None -> (
+            match sc.body with
+            | [ Stmt s ] -> (
+                let depth = Ir.Prog.depth_of_path prog p in
+                let is_acc (a : access) =
+                  a.array = s.dst.array
+                  && List.length a.idx = List.length s.dst.idx
+                  && List.for_all2 Ir.Index.equal a.idx s.dst.idx
+                in
+                let candidate =
+                  match s.rhs with
+                  | Bin ((Add | Mul | Max | Min), Ref a, e) when is_acc a ->
+                      Some e
+                  | Bin ((Add | Mul | Max | Min), e, Ref a) when is_acc a ->
+                      Some e
+                  | _ -> None
+                in
+                match candidate with
+                | Some e
+                  when (not
+                          (List.exists
+                             (fun i -> Ir.Index.depends_on depth i)
+                             s.dst.idx))
+                       && not
+                            (List.exists
+                               (fun (r : access) -> r.array = s.dst.array)
+                               (Ir.Prog.expr_refs e)) ->
+                    List.fold_left
+                      (fun acc k ->
+                        if sc.size mod k = 0 && sc.size > k then
+                          {
+                            xname = "split_reduction";
+                            target =
+                              Printf.sprintf "%s into %d" (path_str p) k;
+                            apply = apply_split_reduction p depth k;
+                          }
+                          :: acc
+                        else acc)
+                      acc caps.reduction_split
+                | Some _ | None -> acc)
+            | _ -> acc)
+        | _ -> acc)
+      [] prog
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let all (caps : caps) (prog : Ir.Prog.t) : instance list =
+  List.concat
+    [
+      find_split caps prog;
+      find_join prog;
+      find_fission prog;
+      find_interchange prog;
+      find_reorder prog;
+      find_unroll caps prog;
+      find_vectorize caps prog;
+      find_parallelize caps prog;
+      find_gpu_map caps prog;
+      find_pad caps prog;
+      find_unannotate prog;
+      find_reuse_dims prog;
+      find_set_storage caps prog;
+      find_reorder_dims prog;
+      find_split_reduction caps prog;
+      find_ssr caps prog;
+      find_frep caps prog;
+    ]

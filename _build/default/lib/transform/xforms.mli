@@ -1,0 +1,128 @@
+(** The atomic transformation library (§2.2).
+
+    Each transformation ships with applicability discovery: the [find_*]
+    functions enumerate every program location where the move is provably
+    semantics-preserving (using the analyses in {!Dep}) and return
+    ready-to-apply {!instance}s.  Applying an instance needs no further
+    checks.  Programs are immutable, so histories are naturally
+    non-destructive. *)
+
+type instance = {
+  xname : string;  (** transformation name, e.g. ["split_scope"] *)
+  target : string;  (** human-readable location / parameters *)
+  apply : Ir.Prog.t -> Ir.Prog.t;
+      (** total within applicability; raises [Invalid_argument] if the
+          location no longer matches *)
+}
+
+val describe : instance -> string
+(** ["name(target)"] — stable identifier used to record and replay move
+    sequences. *)
+
+(** Hardware capabilities gate which transformations are offered: the
+    paper's "hardware knowledge exposed to the search only as a library
+    of transformations". *)
+type caps = {
+  vec_lanes : int list;  (** permitted vector widths; [[]] = no SIMD *)
+  max_unroll : int;
+  can_parallelize : bool;
+  gpu : bool;
+  max_block : int;  (** max threads per GPU block *)
+  snitch : bool;  (** SSR / FREP extensions available *)
+  max_stack_bytes : int;
+  split_factors : int list;
+  reduction_split : int list;
+      (** partial-accumulator counts offered by split_reduction *)
+}
+
+val cpu_caps : ?vec_lanes:int list -> ?max_unroll:int -> unit -> caps
+val gpu_caps : ?max_block:int -> unit -> caps
+val snitch_caps : unit -> caps
+
+val all : caps -> Ir.Prog.t -> instance list
+(** Every applicable instance of every transformation at the given
+    program state — the action set of the PerfDojo game. *)
+
+(** {1 Individual transformations}
+
+    Exposed for passes and tests; [all] is the usual entry point. *)
+
+val find_split : caps -> Ir.Prog.t -> instance list
+(** Tiling: scope of size [n = f*m] becomes nested [m]/[f] scopes;
+    [{d}] is rewritten to [f*{d} + {d+1}]. *)
+
+val apply_split : Ir.Types.path -> int -> int -> Ir.Prog.t -> Ir.Prog.t
+(** [apply_split path depth factor] — unchecked form used by passes. *)
+
+val find_join : Ir.Prog.t -> instance list
+(** Loop fusion of a scope with its immediately-following sibling
+    (equal sizes; zero-distance dependences only). *)
+
+val find_fission : Ir.Prog.t -> instance list
+(** Loop distribution at any body split point with zero-distance
+    dependences across the parts. *)
+
+val find_interchange : Ir.Prog.t -> instance list
+(** Swap a scope with its sole child scope (lockstep or commutative-
+    reduction dependences only). *)
+
+val find_reorder : Ir.Prog.t -> instance list
+(** Swap two independent adjacent siblings. *)
+
+val find_unroll : caps -> Ir.Prog.t -> instance list
+(** Mark a scope unrolled (bounded total code replication). *)
+
+val find_vectorize : caps -> Ir.Prog.t -> instance list
+(** Vectorize an innermost single-statement scope whose trip count
+    equals a permitted lane width and whose accesses are unit-stride or
+    invariant — the paper's explicit tile-then-vectorize discipline. *)
+
+val vectorizable_stmt : Ir.Prog.t -> depth:int -> Ir.Types.stmt -> bool
+
+val find_parallelize : caps -> Ir.Prog.t -> instance list
+(** CPU thread parallelism over iteration-independent scopes. *)
+
+val find_gpu_map : caps -> Ir.Prog.t -> instance list
+(** Map scopes to the GPU grid / block dimensions (grid outermost,
+    blocks inside a grid; blocks additionally allow commutative
+    reductions — cooperative block reduction). *)
+
+val find_pad : caps -> Ir.Prog.t -> instance list
+(** Pad a trip count up to a hardware multiple; the extra iterations are
+    masked by a guard. *)
+
+val find_unannotate : Ir.Prog.t -> instance list
+(** Revert a scope's annotation (and SSR flag) to sequential — the
+    inverse of the annotation moves, keeping the space explorable
+    forward. *)
+
+val find_reuse_dims : Ir.Prog.t -> instance list
+(** Collapse a buffer dimension to storage extent 1 when a single
+    sequential scope provably owns it (Figure 5). *)
+
+val find_set_storage : caps -> Ir.Prog.t -> instance list
+(** Move a non-interface buffer between heap / stack / shared /
+    register. *)
+
+val find_reorder_dims : Ir.Prog.t -> instance list
+(** Transpose the storage layout of a non-interface buffer (adjacent
+    dimension swaps). *)
+
+val find_split_reduction : caps -> Ir.Prog.t -> instance list
+(** Introduce [k] partial accumulators for a reduction carried by a
+    loop, breaking the FP-latency dependency chain (exact up to
+    floating-point reassociation). *)
+
+val find_ssr : caps -> Ir.Prog.t -> instance list
+(** Stream the memory accesses of a straight-line loop body through
+    Snitch stream semantic registers (at most 3 streams). *)
+
+val find_frep : caps -> Ir.Prog.t -> instance list
+(** Put an SSR-streamed loop under the Snitch FREP hardware loop. *)
+
+val unroll_replication : Ir.Prog.t -> Ir.Types.path -> Ir.Types.scope -> int
+
+val path_str : Ir.Types.path -> string
+val set_annot : Ir.Types.path -> Ir.Types.annot -> Ir.Prog.t -> Ir.Prog.t
+val apply_join : Ir.Types.path -> Ir.Prog.t -> Ir.Prog.t
+val enclosing_annots : Ir.Prog.t -> Ir.Types.path -> Ir.Types.annot list

@@ -1,0 +1,100 @@
+(* Deterministic, splittable pseudo-random number generator.
+
+   All stochastic components of the reproduction (search, RL, baseline
+   failure models, test-input generation) draw from this generator so that
+   every experiment is bit-reproducible.  The core is xoshiro256** by
+   Blackman and Vigna; state initialisation uses splitmix64 as they
+   recommend. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 (seed : int64 ref) : int64 =
+  let open Int64 in
+  seed := add !seed 0x9E3779B97F4A7C15L;
+  let z = !seed in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let s = ref (Int64.of_int seed) in
+  let s0 = splitmix64 s in
+  let s1 = splitmix64 s in
+  let s2 = splitmix64 s in
+  let s3 = splitmix64 s in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(* Split off an independent stream; mixes a fresh draw through splitmix64 so
+   child streams do not overlap with the parent in practice. *)
+let split t =
+  let s = ref (next_int64 t) in
+  let s0 = splitmix64 s in
+  let s1 = splitmix64 s in
+  let s2 = splitmix64 s in
+  let s3 = splitmix64 s in
+  { s0; s1; s2; s3 }
+
+(* Uniform float in [0, 1), using the top 53 bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value stays non-negative as a native int *)
+  let x = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  x mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Standard normal via Box-Muller. *)
+let normal t =
+  let u1 = max (float t) 1e-300 in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(* Sample an index proportionally to the given non-negative weights. *)
+let weighted_index t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then int t (Array.length weights)
+  else begin
+    let target = float t *. total in
+    let n = Array.length weights in
+    let rec go i acc =
+      if i >= n - 1 then n - 1
+      else
+        let acc = acc +. weights.(i) in
+        if target < acc then i else go (i + 1) acc
+    in
+    go 0 0.0
+  end

@@ -1,0 +1,45 @@
+(** Deterministic, splittable pseudo-random number generator
+    (xoshiro256{^**}).
+
+    Every stochastic component of the system — search, RL, baseline
+    failure models, test-input generation — draws from this generator, so
+    all experiments are bit-reproducible given their seeds. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] initializes a generator from an integer seed via
+    splitmix64. *)
+
+val split : t -> t
+(** [split t] derives an independent child stream, advancing [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val normal : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t w] samples an index with probability proportional
+    to the non-negative weights [w]; uniform if all weights are zero. *)

@@ -1,0 +1,53 @@
+(* Small statistics helpers used by benches and EXPERIMENTS.md generation. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+(* Geometric mean; all inputs must be positive. Used for the paper's
+   geometric-mean speedup summaries (Figs. 1b, 7, 8, 11, 13). *)
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_arr xs = Array.fold_left min infinity xs
+let max_arr xs = Array.fold_left max neg_infinity xs
+
+(* Quantile with linear interpolation, q in [0, 1]. *)
+let quantile q xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = pos -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile 0.5 xs

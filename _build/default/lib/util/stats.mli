@@ -1,0 +1,22 @@
+(** Statistics helpers used by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean ([nan] on empty input). *)
+
+val geomean : float array -> float
+(** Geometric mean; raises [Invalid_argument] on non-positive values.
+    Used for the paper's geometric-mean speedup summaries. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for fewer than two samples). *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_arr : float array -> float
+val max_arr : float array -> float
+
+val quantile : float -> float array -> float
+(** [quantile q xs] with linear interpolation, [q] in [\[0, 1\]]. *)
+
+val median : float array -> float

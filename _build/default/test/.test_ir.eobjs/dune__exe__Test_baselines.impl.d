@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Interp Ir Kernels List Machine Printf String Transform

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Ir Kernels List Machine Search String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Codegen Game Interp Ir Kernels List Machine Perfdojo Printf Rl Search

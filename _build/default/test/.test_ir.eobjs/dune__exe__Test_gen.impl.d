@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Codegen Float Interp Ir List Printf QCheck QCheck_alcotest String Transform Util

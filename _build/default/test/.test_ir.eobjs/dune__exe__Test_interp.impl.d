@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Float Hashtbl Interp Ir Kernels List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cpu_model Desc Float Gpu_model Ir Kernels List Machine Printf Search Snitch_sim Transform

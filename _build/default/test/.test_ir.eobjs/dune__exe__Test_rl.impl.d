@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Float Interp Kernels List Machine Printf Rl Search Transform Util

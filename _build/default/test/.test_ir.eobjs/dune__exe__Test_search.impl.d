@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Cpu_model Desc Interp Ir Kernels List Machine Printf Search Snitch_sim String Transform

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Engine Interp Ir Kernels List Machine Printf QCheck QCheck_alcotest Search String Transform Util Xforms

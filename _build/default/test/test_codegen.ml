@@ -1,0 +1,163 @@
+(* Tests for C code generation: structural properties of the emitted
+   code for each flavor (plain/OpenMP, CUDA, Snitch). *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let count_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if m = 0 then 0 else go 0 0
+
+let caps_cpu = Machine.caps (Machine.Desc.Cpu Machine.Desc.avx512_cpu)
+let caps_gpu = Machine.caps (Machine.Desc.Gpu Machine.Desc.gh200)
+let caps_sn = Machine.caps (Machine.Desc.Snitch Machine.Desc.snitch_cluster)
+
+let plain_tests =
+  [
+    Alcotest.test_case "naive softmax emits plain loops" `Quick (fun () ->
+        let c = Codegen.program (Kernels.softmax ~n:8 ~m:16) in
+        Alcotest.(check bool) "for loops" true (contains c "for (int i0");
+        Alcotest.(check bool) "expf" true (contains c "expf(");
+        Alcotest.(check bool) "fmaxf" true (contains c "fmaxf(");
+        Alcotest.(check bool) "malloc for heap" true (contains c "malloc(");
+        Alcotest.(check bool) "no pragmas yet" false (contains c "#pragma"));
+    Alcotest.test_case "parallel + simd pragmas appear" `Quick (fun () ->
+        let p = Search.Passes.cpu_heuristic caps_cpu (Kernels.add ~n:64 ~m:64)
+        in
+        let c = Codegen.program p in
+        Alcotest.(check bool) "omp parallel" true
+          (contains c "#pragma omp parallel for");
+        Alcotest.(check bool) "omp simd" true (contains c "#pragma omp simd"));
+    Alcotest.test_case "stack buffers become arrays" `Quick (fun () ->
+        let text =
+          "x f32 [8] heap\nt f32 [8] stack\nz f32 [8] heap\n"
+          ^ "inputs: x\noutputs: z\n8\n| t[{0}] = x[{0}] * 2\n"
+          ^ "| z[{0}] = t[{0}] + 1\n"
+        in
+        let c = Codegen.program (Ir.Parser.program text) in
+        Alcotest.(check bool) "stack decl" true
+          (contains c "float t[8];  /* stack */"));
+    Alcotest.test_case "reused dim collapses in flattening" `Quick (fun () ->
+        let text =
+          "x f32 [8] heap\nt f32 [8:N] heap\nz f32 [8] heap\n"
+          ^ "inputs: x\noutputs: z\n8\n| t[{0}] = x[{0}] * 2\n"
+          ^ "| z[{0}] = t[{0}] + 1\n"
+        in
+        let c = Codegen.program (Ir.Parser.program text) in
+        Alcotest.(check bool) "t uses slot 0" true (contains c "t[0]");
+        Alcotest.(check bool) "t storage is 1 elem" true
+          (contains c "t = malloc(1 "));
+    Alcotest.test_case "guards emit masks" `Quick (fun () ->
+        let text =
+          "x f32 [5] heap\nz f32 [5] heap\ninputs: x\noutputs: z\n"
+          ^ "8/5\n| z[{0}] = x[{0}] + 1\n"
+        in
+        let c = Codegen.program (Ir.Parser.program text) in
+        Alcotest.(check bool) "mask" true
+          (contains c "if (i0 >= 5) continue;"));
+    Alcotest.test_case "aliases become #define" `Quick (fun () ->
+        let text =
+          "t f32 [4] heap -> t1, t2\nz f32 [4] heap\ninputs: t1\noutputs: z\n"
+          ^ "4\n| z[{0}] = t2[{0}] + 1\n"
+        in
+        let c = Codegen.program (Ir.Parser.program text) in
+        Alcotest.(check bool) "alias t1" true (contains c "#define t1 t");
+        Alcotest.(check bool) "alias t2" true (contains c "#define t2 t"));
+  ]
+
+let cuda_tests =
+  [
+    Alcotest.test_case "grid scope becomes __global__ kernel" `Quick
+      (fun () ->
+        let p =
+          Search.Passes.gpu_heuristic caps_gpu (Kernels.add ~n:512 ~m:256)
+        in
+        let c = Codegen.program p in
+        Alcotest.(check bool) "__global__" true (contains c "__global__ void");
+        Alcotest.(check bool) "launch syntax" true (contains c "<<<");
+        Alcotest.(check bool) "blockIdx" true (contains c "blockIdx.x");
+        Alcotest.(check bool) "threadIdx" true (contains c "threadIdx.x"));
+    Alcotest.test_case "one kernel per grid scope" `Quick (fun () ->
+        let p =
+          Search.Passes.gpu_heuristic ~fuse:false caps_gpu
+            (Kernels.softmax ~n:256 ~m:128)
+        in
+        let c = Codegen.program p in
+        Alcotest.(check bool) "multiple kernels" true
+          (count_substring c "__global__" >= 1);
+        Alcotest.(check int) "launches match kernels"
+          (count_substring c "__global__")
+          (count_substring c "<<<"));
+    Alcotest.test_case "padded block emits early return" `Quick (fun () ->
+        let text =
+          "x f32 [64, 300] heap\nz f32 [64, 300] heap\n"
+          ^ "inputs: x\noutputs: z\n64:g\n| 320:b/300\n"
+          ^ "| | z[{0},{1}] = x[{0},{1}] * 2\n"
+        in
+        let c = Codegen.program (Ir.Parser.program text) in
+        Alcotest.(check bool) "mask" true
+          (contains c "if (i1 >= 300) return;"));
+  ]
+
+let snitch_tests =
+  [
+    Alcotest.test_case "ssr+frep emit snitch intrinsics" `Quick (fun () ->
+        let p = Search.Passes.greedy caps_sn (Kernels.scale ~n:256) in
+        let c = Codegen.program p in
+        Alcotest.(check bool) "snrt header" true (contains c "snrt.h");
+        Alcotest.(check bool) "ssr enable" true
+          (contains c "snrt_ssr_enable()");
+        Alcotest.(check bool) "frep" true (contains c "frep.o"));
+    Alcotest.test_case "unrolled tile keeps pragma form" `Quick (fun () ->
+        let p = Search.Passes.heuristic caps_sn (Kernels.gemv ~m:16 ~n:16) in
+        let c = Codegen.program p in
+        Alcotest.(check bool) "unroll pragma" true
+          (contains c "#pragma unroll"));
+  ]
+
+let all_kernels_emit =
+  [
+    Alcotest.test_case "every kernel generates non-empty C" `Quick (fun () ->
+        List.iter
+          (fun (e : Kernels.entry) ->
+            let c = Codegen.program (e.build_small ()) in
+            Alcotest.(check bool) (e.label ^ " nonempty") true
+              (String.length c > 100);
+            Alcotest.(check bool) (e.label ^ " has run()") true
+              (contains c "void run("))
+          (Kernels.table3 @ Kernels.snitch_micro));
+    Alcotest.test_case "balanced braces on optimized schedules" `Quick
+      (fun () ->
+        List.iter
+          (fun (e : Kernels.entry) ->
+            List.iter
+              (fun (caps, pass) ->
+                let p = pass caps (e.build_small ()) in
+                let c = Codegen.program p in
+                let opens = count_substring c "{"
+                and closes = count_substring c "}" in
+                (* index braces don't appear in C; only blocks *)
+                Alcotest.(check int) (e.label ^ " balanced") opens closes)
+              [
+                (caps_cpu, fun c p -> Search.Passes.cpu_heuristic c p);
+                (caps_sn, Search.Passes.heuristic);
+                (caps_gpu, fun c p -> Search.Passes.gpu_heuristic c p);
+              ])
+          Kernels.table3);
+  ]
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ("plain", plain_tests);
+      ("cuda", cuda_tests);
+      ("snitch", snitch_tests);
+      ("all-kernels", all_kernels_emit);
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the Perfdojo facade: the Game API and one-call optimize. *)
+
+open Perfdojo
+
+let target_cpu = Machine.Desc.Cpu Machine.Desc.avx512_cpu
+let target_snitch = Machine.Desc.Snitch Machine.Desc.snitch_cluster
+let target_gpu = Machine.Desc.Gpu Machine.Desc.gh200
+
+let game_tests =
+  [
+    Alcotest.test_case "start validates the program" `Quick (fun () ->
+        let bad : Ir.Prog.t =
+          {
+            buffers = [ Ir.Types.buffer "z" Ir.Types.F32 [ 2 ] ];
+            inputs = [];
+            outputs = [ "z" ];
+            body =
+              [
+                Ir.Types.scope 4
+                  [
+                    Ir.Types.Stmt
+                      {
+                        dst = { array = "z"; idx = [ Ir.Index.iter 0 ] };
+                        rhs = Const 1.0;
+                      };
+                  ];
+              ];
+          }
+        in
+        Alcotest.check_raises "invalid program rejected"
+          (Ir.Validate.Invalid
+             [ Ir.Validate.Out_of_bounds ("z", 0, 3, 2) ])
+          (fun () -> ignore (Game.start target_cpu bad)));
+    Alcotest.test_case "moves and play round trip" `Quick (fun () ->
+        let game = Game.start target_cpu (Kernels.relu ~n:8 ~m:8) in
+        let moves = Game.moves game in
+        Alcotest.(check bool) "has moves" true (moves <> []);
+        let t0 = Game.time game in
+        let _ = Game.play game (fst (List.hd moves)) in
+        Alcotest.(check int) "one move recorded" 1
+          (List.length (Game.moves_played game));
+        ignore t0);
+    Alcotest.test_case "play_named rejects unknown moves" `Quick (fun () ->
+        let game = Game.start target_cpu (Kernels.relu ~n:8 ~m:8) in
+        Alcotest.check_raises "bad move"
+          (Invalid_argument "Game.play_named: \"frobnicate\" not applicable")
+          (fun () -> ignore (Game.play_named game "frobnicate")));
+    Alcotest.test_case "reward is c over runtime" `Quick (fun () ->
+        let game = Game.start target_cpu (Kernels.relu ~n:64 ~m:64) in
+        (* at the start, reward = t0 / t0 = 1 *)
+        Alcotest.(check (float 1e-6)) "initial reward" 1.0 (Game.reward game);
+        let _ = Game.play_named game "parallelize([0])" in
+        Alcotest.(check bool) "improves" true (Game.reward game > 1.0));
+    Alcotest.test_case "verify detects nothing wrong after real moves"
+      `Quick (fun () ->
+        let game = Game.start target_cpu (Kernels.softmax ~n:4 ~m:8) in
+        let rec play_some n =
+          if n > 0 then begin
+            let moves = Game.moves game in
+            if moves <> [] then begin
+              ignore (Game.play game (fst (List.hd moves)));
+              play_some (n - 1)
+            end
+          end
+        in
+        play_some 4;
+        match Game.verify game with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+let optimize_tests =
+  [
+    Alcotest.test_case "all strategies return valid improvements" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let t0 = Machine.time target_snitch p in
+        List.iter
+          (fun (name, strategy) ->
+            let o = Perfdojo.optimize ~seed:3 strategy target_snitch p in
+            Ir.Validate.check_exn o.schedule;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %.2e <= %.2e" name o.time_s t0)
+              true
+              (o.time_s <= t0 *. 1.0001);
+            match Interp.equivalent ~tol:1e-4 p o.schedule with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s: %s" name e)
+          [
+            ("naive", Naive);
+            ("greedy", Greedy);
+            ("heuristic", Heuristic);
+            ( "sampling",
+              Sampling { budget = 40; space = Search.Stochastic.Edges } );
+            ( "annealing",
+              Annealing { budget = 40; space = Search.Stochastic.Heuristic }
+            );
+            ( "rl",
+              Rl_search
+                {
+                  Rl.Perfllm.default_config with
+                  episodes = 4;
+                  max_steps = 6;
+                  action_cap = 12;
+                } );
+          ]);
+    Alcotest.test_case "optimize_best picks the winner" `Quick (fun () ->
+        let p = Kernels.relu ~n:64 ~m:64 in
+        let b = Perfdojo.optimize_best ~budget:40 target_cpu p in
+        let h = Perfdojo.optimize Heuristic target_cpu p in
+        Alcotest.(check bool) "best <= heuristic" true (b.time_s <= h.time_s));
+    Alcotest.test_case "gpu heuristic strategy maps to the device" `Quick
+      (fun () ->
+        let p = Kernels.add ~n:256 ~m:256 in
+        let o = Perfdojo.optimize Heuristic target_gpu p in
+        Alcotest.(check bool) "grid mapped" true
+          (Codegen.contains_gpu o.schedule));
+  ]
+
+let () =
+  Alcotest.run "core"
+    [ ("game", game_tests); ("optimize", optimize_tests) ]

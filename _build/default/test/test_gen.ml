@@ -1,0 +1,189 @@
+(* Property tests over randomly *generated* programs (not the fixed
+   kernel set): a small generator produces valid multi-nest programs with
+   elementwise chains, broadcasts and reductions, and the suite fuzzes
+   the printer/parser, the interpreter and — most importantly — random
+   transformation walks, which must preserve semantics on any program the
+   generator can produce. *)
+
+open Ir.Types
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Numerically safe operators only (no Div/Recip/Log/Sqrt: tolerance
+   comparisons would be dominated by near-singular values). *)
+let safe_binops = [| Add; Sub; Mul; Max; Min |]
+let safe_unops = [| Neg; Relu |]
+
+let gen_program (rng : Util.Rng.t) : Ir.Prog.t =
+  let n = [| 2; 3; 4; 6; 8 |].(Util.Rng.int rng 5) in
+  let m = [| 2; 3; 4; 5; 8 |].(Util.Rng.int rng 5) in
+  let n_temps = 1 + Util.Rng.int rng 3 in
+  let temp i = Printf.sprintf "t%d" i in
+  let buffers =
+    buffer "x" F32 [ n; m ]
+    :: buffer "y" F32 [ n ]
+    :: buffer "z" F32 [ n; m ]
+    :: List.init n_temps (fun i ->
+           (* temps are full matrices or per-row vectors *)
+           if Util.Rng.bool rng then buffer (temp i) F32 [ n; m ]
+           else buffer (temp i) F32 [ n ])
+  in
+  let rank name =
+    List.length
+      (List.find (fun (b : buffer) -> b.bname = name) buffers).shape
+  in
+  let access name : access =
+    if rank name = 2 then
+      { array = name; idx = [ Ir.Index.iter 0; Ir.Index.iter 1 ] }
+    else { array = name; idx = [ Ir.Index.iter 0 ] }
+  in
+  (* expression over sources readable at this point *)
+  let rec gen_expr depth sources : expr =
+    let leaf () =
+      match Util.Rng.int rng 4 with
+      | 0 -> Const (Util.Rng.float_range rng (-2.0) 2.0)
+      | 1 -> IterVal (Ir.Index.iter (Util.Rng.int rng 2))
+      | _ -> Ref (access (Util.Rng.choose rng (Array.of_list sources)))
+    in
+    if depth = 0 || Util.Rng.int rng 3 = 0 then leaf ()
+    else if Util.Rng.bool rng then
+      Bin
+        ( Util.Rng.choose rng safe_binops,
+          gen_expr (depth - 1) sources,
+          gen_expr (depth - 1) sources )
+    else Un (Util.Rng.choose rng safe_unops, gen_expr (depth - 1) sources)
+  in
+  (* a chain of nests: each defines one temp (or finally z) from x, y and
+     earlier temps; some nests are 2-D elementwise, some are row
+     reductions into a 1-D temp *)
+  let body = ref [] in
+  let sources = ref [ "x" ] in
+  for i = 0 to n_temps - 1 do
+    let name = temp i in
+    if rank name = 2 then begin
+      let stmt =
+        Stmt { dst = access name; rhs = gen_expr 2 !sources }
+      in
+      body := scope n [ scope m [ stmt ] ] :: !body
+    end
+    else begin
+      (* reduction over the row dimension, with explicit init *)
+      let two_d = List.filter (fun s -> rank s = 2) !sources in
+      let src = Util.Rng.choose rng (Array.of_list two_d) in
+      let op = Util.Rng.choose rng [| Add; Max |] in
+      let init = match op with Max -> Float.neg_infinity | _ -> 0.0 in
+      body :=
+        scope n
+          [
+            Stmt { dst = access name; rhs = Const init };
+            scope m
+              [
+                Stmt
+                  {
+                    dst = access name;
+                    rhs = Bin (op, Ref (access name), Ref (access src));
+                  };
+              ];
+          ]
+        :: !body
+    end;
+    sources := name :: !sources
+  done;
+  (* final elementwise nest writing z, allowed to broadcast y and 1-D
+     temps across the row *)
+  let final =
+    scope n
+      [ scope m [ Stmt { dst = access "z"; rhs = gen_expr 2 ("y" :: !sources) } ] ]
+  in
+  body := final :: !body;
+  { buffers; inputs = [ "x"; "y" ]; outputs = [ "z" ]; body = List.rev !body }
+
+let arbitrary_program =
+  QCheck.make
+    ~print:(fun p -> Ir.Printer.program p)
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      return (gen_program (Util.Rng.create seed)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_valid =
+  QCheck.Test.make ~count:200 ~name:"generated programs validate"
+    arbitrary_program
+    (fun p -> Ir.Validate.is_valid p)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"generated programs round-trip"
+    arbitrary_program
+    (fun p -> Ir.Parser.program (Ir.Printer.program p) = p)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~count:100 ~name:"interpreter deterministic on generated"
+    arbitrary_program
+    (fun p -> Interp.equivalent ~trials:1 p p = Ok ())
+
+let prop_codegen_nonempty =
+  QCheck.Test.make ~count:100 ~name:"codegen emits C for generated programs"
+    arbitrary_program
+    (fun p -> String.length (Codegen.program p) > 50)
+
+(* The central fuzz: random transformation walks on random programs. *)
+let prop_walk caps cname =
+  QCheck.Test.make ~count:120
+    ~name:("random " ^ cname ^ " walks preserve semantics on generated")
+    QCheck.(pair arbitrary_program small_int)
+    (fun (p0, seed) ->
+      let rng = Util.Rng.create (seed + 13) in
+      let steps = 1 + Util.Rng.int rng 8 in
+      let p = ref p0 in
+      for _ = 1 to steps do
+        let insts = Transform.Xforms.all caps !p in
+        if insts <> [] then begin
+          let i =
+            List.nth insts (Util.Rng.int rng (List.length insts))
+          in
+          p := i.apply !p
+        end
+      done;
+      Ir.Validate.is_valid !p
+      && Interp.equivalent ~tol:1e-3 p0 !p = Ok ())
+
+(* Every instance the discovery offers on a generated program must apply
+   without raising and yield an equivalent program. *)
+let prop_one_step caps cname =
+  QCheck.Test.make ~count:60
+    ~name:("every offered move is sound on generated (" ^ cname ^ ")")
+    arbitrary_program
+    (fun p ->
+      List.for_all
+        (fun (i : Transform.Xforms.instance) ->
+          let p' = i.apply p in
+          Ir.Validate.is_valid p'
+          && Interp.equivalent ~tol:1e-3 ~trials:1 p p' = Ok ())
+        (Transform.Xforms.all caps p))
+
+let caps_cpu = Transform.Xforms.cpu_caps ()
+let caps_gpu = Transform.Xforms.gpu_caps ()
+let caps_snitch = Transform.Xforms.snitch_caps ()
+
+let () =
+  Alcotest.run "generated-programs"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_valid;
+            prop_roundtrip;
+            prop_interp_deterministic;
+            prop_codegen_nonempty;
+            prop_walk caps_cpu "cpu";
+            prop_walk caps_gpu "gpu";
+            prop_walk caps_snitch "snitch";
+            prop_one_step caps_cpu "cpu";
+            prop_one_step caps_snitch "snitch";
+          ] );
+    ]

@@ -1,0 +1,361 @@
+(* Tests for the reference interpreter against hand-computed results. *)
+
+open Ir.Types
+
+let run_with prog inputs =
+  let t = Interp.alloc_tensors prog in
+  List.iter (fun (name, data) -> (
+    let b = Ir.Prog.buffer_of_array prog name in
+    let store = Hashtbl.find t b.bname in
+    Array.blit data 0 store 0 (Array.length data)))
+    inputs;
+  Interp.run prog t;
+  t
+
+let get prog t arr =
+  Hashtbl.find t (Ir.Prog.buffer_of_array prog arr).bname
+
+let check_floats msg expected actual =
+  Alcotest.(check (list (float 1e-4))) msg (Array.to_list expected)
+    (Array.to_list actual)
+
+let elementwise_tests =
+  [
+    Alcotest.test_case "add" `Quick (fun () ->
+        let p = Kernels.add ~n:2 ~m:2 in
+        let t =
+          run_with p
+            [ ("x", [| 1.; 2.; 3.; 4. |]); ("y", [| 10.; 20.; 30.; 40. |]) ]
+        in
+        check_floats "z" [| 11.; 22.; 33.; 44. |] (get p t "z"));
+    Alcotest.test_case "mul" `Quick (fun () ->
+        let p = Kernels.mul ~n:1 ~m:3 in
+        let t =
+          run_with p [ ("x", [| 2.; 3.; 4. |]); ("y", [| 5.; 6.; 7. |]) ]
+        in
+        check_floats "z" [| 10.; 18.; 28. |] (get p t "z"));
+    Alcotest.test_case "relu" `Quick (fun () ->
+        let p = Kernels.relu ~n:1 ~m:4 in
+        let t = run_with p [ ("x", [| -1.; 2.; -3.; 4. |]) ] in
+        check_floats "z" [| 0.; 2.; 0.; 4. |] (get p t "z"));
+    Alcotest.test_case "scale" `Quick (fun () ->
+        let p = Kernels.scale ~n:3 in
+        let t = run_with p [ ("x", [| 1.; 2.; 4. |]) ] in
+        check_floats "z" [| 2.5; 5.; 10. |] (get p t "z"));
+  ]
+
+let reduction_tests =
+  [
+    Alcotest.test_case "reducemean" `Quick (fun () ->
+        let p = Kernels.reducemean ~n:2 ~m:4 in
+        let t =
+          run_with p [ ("x", [| 1.; 2.; 3.; 4.; 10.; 20.; 30.; 40. |]) ]
+        in
+        check_floats "z" [| 2.5; 25. |] (get p t "z"));
+    Alcotest.test_case "dot" `Quick (fun () ->
+        let p = Kernels.dot ~n:3 in
+        let t =
+          run_with p [ ("x", [| 1.; 2.; 3. |]); ("y", [| 4.; 5.; 6. |]) ]
+        in
+        check_floats "z" [| 32. |] (get p t "z"));
+    Alcotest.test_case "vecsum" `Quick (fun () ->
+        let p = Kernels.vecsum ~n:4 in
+        let t = run_with p [ ("x", [| 1.; 2.; 3.; 4. |]) ] in
+        check_floats "z" [| 10. |] (get p t "z"));
+    Alcotest.test_case "softmax rows sum to one" `Quick (fun () ->
+        let p = Kernels.softmax ~n:2 ~m:4 in
+        let rng = Util.Rng.create 7 in
+        let t = Interp.random_inputs rng p in
+        Interp.run p t;
+        let z = get p t "z" in
+        let row_sum r =
+          z.((r * 4) + 0) +. z.((r * 4) + 1) +. z.((r * 4) + 2)
+          +. z.((r * 4) + 3)
+        in
+        Alcotest.(check (float 1e-5)) "row0" 1.0 (row_sum 0);
+        Alcotest.(check (float 1e-5)) "row1" 1.0 (row_sum 1));
+    Alcotest.test_case "softmax known values" `Quick (fun () ->
+        let p = Kernels.softmax ~n:1 ~m:2 in
+        let t = run_with p [ ("x", [| 0.; 1. |]) ] in
+        let e = exp 1.0 in
+        check_floats "z" [| 1. /. (1. +. e); e /. (1. +. e) |] (get p t "z"));
+  ]
+
+let matmul_tests =
+  [
+    Alcotest.test_case "matmul 2x2" `Quick (fun () ->
+        let p = Kernels.matmul ~m:2 ~k:2 ~n:2 in
+        let t =
+          run_with p
+            [ ("a", [| 1.; 2.; 3.; 4. |]); ("b", [| 5.; 6.; 7.; 8. |]) ]
+        in
+        check_floats "c" [| 19.; 22.; 43.; 50. |] (get p t "c"));
+    Alcotest.test_case "gemv" `Quick (fun () ->
+        let p = Kernels.gemv ~m:2 ~n:3 in
+        let t =
+          run_with p
+            [
+              ("a", [| 1.; 2.; 3.; 4.; 5.; 6. |]); ("x", [| 1.; 1.; 1. |]);
+            ]
+        in
+        check_floats "z" [| 6.; 15. |] (get p t "z"));
+    Alcotest.test_case "bmm batches independent" `Quick (fun () ->
+        let p = Kernels.bmm ~b:2 ~m:1 ~k:2 ~n:1 in
+        let t =
+          run_with p
+            [
+              ("x", [| 1.; 2.; 3.; 4. |]);
+              (* batch0 = [1 2], batch1 = [3 4] *)
+              ("y", [| 5.; 6.; 7.; 8. |]);
+            ]
+        in
+        check_floats "z" [| 17.; 53. |] (get p t "z"));
+    Alcotest.test_case "conv2d identity kernel" `Quick (fun () ->
+        (* 1x1x1 conv with kernel [[1]] over 2x2 image: copies input *)
+        let p = Kernels.conv2d ~n:1 ~f:1 ~c:1 ~h:2 ~w:2 ~kside:1 in
+        let t =
+          run_with p [ ("x", [| 1.; 2.; 3.; 4. |]); ("k", [| 1. |]) ]
+        in
+        check_floats "z" [| 1.; 2.; 3.; 4. |] (get p t "z"));
+    Alcotest.test_case "conv2d 3x3 box filter" `Quick (fun () ->
+        let p = Kernels.conv2d ~n:1 ~f:1 ~c:1 ~h:1 ~w:1 ~kside:3 in
+        let x = Array.init 9 (fun i -> float_of_int (i + 1)) in
+        let k = Array.make 9 1.0 in
+        let t = run_with p [ ("x", x); ("k", k) ] in
+        check_floats "z" [| 45. |] (get p t "z"));
+  ]
+
+let norm_tests =
+  [
+    Alcotest.test_case "layernorm constant row is beta" `Quick (fun () ->
+        let p = Kernels.layernorm ~n:1 ~m:4 in
+        let t =
+          run_with p
+            [
+              ("x", [| 5.; 5.; 5.; 5. |]);
+              ("g", [| 1.; 1.; 1.; 1. |]);
+              ("b", [| 0.5; 0.5; 0.5; 0.5 |]);
+            ]
+        in
+        (* zero-centered values / anything = 0, plus beta *)
+        check_floats "z" [| 0.5; 0.5; 0.5; 0.5 |] (get p t "z"));
+    Alcotest.test_case "rmsnorm unit gains" `Quick (fun () ->
+        let p = Kernels.rmsnorm ~n:1 ~m:2 in
+        let t =
+          run_with p [ ("x", [| 3.; 4. |]); ("g", [| 1.; 1. |]) ]
+        in
+        let rms = sqrt (((3. *. 3.) +. (4. *. 4.)) /. 2. +. 1e-5) in
+        check_floats "z" [| 3. /. rms; 4. /. rms |] (get p t "z"));
+    Alcotest.test_case "batchnorm normalizes statistics" `Quick (fun () ->
+        let p = Kernels.batchnorm ~n:1 ~c:1 ~h:2 ~w:2 in
+        let t =
+          run_with p
+            [
+              ("x", [| 1.; 2.; 3.; 4. |]); ("gamma", [| 1. |]);
+              ("beta", [| 0. |]);
+            ]
+        in
+        let z = get p t "z" in
+        let mean = Array.fold_left ( +. ) 0. z /. 4. in
+        Alcotest.(check (float 1e-5)) "zero mean" 0.0 mean;
+        Alcotest.(check bool) "unit-ish variance" true
+          (abs_float (Array.fold_left (fun a v -> a +. (v *. v)) 0. z /. 4. -. 1.0)
+           < 0.01));
+    Alcotest.test_case "swiglu silu gate" `Quick (fun () ->
+        (* x = [1], w1 = [g], w2 = [u]: z = silu(g) * u *)
+        let p = Kernels.swiglu ~m:1 ~k:1 ~n:1 in
+        let g = 0.7 and u = 2.0 in
+        let t =
+          run_with p [ ("x", [| 1. |]); ("w1", [| g |]); ("w2", [| u |]) ]
+        in
+        let silu = g /. (1. +. exp (-.g)) in
+        check_floats "z" [| silu *. u |] (get p t "z"));
+    Alcotest.test_case "relu_ffn clamps negatives" `Quick (fun () ->
+        let p = Kernels.relu_ffn ~n:1 ~c:1 ~h:1 ~w:1 in
+        let t =
+          run_with p
+            [ ("x", [| 2.0 |]); ("wt", [| -3.0 |]); ("bias", [| 1.0 |]) ]
+        in
+        (* t = 1 + 2*(-3) = -5 -> relu -> 0 *)
+        check_floats "z" [| 0. |] (get p t "z"));
+  ]
+
+let storage_tests =
+  [
+    Alcotest.test_case "reused dimension collapses storage" `Quick (fun () ->
+        let b = buffer "t" F32 [ 4; 8 ] ~reuse:[ false; true ] in
+        Alcotest.(check (list int)) "storage shape" [ 4; 1 ]
+          (Ir.Prog.storage_shape b);
+        Alcotest.(check int) "bytes" (4 * 4) (Ir.Prog.buffer_bytes b));
+    Alcotest.test_case "aliased arrays share storage" `Quick (fun () ->
+        (* two arrays in one buffer: writing t1 then reading t2 sees the
+           same values *)
+        let text =
+          "t f32 [4] heap -> t1, t2\n" ^ "x f32 [4] heap\n"
+          ^ "z f32 [4] heap\n" ^ "inputs: x\noutputs: z\n" ^ "4\n"
+          ^ "| t1[{0}] = x[{0}] * 3\n" ^ "4\n" ^ "| z[{0}] = t2[{0}] + 1\n"
+        in
+        let p = Ir.Parser.program text in
+        let t = run_with p [ ("x", [| 1.; 2.; 3.; 4. |]) ] in
+        check_floats "z" [| 4.; 7.; 10.; 13. |] (get p t "z"));
+    Alcotest.test_case "guarded scope masks iterations" `Quick (fun () ->
+        let text =
+          "x f32 [3] heap\nz f32 [3] heap\ninputs: x\noutputs: z\n"
+          ^ "4/3\n| z[{0}] = x[{0}] + 1\n"
+        in
+        let p = Ir.Parser.program text in
+        let t = run_with p [ ("x", [| 1.; 2.; 3. |]) ] in
+        check_floats "z" [| 2.; 3.; 4. |] (get p t "z"));
+    Alcotest.test_case "itervals evaluate to iteration indices" `Quick
+      (fun () ->
+        let text =
+          "z f32 [3, 2] heap\ninputs: \noutputs: z\n3\n| 2\n"
+          ^ "| | z[{0},{1}] = idx(2*{0}+{1})\n"
+        in
+        let p = Ir.Parser.program text in
+        let t = run_with p [] in
+        check_floats "z" [| 0.; 1.; 2.; 3.; 4.; 5. |] (get p t "z"));
+  ]
+
+let edge_tests =
+  [
+    Alcotest.test_case "negative index offsets address earlier rows" `Quick
+      (fun () ->
+        (* z[i] = x[i+1] - x[i]: a finite difference with affine offsets *)
+        let text =
+          "x f32 [5] heap\nz f32 [4] heap\ninputs: x\noutputs: z\n"
+          ^ "4\n| z[{0}] = x[{0}+1] - x[{0}]\n"
+        in
+        let p = Ir.Parser.program text in
+        let t = run_with p [ ("x", [| 1.; 3.; 6.; 10.; 15. |]) ] in
+        check_floats "z" [| 2.; 3.; 4.; 5. |] (get p t "z"));
+    Alcotest.test_case "scaled iterators stride through arrays" `Quick
+      (fun () ->
+        (* gather every second element via 2*{0} *)
+        let text =
+          "x f32 [8] heap\nz f32 [4] heap\ninputs: x\noutputs: z\n"
+          ^ "4\n| z[{0}] = x[2*{0}]\n"
+        in
+        let p = Ir.Parser.program text in
+        let t =
+          run_with p [ ("x", [| 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7. |]) ]
+        in
+        check_floats "z" [| 0.; 2.; 4.; 6. |] (get p t "z"));
+    Alcotest.test_case "min and neg and recip evaluate" `Quick (fun () ->
+        let text =
+          "x f32 [3] heap\nz f32 [3] heap\ninputs: x\noutputs: z\n"
+          ^ "3\n| z[{0}] = min(neg(x[{0}]), recip(x[{0}]))\n"
+        in
+        let p = Ir.Parser.program text in
+        let t = run_with p [ ("x", [| 1.; 2.; 0.5 |]) ] in
+        check_floats "z" [| -1.; -2.; -0.5 |] (get p t "z"));
+    Alcotest.test_case "deep nesting (6 loops) executes" `Quick (fun () ->
+        let p = Kernels.conv2d ~n:1 ~f:2 ~c:2 ~h:3 ~w:3 ~kside:2 in
+        let rng = Util.Rng.create 9 in
+        let t = Interp.random_inputs rng p in
+        Interp.run p t;
+        let z = get p t "z" in
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool) "finite" true (Float.is_finite v))
+          z);
+    Alcotest.test_case "last write wins across nests" `Quick (fun () ->
+        let text =
+          "z f32 [4] heap\ninputs: \noutputs: z\n"
+          ^ "4\n| z[{0}] = 1\n4\n| z[{0}] = 2\n"
+        in
+        let p = Ir.Parser.program text in
+        let t = run_with p [] in
+        check_floats "z" [| 2.; 2.; 2.; 2. |] (get p t "z"));
+  ]
+
+let equivalence_tests =
+  [
+    Alcotest.test_case "program equals itself" `Quick (fun () ->
+        let p = Kernels.softmax ~n:3 ~m:5 in
+        match Interp.equivalent p p with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "detects wrong constant" `Quick (fun () ->
+        let p = Kernels.scale ~n:4 in
+        let wrong =
+          {
+            p with
+            body =
+              [
+                scope 4
+                  [
+                    Stmt
+                      {
+                        dst = { array = "z"; idx = [ Ir.Index.iter 0 ] };
+                        rhs =
+                          Bin
+                            ( Mul,
+                              Ref { array = "x"; idx = [ Ir.Index.iter 0 ] },
+                              Const 2.4999 );
+                      };
+                  ];
+              ];
+          }
+        in
+        match Interp.equivalent p wrong with
+        | Ok () -> Alcotest.fail "should differ"
+        | Error _ -> ());
+    Alcotest.test_case "detects illegal buffer reuse (Figure 5)" `Quick
+      (fun () ->
+        (* t is produced in one loop and consumed in a separate loop;
+           collapsing t's dimension without fusing first corrupts the
+           computation -- the paper's running counter-example. *)
+        let text_ok =
+          "x f32 [4] heap\nt f32 [4] heap\nz f32 [4] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "4\n| t[{0}] = x[{0}] * 2\n"
+          ^ "4\n| z[{0}] = t[{0}] + 1\n"
+        in
+        let text_bad =
+          "x f32 [4] heap\nt f32 [4:N] heap\nz f32 [4] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "4\n| t[{0}] = x[{0}] * 2\n"
+          ^ "4\n| z[{0}] = t[{0}] + 1\n"
+        in
+        let p_ok = Ir.Parser.program text_ok in
+        let p_bad = Ir.Parser.program text_bad in
+        (match Interp.equivalent p_ok p_bad with
+        | Ok () -> Alcotest.fail "illegal reuse must be detected"
+        | Error _ -> ());
+        (* after fusion, the same reuse is legal *)
+        let text_fused_reuse =
+          "x f32 [4] heap\nt f32 [4:N] heap\nz f32 [4] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "4\n| t[{0}] = x[{0}] * 2\n"
+          ^ "| z[{0}] = t[{0}] + 1\n"
+        in
+        let p_fused = Ir.Parser.program text_fused_reuse in
+        match Interp.equivalent p_ok p_fused with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* Property: all small kernels are deterministic under repeated runs. *)
+let qcheck_deterministic =
+  QCheck.Test.make ~count:30 ~name:"interpreter is deterministic"
+    QCheck.(pair (int_bound (List.length Kernels.table3 - 1)) small_int)
+    (fun (kidx, seed) ->
+      let e = List.nth Kernels.table3 kidx in
+      let p = e.Kernels.build_small () in
+      let rng1 = Util.Rng.create seed and rng2 = Util.Rng.create seed in
+      let t1 = Interp.random_inputs rng1 p in
+      let t2 = Interp.random_inputs rng2 p in
+      Interp.run p t1;
+      Interp.run p t2;
+      Interp.outputs_close p t1 t2 = Ok ())
+
+let () =
+  Alcotest.run "interp"
+    [
+      ("elementwise", elementwise_tests);
+      ("reduction", reduction_tests);
+      ("contraction", matmul_tests);
+      ("normalization", norm_tests);
+      ("storage", storage_tests);
+      ("edge-cases", edge_tests);
+      ("equivalence", equivalence_tests);
+      ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_deterministic ]);
+    ]

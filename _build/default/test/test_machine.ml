@@ -1,0 +1,314 @@
+(* Tests for the performance models.  Absolute numbers are model outputs,
+   so the tests assert *relationships* the models must reproduce: the
+   optimization effects the paper's transformations trade on. *)
+
+open Machine
+
+let cpu = Desc.xeon_e5_2695v4
+let avx = Desc.avx512_cpu
+let sn = Desc.snitch_cluster
+let gh = Desc.gh200
+let mi = Desc.mi300a
+
+let caps_cpu = Desc.caps_of (Desc.Cpu avx)
+let caps_snitch = Desc.caps_of (Desc.Snitch sn)
+let caps_gpu = Desc.caps_of (Desc.Gpu gh)
+
+let apply_named caps prog name =
+  match
+    List.find_opt
+      (fun i -> Transform.Xforms.describe i = name)
+      (Transform.Xforms.all caps prog)
+  with
+  | Some inst -> inst.apply prog
+  | None -> Alcotest.failf "move %s not applicable" name
+
+let faster msg a b =
+  if not (a < b) then Alcotest.failf "%s: expected %.3e < %.3e" msg a b
+
+let cpu_tests =
+  [
+    Alcotest.test_case "vectorization speeds up elementwise" `Quick (fun () ->
+        let p = Kernels.add ~n:1024 ~m:1024 in
+        let split = apply_named caps_cpu p "split_scope([0,0] factor 16)" in
+        let vec = apply_named caps_cpu split "vectorize([0,0,0])" in
+        faster "vec < scalar" (Cpu_model.time avx vec) (Cpu_model.time avx p));
+    Alcotest.test_case "parallelization speeds up independent rows" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:4096 ~m:1024 in
+        let par = apply_named caps_cpu p "parallelize([0])" in
+        faster "par < seq" (Cpu_model.time avx par) (Cpu_model.time avx p);
+        (* and not by more than the core count *)
+        let ratio = Cpu_model.time avx p /. Cpu_model.time avx par in
+        Alcotest.(check bool) "bounded by cores" true
+          (ratio <= float_of_int avx.cores +. 1.0));
+    Alcotest.test_case "unrolling hides reduction latency" `Quick (fun () ->
+        (* gemv-style: tile output rows by 4, sink, unroll: 4 chains *)
+        let p = Kernels.gemv ~m:512 ~n:512 in
+        let t = Search.Passes.tile_sink_unroll caps_cpu 4 p in
+        faster "tiled+unrolled < plain" (Cpu_model.time avx t)
+          (Cpu_model.time avx p));
+    Alcotest.test_case "smaller footprint is cheaper (reuse_dims)" `Quick
+      (fun () ->
+        (* producer/consumer through a big temporary vs collapsed one *)
+        let text reuse =
+          Printf.sprintf
+            ("x f32 [4096, 4096] heap\nt f32 [4096, 4096%s] heap\n"
+           ^^ "z f32 [4096, 4096] heap\ninputs: x\noutputs: z\n"
+           ^^ "4096\n| 4096\n| | t[{0},{1}] = x[{0},{1}] * 2\n"
+           ^^ "| | z[{0},{1}] = t[{0},{1}] + 1\n")
+            reuse
+        in
+        let big = Ir.Parser.program (text "") in
+        let small = Ir.Parser.program (text ":N") in
+        faster "collapsed temp < materialized temp"
+          (Cpu_model.time avx small) (Cpu_model.time avx big));
+    Alcotest.test_case "strided access is penalized" `Quick (fun () ->
+        let row_major =
+          Ir.Parser.program
+            ("x f32 [2048, 2048] heap\nz f32 [2048, 2048] heap\n"
+           ^ "inputs: x\noutputs: z\n2048\n| 2048\n"
+           ^ "| | z[{0},{1}] = x[{0},{1}] + 1\n")
+        in
+        let transposed =
+          Ir.Parser.program
+            ("x f32 [2048, 2048] heap\nz f32 [2048, 2048] heap\n"
+           ^ "inputs: x\noutputs: z\n2048\n| 2048\n"
+           ^ "| | z[{1},{0}] = x[{1},{0}] + 1\n")
+        in
+        faster "sequential < strided"
+          (Cpu_model.time cpu row_major)
+          (Cpu_model.time cpu transposed));
+    Alcotest.test_case "breakdown is consistent with time" `Quick (fun () ->
+        let p = Kernels.softmax ~n:256 ~m:256 in
+        let b = Cpu_model.breakdown avx p in
+        let cycles = Float.max b.comp b.mem +. b.ovh in
+        Alcotest.(check (float 1e-9)) "time = cycles/freq"
+          (cycles /. (avx.freq_ghz *. 1e9))
+          (Cpu_model.time avx p);
+        Alcotest.(check bool) "components positive" true
+          (b.comp > 0.0 && b.mem > 0.0 && b.ovh > 0.0));
+    Alcotest.test_case "gflops is positive and finite" `Quick (fun () ->
+        List.iter
+          (fun (e : Kernels.entry) ->
+            let g = Machine.gflops (Desc.Cpu cpu) (e.build ()) in
+            Alcotest.(check bool) (e.label ^ " finite") true
+              (Float.is_finite g && g > 0.0))
+          Kernels.table3);
+  ]
+
+let snitch_tests =
+  [
+    Alcotest.test_case "ssr removes load issue slots" `Quick (fun () ->
+        let p = Kernels.scale ~n:1024 in
+        let s = apply_named caps_snitch p "enable_ssr([0])" in
+        faster "ssr < no ssr" (Snitch_sim.time sn s) (Snitch_sim.time sn p));
+    Alcotest.test_case "frep removes loop overhead" `Quick (fun () ->
+        let p = Kernels.scale ~n:1024 in
+        let s = apply_named caps_snitch p "enable_ssr([0])" in
+        let f = apply_named caps_snitch s "enable_frep([0])" in
+        faster "frep < ssr only" (Snitch_sim.time sn f) (Snitch_sim.time sn s));
+    Alcotest.test_case "latency-bound reduction reaches ~25% of peak" `Quick
+      (fun () ->
+        (* the paper's motivating observation for the heuristic pass *)
+        let p = Kernels.dot ~n:4096 in
+        let g = Search.Passes.greedy caps_snitch p in
+        let frac = Snitch_sim.peak_fraction sn g in
+        Alcotest.(check bool)
+          (Printf.sprintf "0.2 <= %.3f <= 0.3" frac)
+          true
+          (frac >= 0.2 && frac <= 0.3));
+    Alcotest.test_case "elementwise with ssr+frep near peak" `Quick (fun () ->
+        let p = Kernels.scale ~n:4096 in
+        let g = Search.Passes.greedy caps_snitch p in
+        let frac = Snitch_sim.peak_fraction sn g in
+        Alcotest.(check bool)
+          (Printf.sprintf "%.3f >= 0.9" frac)
+          true (frac >= 0.9));
+    Alcotest.test_case "tile-by-4 heuristic hides FP latency on gemv" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:64 ~n:64 in
+        let g = Search.Passes.greedy caps_snitch p in
+        let h = Search.Passes.heuristic caps_snitch p in
+        faster "heuristic < greedy" (Snitch_sim.time sn h)
+          (Snitch_sim.time sn g));
+    Alcotest.test_case "strategy ladder: naive <= greedy <= heuristic" `Quick
+      (fun () ->
+        List.iter
+          (fun (e : Kernels.entry) ->
+            let p = e.build () in
+            let frac q = Snitch_sim.peak_fraction sn q in
+            let n = frac (Search.Passes.naive caps_snitch p) in
+            let g = frac (Search.Passes.greedy caps_snitch p) in
+            let h = frac (Search.Passes.heuristic caps_snitch p) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %.2f <= %.2f (+eps) and %.2f <= %.2f (+eps)"
+                 e.label n g g h)
+              true
+              (n <= g +. 1e-9 && g <= h +. 0.05))
+          Kernels.snitch_micro);
+    Alcotest.test_case "peak fraction never exceeds 1" `Quick (fun () ->
+        List.iter
+          (fun (e : Kernels.entry) ->
+            let h = Search.Passes.heuristic caps_snitch (e.build ()) in
+            let f = Snitch_sim.peak_fraction sn h in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %.3f <= 1" e.label f)
+              true (f <= 1.0 +. 1e-9))
+          Kernels.snitch_micro);
+  ]
+
+let gpu_tests =
+  [
+    Alcotest.test_case "unmapped program runs on slow host" `Quick (fun () ->
+        let p = Kernels.add ~n:3072 ~m:4096 in
+        let mapped = Search.Passes.gpu_heuristic caps_gpu p in
+        faster "gpu mapped < host" (Gpu_model.time gh mapped)
+          (Gpu_model.time gh p);
+        Alcotest.(check bool) "large factor" true
+          (Gpu_model.time gh p /. Gpu_model.time gh mapped > 5.0));
+    Alcotest.test_case "vectorized loads improve bandwidth" `Quick (fun () ->
+        let p = Kernels.mul ~n:6 ~m:14336 in
+        let v = Search.Passes.gpu_heuristic caps_gpu p in
+        let s = Search.Passes.gpu_heuristic ~vectorize:false caps_gpu p in
+        faster "vec < scalar" (Gpu_model.time gh v) (Gpu_model.time gh s));
+    Alcotest.test_case "ragged block pays wavefront padding" `Quick (fun () ->
+        (* block of 300 on a 64-wide wavefront machine: 300/320 efficiency
+           (the paper's batchnorm discussion) *)
+        let text =
+          "x f32 [8192, 300] heap\nz f32 [8192, 300] heap\n"
+          ^ "inputs: x\noutputs: z\n8192:g\n| 300:b\n"
+          ^ "| | z[{0},{1}] = x[{0},{1}] * 2\n"
+        in
+        let ragged = Ir.Parser.program text in
+        let text_aligned =
+          "x f32 [8192, 320] heap\nz f32 [8192, 320] heap\n"
+          ^ "inputs: x\noutputs: z\n8192:g\n| 320:b\n"
+          ^ "| | z[{0},{1}] = x[{0},{1}] * 2\n"
+        in
+        let aligned = Ir.Parser.program text_aligned in
+        (* aligned does 6.7% more work yet loses less than the ragged
+           wavefront underutilization would suggest; compare per-element
+           cost instead of totals *)
+        let per_elem t n = t /. float_of_int n in
+        Alcotest.(check bool) "padding costs something" true
+          (per_elem (Gpu_model.time mi ragged) 300
+           > per_elem (Gpu_model.time mi aligned) 320));
+    Alcotest.test_case "launch overhead dominates tiny kernels" `Quick
+      (fun () ->
+        let p = Kernels.add ~n:2 ~m:4 in
+        let mapped = Search.Passes.gpu_heuristic caps_gpu p in
+        Alcotest.(check bool) "time >= launch overhead" true
+          (Gpu_model.time gh mapped >= gh.launch_overhead_s));
+    Alcotest.test_case "host loop relaunches kernels" `Quick (fun () ->
+        (* an outer sequential host loop around a grid scope multiplies
+           the launch overhead *)
+        let base =
+          "x f32 [64, 1024] heap\nz f32 [64, 1024] heap\n"
+          ^ "inputs: x\noutputs: z\n"
+        in
+        let launched_once =
+          Ir.Parser.program
+            (base ^ "64:g\n| 1024:b\n| | z[{0},{1}] = x[{0},{1}] * 2\n")
+        in
+        let relaunched =
+          Ir.Parser.program
+            (base ^ "64\n| 1024:g\n| | z[{0},{1}] = x[{0},{1}] * 2\n")
+        in
+        faster "one launch < 64 launches"
+          (Gpu_model.time gh launched_once)
+          (Gpu_model.time gh relaunched));
+  ]
+
+(* Model-sanity properties that hold for any reasonable cost model. *)
+let sanity_tests =
+  [
+    Alcotest.test_case "time grows with problem size" `Quick (fun () ->
+        List.iter
+          (fun target ->
+            let t1 = Machine.time target (Kernels.relu ~n:512 ~m:512) in
+            let t2 = Machine.time target (Kernels.relu ~n:2048 ~m:2048) in
+            Alcotest.(check bool)
+              (Machine.Desc.target_name target ^ " monotone")
+              true (t2 > t1))
+          [ Desc.Cpu cpu; Desc.Cpu avx; Desc.Snitch sn ]);
+    Alcotest.test_case "times are finite and positive everywhere" `Quick
+      (fun () ->
+        List.iter
+          (fun target ->
+            List.iter
+              (fun (e : Kernels.entry) ->
+                let t = Machine.time target (e.build ()) in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s" (Machine.Desc.target_name target)
+                     e.label)
+                  true
+                  (Float.is_finite t && t > 0.0))
+              (Kernels.table3 @ Kernels.snitch_micro))
+          [
+            Desc.Cpu cpu; Desc.Cpu avx; Desc.Cpu Desc.grace_arm;
+            Desc.Gpu gh; Desc.Gpu mi; Desc.Snitch sn;
+          ]);
+    Alcotest.test_case "optimized schedules never model slower than 10x"
+      `Quick (fun () ->
+        (* passes should never catastrophically regress a kernel *)
+        List.iter
+          (fun (e : Kernels.entry) ->
+            let p = e.build () in
+            let t0 = Snitch_sim.time sn p in
+            let th = Snitch_sim.time sn (Search.Passes.heuristic caps_snitch p)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %.2e vs %.2e" e.label th t0)
+              true
+              (th <= t0 *. 1.01))
+          Kernels.snitch_micro);
+    Alcotest.test_case "snitch cycles scale linearly in trip count" `Quick
+      (fun () ->
+        let c1 = Snitch_sim.cycles sn (Kernels.scale ~n:1024) in
+        let c2 = Snitch_sim.cycles sn (Kernels.scale ~n:2048) in
+        let ratio = c2 /. c1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio %.3f ~ 2" ratio)
+          true
+          (ratio > 1.9 && ratio < 2.1));
+    Alcotest.test_case "gpu grid+block beats grid-only" `Quick (fun () ->
+        let text blocked =
+          "x f32 [4096, 1024] heap\nz f32 [4096, 1024] heap\n"
+          ^ "inputs: x\noutputs: z\n4096:g\n"
+          ^ (if blocked then "| 1024:b\n" else "| 1024\n")
+          ^ "| | z[{0},{1}] = x[{0},{1}] * 2\n"
+        in
+        let with_block = Ir.Parser.program (text true) in
+        let without = Ir.Parser.program (text false) in
+        faster "blocked < unblocked"
+          (Gpu_model.time gh with_block)
+          (Gpu_model.time gh without));
+  ]
+
+let caps_tests =
+  [
+    Alcotest.test_case "caps expose target-appropriate moves" `Quick
+      (fun () ->
+        let c = Desc.caps_of (Desc.Cpu avx) in
+        Alcotest.(check (list int)) "avx512 lanes" [ 16 ] c.vec_lanes;
+        Alcotest.(check bool) "cpu parallel" true c.can_parallelize;
+        Alcotest.(check bool) "cpu not gpu" false c.gpu;
+        let s = Desc.caps_of (Desc.Snitch sn) in
+        Alcotest.(check bool) "snitch flag" true s.snitch;
+        Alcotest.(check (list int)) "no vectors on snitch" [] s.vec_lanes;
+        let g = Desc.caps_of (Desc.Gpu gh) in
+        Alcotest.(check bool) "gpu flag" true g.gpu;
+        Alcotest.(check int) "block limit" gh.max_threads_per_block
+          g.max_block);
+  ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ("cpu-model", cpu_tests);
+      ("snitch-sim", snitch_tests);
+      ("gpu-model", gpu_tests);
+      ("sanity", sanity_tests);
+      ("caps", caps_tests);
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the optimization passes and stochastic search. *)
+
+open Machine
+
+let sn = Desc.snitch_cluster
+let target_sn = Desc.Snitch sn
+let caps_sn = Desc.caps_of target_sn
+let avx = Desc.avx512_cpu
+let target_cpu = Desc.Cpu avx
+let caps_cpu = Desc.caps_of target_cpu
+
+let equivalent_to label reference prog =
+  (* passes must preserve semantics like single moves do; check on the
+     small variant of the same kernel builder *)
+  match Interp.equivalent ~tol:1e-4 reference prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+let pass_semantic_tests =
+  let passes =
+    [
+      ("naive", fun caps p -> Search.Passes.naive caps p);
+      ("greedy", fun caps p -> Search.Passes.greedy caps p);
+      ("heuristic", fun caps p -> Search.Passes.heuristic caps p);
+      ("cpu_heuristic", fun caps p -> Search.Passes.cpu_heuristic caps p);
+      ("tile_sink_unroll", fun caps p -> Search.Passes.tile_sink_unroll caps 4 p);
+    ]
+  in
+  List.concat_map
+    (fun (pname, pass) ->
+      List.map
+        (fun (e : Kernels.entry) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s preserves %s" pname e.label)
+            `Quick
+            (fun () ->
+              let p = e.build_small () in
+              let caps = if pname = "cpu_heuristic" then caps_cpu else caps_sn in
+              let p' = pass caps p in
+              (match Ir.Validate.check p' with
+              | [] -> ()
+              | errs ->
+                  Alcotest.failf "%s/%s invalid: %s" pname e.label
+                    (String.concat "; "
+                       (List.map Ir.Validate.error_to_string errs)));
+              equivalent_to (pname ^ "/" ^ e.label) p p'))
+        (Kernels.snitch_micro @ [ List.nth Kernels.table3 14 (* softmax *) ]))
+    passes
+
+let gpu_pass_tests =
+  let gh = Desc.gh200 in
+  let caps_gpu = Desc.caps_of (Desc.Gpu gh) in
+  List.map
+    (fun (e : Kernels.entry) ->
+      Alcotest.test_case ("gpu_heuristic preserves " ^ e.label) `Quick
+        (fun () ->
+          let p = e.build_small () in
+          let p' = Search.Passes.gpu_heuristic caps_gpu p in
+          Ir.Validate.check_exn p';
+          equivalent_to ("gpu/" ^ e.label) p p'))
+    Kernels.table3
+
+let improvement_tests =
+  [
+    Alcotest.test_case "snitch heuristic never loses to naive" `Quick
+      (fun () ->
+        List.iter
+          (fun (e : Kernels.entry) ->
+            let p = e.build () in
+            let tn = Snitch_sim.time sn (Search.Passes.naive caps_sn p) in
+            let th = Snitch_sim.time sn (Search.Passes.heuristic caps_sn p) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %.3e <= %.3e" e.label th tn)
+              true
+              (th <= tn *. 1.001))
+          Kernels.snitch_micro);
+    Alcotest.test_case "cpu heuristic helps large elementwise" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:4096 ~m:4096 in
+        let h = Search.Passes.cpu_heuristic caps_cpu p in
+        Alcotest.(check bool) "faster" true
+          (Cpu_model.time avx h < Cpu_model.time avx p));
+  ]
+
+let objective target p = Machine.time target p
+
+let stochastic_tests =
+  [
+    Alcotest.test_case "sampling improves over the root" `Quick (fun () ->
+        let p = Kernels.softmax ~n:64 ~m:64 in
+        let r =
+          Search.Stochastic.random_sampling ~seed:3
+            ~space:Search.Stochastic.Edges ~budget:60 caps_cpu
+            (objective target_cpu) p
+        in
+        Alcotest.(check bool) "improved" true
+          (r.best_time <= objective target_cpu p);
+        Alcotest.(check int) "budget respected" 60 r.evals);
+    Alcotest.test_case "annealing improves over the root" `Quick (fun () ->
+        let p = Kernels.gemv ~m:64 ~n:64 in
+        let r =
+          Search.Stochastic.simulated_annealing ~seed:3
+            ~space:Search.Stochastic.Heuristic ~budget:60 caps_sn
+            (objective target_sn) p
+        in
+        Alcotest.(check bool) "improved" true
+          (r.best_time <= objective target_sn p));
+    Alcotest.test_case "curves are monotonically non-increasing" `Quick
+      (fun () ->
+        let p = Kernels.scale ~n:256 in
+        let r =
+          Search.Stochastic.random_sampling ~seed:5
+            ~space:Search.Stochastic.Heuristic ~budget:40 caps_sn
+            (objective target_sn) p
+        in
+        let ok = ref true in
+        for i = 1 to Array.length r.curve - 1 do
+          if r.curve.(i) > r.curve.(i - 1) +. 1e-15 then ok := false
+        done;
+        Alcotest.(check bool) "monotone" true !ok);
+    Alcotest.test_case "best_moves replays to best program" `Quick (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let r =
+          Search.Stochastic.simulated_annealing ~seed:9
+            ~space:Search.Stochastic.Edges ~budget:50 caps_sn
+            (objective target_sn) p
+        in
+        let replayed, applied =
+          Search.Stochastic.replay_skipping caps_sn p r.best_moves
+        in
+        Alcotest.(check int) "all moves applied" (List.length r.best_moves)
+          (List.length applied);
+        Alcotest.(check bool) "same program" true (replayed = r.best);
+        equivalent_to "search result" p r.best);
+    Alcotest.test_case "search results preserve semantics" `Quick (fun () ->
+        let p = Kernels.softmax ~n:8 ~m:16 in
+        List.iter
+          (fun space ->
+            let r =
+              Search.Stochastic.random_sampling ~seed:2 ~space ~budget:40
+                caps_cpu (objective target_cpu) p
+            in
+            equivalent_to "sampled best" p r.best)
+          [ Search.Stochastic.Edges; Search.Stochastic.Heuristic ]);
+    Alcotest.test_case "filter restricts the move set" `Quick (fun () ->
+        let p = Kernels.softmax ~n:16 ~m:16 in
+        let filter (i : Transform.Xforms.instance) =
+          i.xname = "split_scope"
+        in
+        let r =
+          Search.Stochastic.random_sampling ~seed:4 ~filter
+            ~space:Search.Stochastic.Edges ~budget:30 caps_cpu
+            (objective target_cpu) p
+        in
+        List.iter
+          (fun m ->
+            Alcotest.(check bool)
+              (m ^ " is a split")
+              true
+              (String.length m >= 11 && String.sub m 0 11 = "split_scope"))
+          r.best_moves);
+    Alcotest.test_case "deterministic under the same seed" `Quick (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let run () =
+          (Search.Stochastic.simulated_annealing ~seed:42
+             ~space:Search.Stochastic.Heuristic ~budget:40 caps_sn
+             (objective target_sn) p)
+            .best_time
+        in
+        Alcotest.(check (float 0.0)) "same result" (run ()) (run ()));
+  ]
+
+let mutation_tests =
+  [
+    Alcotest.test_case "replay_skipping skips stale moves" `Quick (fun () ->
+        let p = Kernels.relu ~n:8 ~m:8 in
+        let final, applied =
+          Search.Stochastic.replay_skipping caps_cpu p
+            [
+              "split_scope([0] factor 2)";
+              "split_scope([0] factor 2)" (* now size 4: still divisible *);
+              "bogus(move)";
+            ]
+        in
+        Alcotest.(check int) "two applied" 2 (List.length applied);
+        Ir.Validate.check_exn final);
+  ]
+
+let () =
+  Alcotest.run "search"
+    [
+      ("pass-semantics", pass_semantic_tests);
+      ("gpu-pass-semantics", gpu_pass_tests);
+      ("improvements", improvement_tests);
+      ("stochastic", stochastic_tests);
+      ("mutation", mutation_tests);
+    ]

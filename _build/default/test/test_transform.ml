@@ -1,0 +1,541 @@
+(* Transformation tests.  The central property mirrors the paper's own
+   validation methodology (§2.2): every transformation instance offered by
+   applicability discovery, applied at its location, must produce a valid
+   program that is numerically equivalent to the original. *)
+
+open Transform
+
+let caps_cpu = Xforms.cpu_caps ()
+let caps_gpu = Xforms.gpu_caps ()
+let caps_snitch = Xforms.snitch_caps ()
+
+let check_equiv ?(tol = 1e-4) label reference transformed =
+  (match Ir.Validate.check transformed with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%s: invalid after transform: %s" label
+        (String.concat "; " (List.map Ir.Validate.error_to_string errs)));
+  match Interp.equivalent ~tol reference transformed with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+(* Apply every applicable instance (one step from the root) and verify. *)
+let exhaustive_one_step caps (e : Kernels.entry) () =
+  let p = e.build_small () in
+  let insts = Xforms.all caps p in
+  Alcotest.(check bool)
+    (e.label ^ " has applicable transforms")
+    true (insts <> []);
+  List.iter
+    (fun (i : Xforms.instance) ->
+      let p' = i.apply p in
+      check_equiv (e.label ^ " / " ^ Xforms.describe i) p p')
+    insts
+
+let one_step_suites =
+  List.concat_map
+    (fun (caps, cname) ->
+      List.map
+        (fun (e : Kernels.entry) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s one-step (%s)" e.label cname)
+            `Quick
+            (exhaustive_one_step caps e))
+        (Kernels.table3 @ Kernels.snitch_micro))
+    [ (caps_cpu, "cpu"); (caps_gpu, "gpu"); (caps_snitch, "snitch") ]
+
+(* Random multi-step walks: semantics must be preserved along any path in
+   the transformation graph. *)
+let qcheck_random_walk caps cname =
+  let entries = Array.of_list (Kernels.table3 @ Kernels.snitch_micro) in
+  QCheck.Test.make ~count:60
+    ~name:(Printf.sprintf "random %s walk preserves semantics" cname)
+    QCheck.(pair (int_bound (Array.length entries - 1)) small_int)
+    (fun (kidx, seed) ->
+      let e = entries.(kidx) in
+      let p0 = e.Kernels.build_small () in
+      let rng = Util.Rng.create (seed + 1) in
+      let steps = 1 + Util.Rng.int rng 6 in
+      let p = ref p0 in
+      for _ = 1 to steps do
+        let insts = Xforms.all caps !p in
+        if insts <> [] then begin
+          let i = List.nth insts (Util.Rng.int rng (List.length insts)) in
+          p := i.apply !p
+        end
+      done;
+      Ir.Validate.is_valid !p
+      && Interp.equivalent ~tol:1e-4 p0 !p = Ok ())
+
+(* -------------------------------------------------------------------- *)
+(* Targeted behaviour tests                                              *)
+(* -------------------------------------------------------------------- *)
+
+let find_by_name insts name =
+  List.filter (fun (i : Xforms.instance) -> i.xname = name) insts
+
+let split_tests =
+  [
+    Alcotest.test_case "split rewrites indices" `Quick (fun () ->
+        let p = Kernels.relu ~n:8 ~m:4 in
+        let p' = Xforms.apply_split [ 0 ] 0 4 p in
+        let text = Ir.Printer.body p' in
+        Alcotest.(check bool) "outer 2" true
+          (String.length text > 0 && String.sub text 0 1 = "2");
+        (* the statement must now reference 4*{0}+{1} *)
+        Alcotest.(check bool) "remapped index" true
+          (let re = "4*{0}+{1}" in
+           let rec contains s sub i =
+             i + String.length sub <= String.length s
+             && (String.sub s i (String.length sub) = sub
+                || contains s sub (i + 1))
+           in
+           contains text re 0);
+        check_equiv "split" p p');
+    Alcotest.test_case "split offered only for divisors" `Quick (fun () ->
+        let p = Kernels.relu ~n:6 ~m:7 in
+        let insts = find_by_name (Xforms.all caps_cpu p) "split_scope" in
+        List.iter
+          (fun (i : Xforms.instance) ->
+            (* applying must never raise *)
+            ignore (i.apply p))
+          insts;
+        (* size 7 is prime: no split of the inner loop may be offered *)
+        Alcotest.(check bool) "no factor of 7" true
+          (List.for_all
+             (fun (i : Xforms.instance) ->
+               not (String.length i.target >= 3
+                   && String.sub i.target 0 3 = "[0,"))
+             insts));
+  ]
+
+let fusion_tests =
+  [
+    Alcotest.test_case "fusion legality matches Figure 5" `Quick (fun () ->
+        (* two N-loops: producer then consumer; fusable *)
+        let text =
+          "x f32 [6] heap\nt f32 [6] heap\nz f32 [6] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "6\n| t[{0}] = x[{0}] * 2\n"
+          ^ "6\n| z[{0}] = t[{0}] + 1\n"
+        in
+        let p = Ir.Parser.program text in
+        let joins = find_by_name (Xforms.all caps_cpu p) "join_scopes" in
+        Alcotest.(check int) "one fusion candidate" 1 (List.length joins);
+        let p' = (List.hd joins).apply p in
+        check_equiv "fused" p p';
+        (* after fusion, reuse of t's dimension becomes applicable *)
+        let reuses = find_by_name (Xforms.all caps_cpu p') "reuse_dims" in
+        Alcotest.(check bool) "reuse offered after fusion" true
+          (List.exists
+             (fun (i : Xforms.instance) -> i.target = "t dim 0")
+             reuses);
+        let p'' =
+          (List.find (fun (i : Xforms.instance) -> i.target = "t dim 0")
+             reuses)
+            .apply p'
+        in
+        check_equiv "fused+reused" p p'');
+    Alcotest.test_case "reuse_dims NOT offered before fusion" `Quick
+      (fun () ->
+        let text =
+          "x f32 [6] heap\nt f32 [6] heap\nz f32 [6] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "6\n| t[{0}] = x[{0}] * 2\n"
+          ^ "6\n| z[{0}] = t[{0}] + 1\n"
+        in
+        let p = Ir.Parser.program text in
+        let reuses = find_by_name (Xforms.all caps_cpu p) "reuse_dims" in
+        Alcotest.(check bool) "no reuse of t" true
+          (List.for_all
+             (fun (i : Xforms.instance) -> i.target <> "t dim 0")
+             reuses));
+    Alcotest.test_case "fusion rejected for misaligned accesses" `Quick
+      (fun () ->
+        (* consumer reads t[{0}+1]: iteration i of the second loop needs a
+           value the first loop produces at iteration i+1 *)
+        let text =
+          "x f32 [6] heap\nt f32 [7] heap\nz f32 [6] heap\n"
+          ^ "inputs: x, t\noutputs: z\n" ^ "6\n| t[{0}] = x[{0}] * 2\n"
+          ^ "6\n| z[{0}] = t[{0}+1] + 1\n"
+        in
+        let p = Ir.Parser.program text in
+        let joins = find_by_name (Xforms.all caps_cpu p) "join_scopes" in
+        Alcotest.(check int) "no fusion" 0 (List.length joins));
+    Alcotest.test_case "fusion rejected across scalar accumulator" `Quick
+      (fun () ->
+        (* first loop accumulates into s, second reads s: fusing would
+           expose partial sums *)
+        let text =
+          "x f32 [6] heap\ns f32 [1] heap\nz f32 [6] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "s[0] = 0\n"
+          ^ "6\n| s[0] = s[0] + x[{0}]\n"
+          ^ "6\n| z[{0}] = x[{0}] / s[0]\n"
+        in
+        let p = Ir.Parser.program text in
+        let joins = find_by_name (Xforms.all caps_cpu p) "join_scopes" in
+        Alcotest.(check int) "no fusion" 0 (List.length joins));
+    Alcotest.test_case "fission undoes fusion" `Quick (fun () ->
+        let p = Kernels.softmax ~n:3 ~m:4 in
+        let fissions = find_by_name (Xforms.all caps_cpu p) "fission" in
+        Alcotest.(check bool) "fission offered" true (fissions <> []);
+        List.iter
+          (fun (i : Xforms.instance) -> check_equiv "fission" p (i.apply p))
+          fissions);
+  ]
+
+let interchange_tests =
+  [
+    Alcotest.test_case "interchange elementwise loops" `Quick (fun () ->
+        let p = Kernels.relu ~n:4 ~m:6 in
+        let insts = find_by_name (Xforms.all caps_cpu p) "interchange" in
+        Alcotest.(check int) "offered once" 1 (List.length insts);
+        let p' = (List.hd insts).apply p in
+        check_equiv "interchange" p p';
+        (* sizes swapped *)
+        match p'.body with
+        | [ Ir.Types.Scope s ] -> Alcotest.(check int) "outer is m" 6 s.size
+        | _ -> Alcotest.fail "structure");
+    Alcotest.test_case "interchange matmul reduction loops" `Quick (fun () ->
+        (* c[i,j] += a[i,k]*b[k,j] : all three orders are valid thanks to
+           commutative-reduction handling *)
+        let p = Kernels.matmul ~m:3 ~k:4 ~n:5 in
+        (* isolate k loop under n loop: path [0;0;1] is the k scope, but
+           interchange applies to a scope whose only child is a scope;
+           n's body is [init; k-loop], so first fission the n loop *)
+        let fissions = find_by_name (Xforms.all caps_cpu p) "fission" in
+        Alcotest.(check bool) "fission offered" true (fissions <> []);
+        let p' = (List.hd fissions).apply p in
+        check_equiv "fissioned matmul" p p';
+        let inters = find_by_name (Xforms.all caps_cpu p') "interchange" in
+        List.iter
+          (fun (i : Xforms.instance) ->
+            check_equiv ("interchange " ^ i.target) p (i.apply p'))
+          inters);
+    Alcotest.test_case "dependent iteration blocks interchange" `Quick
+      (fun () ->
+        (* z[{0},{1}] = z[{0}-1,{1}] * y: loop-carried on the outer loop
+           with offset: interchange must not be offered after wrapping ...
+           construct directly: two nested loops where inner stmt reads the
+           previous outer iteration *)
+        let text =
+          "y f32 [4, 4] heap\nz f32 [5, 4] heap\n"
+          ^ "inputs: y, z\noutputs: z\n" ^ "4\n| 4\n"
+          ^ "| | z[{0}+1,{1}] = z[{0},{1}] * y[{0},{1}]\n"
+        in
+        let p = Ir.Parser.program text in
+        let inters = find_by_name (Xforms.all caps_cpu p) "interchange" in
+        (* interchange of these two loops is actually safe: distance is
+           (1, 0), carried only by the outer loop -- our conservative rule
+           must reject it since indices are not lockstep *)
+        Alcotest.(check int) "rejected" 0 (List.length inters));
+  ]
+
+let annotation_tests =
+  [
+    Alcotest.test_case "vectorize after matching split" `Quick (fun () ->
+        let p = Kernels.add ~n:4 ~m:32 in
+        (* split m by 8, then the inner loop is vectorizable *)
+        let p' = Xforms.apply_split [ 0; 0 ] 1 8 p in
+        let vecs = find_by_name (Xforms.all caps_cpu p') "vectorize" in
+        Alcotest.(check bool) "offered" true (vecs <> []);
+        let p'' = (List.hd vecs).apply p' in
+        check_equiv "vectorized" p p'');
+    Alcotest.test_case "vectorize not offered on strided access" `Quick
+      (fun () ->
+        (* transpose-style access: x[{1},{0}] is strided in the inner
+           loop; only the loop where both accesses are contiguous may be
+           vectorized *)
+        let text =
+          "x f32 [8, 8] heap\nz f32 [8, 8] heap\n"
+          ^ "inputs: x\noutputs: z\n" ^ "8\n| 8\n"
+          ^ "| | z[{0},{1}] = x[{1},{0}] + 1\n"
+        in
+        let p = Ir.Parser.program text in
+        let vecs = find_by_name (Xforms.all caps_gpu p) "vectorize" in
+        Alcotest.(check int) "none" 0 (List.length vecs));
+    Alcotest.test_case "reduction loop is not parallelizable" `Quick
+      (fun () ->
+        let p = Kernels.vecsum ~n:8 in
+        let pars = find_by_name (Xforms.all caps_cpu p) "parallelize" in
+        Alcotest.(check int) "none" 0 (List.length pars));
+    Alcotest.test_case "row loop of softmax is parallelizable" `Quick
+      (fun () ->
+        let p = Kernels.softmax ~n:4 ~m:8 in
+        let pars = find_by_name (Xforms.all caps_cpu p) "parallelize" in
+        Alcotest.(check bool) "offered" true
+          (List.exists (fun (i : Xforms.instance) -> i.target = "[0]") pars);
+        let inst =
+          List.find (fun (i : Xforms.instance) -> i.target = "[0]") pars
+        in
+        check_equiv "parallelized" p (inst.apply p));
+    Alcotest.test_case "gpu mapping discipline" `Quick (fun () ->
+        let p = Kernels.add ~n:8 ~m:16 in
+        let grids = find_by_name (Xforms.all caps_gpu p) "gpu_map" in
+        (* only grid mappings offered initially *)
+        Alcotest.(check bool) "grid offered" true
+          (List.exists
+             (fun (i : Xforms.instance) ->
+               String.length i.target > 4
+               && String.sub i.target (String.length i.target - 4) 4 = "grid")
+             grids);
+        let grid =
+          List.find
+            (fun (i : Xforms.instance) -> i.target = "[0] grid")
+            grids
+        in
+        let p' = grid.apply p in
+        check_equiv "grid" p p';
+        let blocks = find_by_name (Xforms.all caps_gpu p') "gpu_map" in
+        Alcotest.(check bool) "block offered under grid" true
+          (List.exists
+             (fun (i : Xforms.instance) ->
+               String.length i.target > 5
+               && String.sub i.target (String.length i.target - 5) 5
+                  = "block")
+             blocks));
+    Alcotest.test_case "unannotate reverses annotations" `Quick (fun () ->
+        let p = Kernels.relu ~n:8 ~m:8 in
+        let par =
+          (List.find
+             (fun (i : Xforms.instance) ->
+               i.xname = "parallelize" && i.target = "[0]")
+             (Xforms.all caps_cpu p))
+            .apply p
+        in
+        let unns = find_by_name (Xforms.all caps_cpu par) "unannotate" in
+        Alcotest.(check int) "one annotated scope" 1 (List.length unns);
+        let back = (List.hd unns).apply par in
+        Alcotest.(check bool) "round trip" true (back = p));
+    Alcotest.test_case "warp mapping only inside blocks" `Quick (fun () ->
+        let p = Kernels.bmm ~b:8 ~m:16 ~k:8 ~n:32 in
+        let warp_insts q =
+          List.filter
+            (fun (i : Xforms.instance) ->
+              i.xname = "gpu_map"
+              && String.length i.target >= 4
+              && String.sub i.target (String.length i.target - 4) 4 = "warp")
+            (Xforms.all caps_gpu q)
+        in
+        Alcotest.(check int) "no warp at root" 0 (List.length (warp_insts p));
+        let grid =
+          List.find
+            (fun (i : Xforms.instance) ->
+              i.xname = "gpu_map" && i.target = "[0] grid")
+            (Xforms.all caps_gpu p)
+        in
+        let p1 = grid.apply p in
+        let block =
+          List.find
+            (fun (i : Xforms.instance) ->
+              i.xname = "gpu_map" && i.target = "[0,0] block")
+            (Xforms.all caps_gpu p1)
+        in
+        let p2 = block.apply p1 in
+        let ws = warp_insts p2 in
+        Alcotest.(check bool) "warp offered under block" true (ws <> []);
+        List.iter
+          (fun (i : Xforms.instance) ->
+            check_equiv ("warp " ^ i.target) p (i.apply p2))
+          ws);
+    Alcotest.test_case "pad_scope masks correctly" `Quick (fun () ->
+        let p = Kernels.relu ~n:5 ~m:3 in
+        let pads = find_by_name (Xforms.all caps_gpu p) "pad_scope" in
+        Alcotest.(check bool) "offered" true (pads <> []);
+        List.iter
+          (fun (i : Xforms.instance) ->
+            check_equiv ("pad " ^ i.target) p (i.apply p))
+          pads);
+    Alcotest.test_case "snitch ssr then frep" `Quick (fun () ->
+        let p = Kernels.dot ~n:16 in
+        let ssrs = find_by_name (Xforms.all caps_snitch p) "enable_ssr" in
+        Alcotest.(check bool) "ssr offered" true (ssrs <> []);
+        let p' = (List.hd ssrs).apply p in
+        check_equiv "ssr" p p';
+        let freps = find_by_name (Xforms.all caps_snitch p') "enable_frep" in
+        Alcotest.(check bool) "frep offered after ssr" true (freps <> []);
+        let p'' = (List.hd freps).apply p' in
+        check_equiv "frep" p p'';
+        (* frep is never offered without ssr *)
+        let freps0 = find_by_name (Xforms.all caps_snitch p) "enable_frep" in
+        Alcotest.(check int) "no frep without ssr" 0 (List.length freps0));
+  ]
+
+let storage_tests =
+  [
+    Alcotest.test_case "set_storage skips io buffers" `Quick (fun () ->
+        let p = Kernels.softmax ~n:3 ~m:4 in
+        let insts = find_by_name (Xforms.all caps_cpu p) "set_storage" in
+        Alcotest.(check bool) "some offered" true (insts <> []);
+        List.iter
+          (fun (i : Xforms.instance) ->
+            Alcotest.(check bool)
+              ("not io: " ^ i.target)
+              false
+              (String.length i.target > 1
+              && (String.sub i.target 0 2 = "x " || String.sub i.target 0 2
+                                                    = "z "));
+            check_equiv ("storage " ^ i.target) p (i.apply p))
+          insts);
+    Alcotest.test_case "layout reorder preserves semantics" `Quick (fun () ->
+        let p = Kernels.softmax ~n:3 ~m:4 in
+        let insts = find_by_name (Xforms.all caps_cpu p) "reorder_buffer_dims"
+        in
+        Alcotest.(check bool) "offered for e" true
+          (List.exists
+             (fun (i : Xforms.instance) ->
+               String.length i.target > 1 && String.sub i.target 0 1 = "e")
+             insts);
+        List.iter
+          (fun (i : Xforms.instance) ->
+            check_equiv ("layout " ^ i.target) p (i.apply p))
+          insts);
+  ]
+
+let split_reduction_tests =
+  [
+    Alcotest.test_case "offered for scalar reductions only" `Quick (fun () ->
+        (* vecsum's loop carries a scalar accumulator: offered *)
+        let p = Kernels.vecsum ~n:16 in
+        let insts = find_by_name (Xforms.all caps_cpu p) "split_reduction" in
+        Alcotest.(check bool) "offered" true (insts <> []);
+        List.iter
+          (fun (i : Xforms.instance) ->
+            check_equiv ("split_reduction " ^ i.target) p (i.apply p))
+          insts;
+        (* elementwise kernels have no reduction: not offered *)
+        let q = Kernels.relu ~n:16 ~m:16 in
+        Alcotest.(check int) "not offered" 0
+          (List.length (find_by_name (Xforms.all caps_cpu q) "split_reduction")));
+    Alcotest.test_case "max reduction uses -inf identity" `Quick (fun () ->
+        let text =
+          "x f32 [16] heap\nz f32 [1] heap\ninputs: x\noutputs: z\n"
+          ^ "z[0] = -inf\n16\n| z[0] = max(z[0], x[{0}])\n"
+        in
+        let p = Ir.Parser.program text in
+        let insts = find_by_name (Xforms.all caps_cpu p) "split_reduction" in
+        Alcotest.(check bool) "offered" true (insts <> []);
+        List.iter
+          (fun (i : Xforms.instance) ->
+            check_equiv ("max " ^ i.target) p (i.apply p))
+          insts);
+    Alcotest.test_case "partials break the dependency chain" `Quick
+      (fun () ->
+        (* on Snitch, dot with split_reduction + unrolled partials must
+           beat the greedy (chained) version *)
+        let sn = Machine.Desc.snitch_cluster in
+        let p = Kernels.dot ~n:1024 in
+        let g = Search.Passes.greedy caps_snitch p in
+        let h = Search.Passes.heuristic caps_snitch p in
+        let frac q = Machine.Snitch_sim.peak_fraction sn q in
+        Alcotest.(check bool)
+          (Printf.sprintf "heuristic %.3f > greedy %.3f" (frac h) (frac g))
+          true
+          (frac h > frac g));
+    Alcotest.test_case "fresh partial buffer does not collide" `Quick
+      (fun () ->
+        let text =
+          "x f32 [16] heap\nz f32 [1] heap\nz__part f32 [4] heap\n"
+          ^ "inputs: x, z__part\noutputs: z\n" ^ "z[0] = 0\n16\n"
+          ^ "| z[0] = z[0] + x[{0}]\n"
+        in
+        let p = Ir.Parser.program text in
+        let insts = find_by_name (Xforms.all caps_cpu p) "split_reduction" in
+        List.iter
+          (fun (i : Xforms.instance) ->
+            let p' = i.apply p in
+            Ir.Validate.check_exn p';
+            check_equiv "fresh name" p p')
+          insts);
+    Alcotest.test_case "unroll replication is bounded" `Quick (fun () ->
+        (* after unrolling one 16-loop, unrolling an enclosing 16-loop
+           would replicate 256x > bound: not offered *)
+        let p = Kernels.relu ~n:16 ~m:16 in
+        let u1 =
+          List.find
+            (fun (i : Xforms.instance) ->
+              i.xname = "unroll" && i.target = "[0,0]")
+            (Xforms.all caps_cpu p)
+        in
+        let p' = u1.apply p in
+        let remaining = find_by_name (Xforms.all caps_cpu p') "unroll" in
+        Alcotest.(check bool) "outer unroll now too big" true
+          (List.for_all
+             (fun (i : Xforms.instance) -> i.target <> "[0]")
+             remaining));
+  ]
+
+let engine_tests =
+  [
+    Alcotest.test_case "session applies and undoes" `Quick (fun () ->
+        let p = Kernels.relu ~n:4 ~m:8 in
+        let s = Engine.start caps_cpu p in
+        let insts = Engine.applicable s in
+        ignore (Engine.apply s (List.hd insts));
+        Alcotest.(check bool) "changed" true (s.current <> p);
+        (match Engine.undo s with
+        | Some p' -> Alcotest.(check bool) "restored" true (p' = p)
+        | None -> Alcotest.fail "undo failed");
+        Alcotest.(check bool) "current restored" true (s.current = p));
+    Alcotest.test_case "undo_at removes middle move" `Quick (fun () ->
+        (* split twice, then undo the first split while keeping the
+           second: non-destructive history in action *)
+        let p = Kernels.relu ~n:8 ~m:8 in
+        let s = Engine.start caps_cpu p in
+        let split_of target =
+          List.find
+            (fun (i : Xforms.instance) ->
+              i.xname = "split_scope" && i.target = target)
+            (Engine.applicable s)
+        in
+        (* first split the inner (m) loop, then the outer (n) loop; the
+           outer split's location is unaffected when the first move is
+           removed, so replay succeeds *)
+        ignore (Engine.apply s (split_of "[0,0] factor 2"));
+        ignore (Engine.apply s (split_of "[0] factor 2"));
+        let two = s.current in
+        (match Engine.undo_at s 1 with
+        | Some p' ->
+            Alcotest.(check bool) "different from two-split state" true
+              (p' <> two);
+            check_equiv "after undo_at" p p'
+        | None -> Alcotest.fail "undo_at failed");
+        (* removing a move whose successors depended on it is refused *)
+        let s2 = Engine.start caps_cpu p in
+        let split2_of target =
+          List.find
+            (fun (i : Xforms.instance) ->
+              i.xname = "split_scope" && i.target = target)
+            (Engine.applicable s2)
+        in
+        ignore (Engine.apply s2 (split2_of "[0] factor 2"));
+        ignore (Engine.apply s2 (split2_of "[0,0,0] factor 2"));
+        Alcotest.(check bool) "dependent removal refused" true
+          (Engine.undo_at s2 1 = None));
+    Alcotest.test_case "replay by move names" `Quick (fun () ->
+        let p = Kernels.relu ~n:4 ~m:8 in
+        let s = Engine.start caps_cpu p in
+        ignore (Engine.apply s (List.hd (Engine.applicable s)));
+        ignore (Engine.apply s (List.hd (Engine.applicable s)));
+        let names = List.map Xforms.describe (Engine.moves s) in
+        match Engine.replay caps_cpu p names with
+        | Ok p' -> Alcotest.(check bool) "same result" true (p' = s.current)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let () =
+  Alcotest.run "transform"
+    [
+      ("one-step-exhaustive", one_step_suites);
+      ("split", split_tests);
+      ("fusion", fusion_tests);
+      ("interchange", interchange_tests);
+      ("annotations", annotation_tests);
+      ("storage", storage_tests);
+      ("split-reduction", split_reduction_tests);
+      ("engine", engine_tests);
+      ( "qcheck",
+        [
+          QCheck_alcotest.to_alcotest (qcheck_random_walk caps_cpu "cpu");
+          QCheck_alcotest.to_alcotest (qcheck_random_walk caps_gpu "gpu");
+          QCheck_alcotest.to_alcotest (qcheck_random_walk caps_snitch "snitch");
+        ] );
+    ]

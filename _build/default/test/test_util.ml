@@ -1,0 +1,110 @@
+(* Tests for the util substrate: RNG determinism and distribution
+   sanity, statistics. *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Util.Rng.create 99 and b = Util.Rng.create 99 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same" (Util.Rng.next_int64 a)
+            (Util.Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+        Alcotest.(check bool) "differ" true
+          (Util.Rng.next_int64 a <> Util.Rng.next_int64 b));
+    Alcotest.test_case "split streams are independent of parent draw order"
+      `Quick (fun () ->
+        let a = Util.Rng.create 7 in
+        let child = Util.Rng.split a in
+        let x = Util.Rng.next_int64 child in
+        (* drawing more from the parent must not affect the child *)
+        ignore (Util.Rng.next_int64 a);
+        let a2 = Util.Rng.create 7 in
+        let child2 = Util.Rng.split a2 in
+        Alcotest.(check int64) "same child stream" x
+          (Util.Rng.next_int64 child2));
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let rng = Util.Rng.create 3 in
+        for _ = 1 to 1000 do
+          let f = Util.Rng.float rng in
+          Alcotest.(check bool) "range" true (f >= 0.0 && f < 1.0)
+        done);
+    Alcotest.test_case "int respects bound and hits all values" `Quick
+      (fun () ->
+        let rng = Util.Rng.create 5 in
+        let seen = Array.make 7 false in
+        for _ = 1 to 2000 do
+          let v = Util.Rng.int rng 7 in
+          Alcotest.(check bool) "range" true (v >= 0 && v < 7);
+          seen.(v) <- true
+        done;
+        Alcotest.(check bool) "all hit" true (Array.for_all Fun.id seen));
+    Alcotest.test_case "int rejects non-positive bound" `Quick (fun () ->
+        let rng = Util.Rng.create 1 in
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Util.Rng.int rng 0)));
+    Alcotest.test_case "normal has roughly zero mean, unit variance" `Quick
+      (fun () ->
+        let rng = Util.Rng.create 11 in
+        let n = 20000 in
+        let xs = Array.init n (fun _ -> Util.Rng.normal rng) in
+        Alcotest.(check bool) "mean" true
+          (abs_float (Util.Stats.mean xs) < 0.03);
+        Alcotest.(check bool) "stddev" true
+          (abs_float (Util.Stats.stddev xs -. 1.0) < 0.03));
+    Alcotest.test_case "weighted_index follows the weights" `Quick (fun () ->
+        let rng = Util.Rng.create 13 in
+        let w = [| 1.0; 0.0; 3.0 |] in
+        let counts = Array.make 3 0 in
+        let n = 8000 in
+        for _ = 1 to n do
+          let i = Util.Rng.weighted_index rng w in
+          counts.(i) <- counts.(i) + 1
+        done;
+        Alcotest.(check int) "zero-weight never drawn" 0 counts.(1);
+        let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio %.2f near 3" ratio)
+          true
+          (ratio > 2.5 && ratio < 3.5));
+    Alcotest.test_case "shuffle preserves elements" `Quick (fun () ->
+        let rng = Util.Rng.create 17 in
+        let arr = Array.init 50 Fun.id in
+        Util.Rng.shuffle_in_place rng arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id)
+          sorted);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "mean and variance" `Quick (fun () ->
+        let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+        Alcotest.(check (float 1e-9)) "mean" 2.5 (Util.Stats.mean xs);
+        Alcotest.(check (float 1e-9)) "variance" (5.0 /. 3.0)
+          (Util.Stats.variance xs));
+    Alcotest.test_case "geomean of powers" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "geomean" 2.0
+          (Util.Stats.geomean [| 1.0; 2.0; 4.0 |]));
+    Alcotest.test_case "geomean rejects non-positive" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+            ignore (Util.Stats.geomean [| 1.0; 0.0 |])));
+    Alcotest.test_case "quantiles interpolate" `Quick (fun () ->
+        let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+        Alcotest.(check (float 1e-9)) "median" 25.0 (Util.Stats.median xs);
+        Alcotest.(check (float 1e-9)) "q0" 10.0 (Util.Stats.quantile 0.0 xs);
+        Alcotest.(check (float 1e-9)) "q1" 40.0 (Util.Stats.quantile 1.0 xs);
+        Alcotest.(check (float 1e-9)) "q25" 17.5
+          (Util.Stats.quantile 0.25 xs));
+    Alcotest.test_case "min/max" `Quick (fun () ->
+        let xs = [| 3.0; -1.0; 2.0 |] in
+        Alcotest.(check (float 0.0)) "min" (-1.0) (Util.Stats.min_arr xs);
+        Alcotest.(check (float 0.0)) "max" 3.0 (Util.Stats.max_arr xs));
+  ]
+
+let () =
+  Alcotest.run "util" [ ("rng", rng_tests); ("stats", stats_tests) ]
