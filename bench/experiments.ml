@@ -781,6 +781,140 @@ let rl_ablation () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Tuning database: memoized search + warm-start trajectory            *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by bench/main.ml's --db flag; when given, the experiment loads
+   and updates a persistent database so successive bench runs keep
+   improving on recorded schedules. *)
+let tuning_db_file : string option ref = ref None
+
+let tuning () =
+  Report.header
+    "Tuning DB: memoized evaluation and warm-started search trajectory";
+  let budget = Report.search_budget () / 2 in
+  let db =
+    match !tuning_db_file with
+    | None -> Tuning.Db.create ()
+    | Some f -> (
+        match Tuning.Db.load f with
+        | Ok db -> db
+        | Error msg ->
+            Printf.printf "  (ignoring unreadable db: %s)\n" msg;
+            Tuning.Db.create ())
+  in
+  let workloads =
+    [
+      ("softmax", Kernels.softmax ~n:512 ~m:512, "x86", target_x86);
+      ("softmax", Kernels.softmax ~n:24576 ~m:512, "snitch", target_snitch);
+      ("gemv", Kernels.gemv ~m:4096 ~n:4096, "snitch", target_snitch);
+      ("layernorm", Kernels.layernorm ~n:512 ~m:1024, "x86", target_x86);
+    ]
+  in
+  let summaries =
+    List.map
+      (fun (kernel, p, tname, target) ->
+        let strat =
+          Perfdojo.Annealing { budget; space = Stoch.Heuristic }
+        in
+        (* cold run: empty cache, no warm start; deposits its winner *)
+        let cold_cache = Tuning.Cache.create () in
+        let cold =
+          Perfdojo.optimize ~seed:1 ~cache:cold_cache strat target p
+        in
+        (if cold.moves <> [] then
+           match
+             Tuning.Warmstart.record_of
+               ~objective:(time target) ~caps:(Machine.caps target)
+               ~kernel ~target:tname ~root:p ~moves:cold.moves
+               ~evals:cold.evaluations
+           with
+           | Ok r -> ignore (Tuning.Db.add db r)
+           | Error _ -> ());
+        (* warm run: fresh cache, seeded from the database's best *)
+        let warm_cache = Tuning.Cache.create () in
+        let warm_start =
+          Tuning.Warmstart.moves_for db ~kernel ~target:tname ~root:p
+        in
+        let warm =
+          Perfdojo.optimize ~seed:2 ~cache:warm_cache ~warm_start strat
+            target p
+        in
+        (if warm.moves <> [] then
+           match
+             Tuning.Warmstart.record_of
+               ~objective:(time target) ~caps:(Machine.caps target)
+               ~kernel ~target:tname ~root:p ~moves:warm.moves
+               ~evals:warm.evaluations
+           with
+           | Ok r -> ignore (Tuning.Db.add db r)
+           | Error _ -> ());
+        (kernel, tname, time target p, cold, cold_cache, warm, warm_cache))
+      workloads
+  in
+  Report.table
+    [
+      "kernel"; "target"; "naive"; "cold best"; "warm best"; "hit rate";
+      "evals saved";
+    ]
+    (List.map
+       (fun (kernel, tname, naive, (cold : Perfdojo.outcome), _,
+             (warm : Perfdojo.outcome), warm_cache) ->
+         [
+           kernel; tname;
+           Report.e3 naive;
+           Report.e3 cold.time_s;
+           Report.e3 warm.time_s;
+           Printf.sprintf "%.1f%%" (100. *. Tuning.Cache.hit_rate warm_cache);
+           string_of_int (Tuning.Cache.hits warm_cache);
+         ])
+       summaries);
+  print_endline
+    "\n(warm runs are seeded from the database's recorded best and never";
+  print_endline
+    " finish behind it; hits are performance-model evaluations avoided)";
+  (* machine-readable summary for the perf trajectory *)
+  let json =
+    Tuning.Json.Obj
+      [
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ( "workloads",
+          Tuning.Json.Arr
+            (List.map
+               (fun (kernel, tname, _, (cold : Perfdojo.outcome), cold_cache,
+                     (warm : Perfdojo.outcome), warm_cache) ->
+                 Tuning.Json.Obj
+                   [
+                     ("kernel", Tuning.Json.Str kernel);
+                     ("target", Tuning.Json.Str tname);
+                     ("cold_best_s", Tuning.Json.Num cold.time_s);
+                     ("warm_best_s", Tuning.Json.Num warm.time_s);
+                     ( "cold_hit_rate",
+                       Tuning.Json.Num (Tuning.Cache.hit_rate cold_cache) );
+                     ( "warm_hit_rate",
+                       Tuning.Json.Num (Tuning.Cache.hit_rate warm_cache) );
+                     ( "evals_saved",
+                       Tuning.Json.Num
+                         (float_of_int
+                            (Tuning.Cache.hits cold_cache
+                            + Tuning.Cache.hits warm_cache)) );
+                   ])
+               summaries) );
+      ]
+  in
+  let oc = open_out "BENCH_tuning.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nwrote BENCH_tuning.json";
+  match !tuning_db_file with
+  | None -> ()
+  | Some f ->
+      Tuning.Db.save db f;
+      Printf.printf "tuning database saved: %s (%d records)\n" f
+        (Tuning.Db.size db)
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -804,4 +938,5 @@ let all : (string * (unit -> unit)) list =
     ("fig14", fig14);
     ("arm", arm);
     ("rl-ablation", rl_ablation);
+    ("tuning", tuning);
   ]

@@ -4,6 +4,12 @@
    `dune exec bench/main.exe -- fig7 fig8`   runs a subset
    `dune exec bench/main.exe -- framework`   Bechamel micro-benchmarks of
                                              the framework itself
+   `dune exec bench/main.exe -- tuning --db tune.jsonl`
+                                             tuning-database trajectory
+                                             against a persistent store
+
+   The tuning experiment writes a machine-readable BENCH_tuning.json
+   (cache hit rates, evals saved, best runtimes).
 
    Environment: PERFDOJO_BUDGET (search evaluations per kernel, default
    300; the paper uses 1000), PERFDOJO_RL_EPISODES (default 14). *)
@@ -68,8 +74,17 @@ let run_framework_microbench () =
       | _ -> Printf.printf "  %-36s (no estimate)\n" name)
     results
 
+(* Strip `--db FILE` from the argument list, routing it to the tuning
+   experiment's persistent store. *)
+let rec extract_db = function
+  | [] -> []
+  | "--db" :: file :: rest ->
+      Experiments.tuning_db_file := Some file;
+      extract_db rest
+  | arg :: rest -> arg :: extract_db rest
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = Array.to_list Sys.argv |> List.tl |> extract_db in
   let t0 = Sys.time () in
   (match args with
   | [] ->

@@ -4,55 +4,83 @@
    perfdojo show softmax [--target x86] [--c]
    perfdojo moves softmax --target snitch
    perfdojo optimize softmax --target gh200 --strategy annealing --budget 500
+   perfdojo optimize softmax --target snitch --db tune.jsonl --warm-start
+   perfdojo db list | best | export
    perfdojo verify softmax --target x86 --strategy heuristic
-   perfdojo targets *)
+   perfdojo targets
+
+   Errors follow Cmdliner conventions: unknown kernels, targets and
+   strategies are usage errors (printed with usage, non-zero exit), so
+   scripted tuning pipelines can distinguish them from tuning output. *)
 
 open Cmdliner
 open Perfdojo
 
 let all_kernels = Kernels.table3 @ Kernels.snitch_micro
 
-let find_kernel name =
+(* Command bodies return [(unit, bool * string) result]; the bool
+   requests usage printing, per [Term.ret]'s error conventions. *)
+let ( let* ) = Result.bind
+
+let to_ret = function
+  | Ok () -> `Ok ()
+  | Error (usage, msg) -> `Error (usage, msg)
+
+let find_kernel name : (Kernels.entry, bool * string) result =
   match
     List.find_opt (fun (e : Kernels.entry) -> e.label = name) all_kernels
   with
-  | Some e -> e
+  | Some e -> Ok e
   | None ->
-      Printf.eprintf "unknown kernel %S; try `perfdojo list`\n" name;
-      exit 1
+      Error
+        (true, Printf.sprintf "unknown kernel %S; try `perfdojo list`" name)
 
-let target_of_string = function
-  | "x86" | "xeon" -> Machine.Desc.Cpu Machine.Desc.xeon_e5_2695v4
-  | "avx512" -> Machine.Desc.Cpu Machine.Desc.avx512_cpu
-  | "arm" | "grace" -> Machine.Desc.Cpu Machine.Desc.grace_arm
-  | "riscv" -> Machine.Desc.Cpu Machine.Desc.riscv_scalar
-  | "snitch" -> Machine.Desc.Snitch Machine.Desc.snitch_cluster
-  | "gh200" -> Machine.Desc.Gpu Machine.Desc.gh200
-  | "mi300a" -> Machine.Desc.Gpu Machine.Desc.mi300a
+(* Returns the canonical short name alongside the descriptor: the short
+   name is what tuning-database records are keyed on. *)
+let target_of_string s :
+    (string * Machine.Desc.target, bool * string) result =
+  match s with
+  | "x86" | "xeon" -> Ok ("x86", Machine.Desc.Cpu Machine.Desc.xeon_e5_2695v4)
+  | "avx512" -> Ok ("avx512", Machine.Desc.Cpu Machine.Desc.avx512_cpu)
+  | "arm" | "grace" -> Ok ("arm", Machine.Desc.Cpu Machine.Desc.grace_arm)
+  | "riscv" -> Ok ("riscv", Machine.Desc.Cpu Machine.Desc.riscv_scalar)
+  | "snitch" -> Ok ("snitch", Machine.Desc.Snitch Machine.Desc.snitch_cluster)
+  | "gh200" -> Ok ("gh200", Machine.Desc.Gpu Machine.Desc.gh200)
+  | "mi300a" -> Ok ("mi300a", Machine.Desc.Gpu Machine.Desc.mi300a)
   | s ->
-      Printf.eprintf
-        "unknown target %S (x86, avx512, arm, riscv, snitch, gh200, mi300a)\n"
-        s;
-      exit 1
+      Error
+        ( true,
+          Printf.sprintf
+            "unknown target %S (x86, avx512, arm, riscv, snitch, gh200, \
+             mi300a)"
+            s )
 
-let strategy_of_string budget = function
-  | "naive" -> Naive
-  | "greedy" -> Greedy
-  | "heuristic" -> Heuristic
-  | "sampling" -> Sampling { budget; space = Search.Stochastic.Heuristic }
-  | "sampling-edges" -> Sampling { budget; space = Search.Stochastic.Edges }
-  | "annealing" -> Annealing { budget; space = Search.Stochastic.Heuristic }
-  | "annealing-edges" -> Annealing { budget; space = Search.Stochastic.Edges }
+let strategy_of_string budget s : (strategy, bool * string) result =
+  match s with
+  | "naive" -> Ok Naive
+  | "greedy" -> Ok Greedy
+  | "heuristic" -> Ok Heuristic
+  | "sampling" -> Ok (Sampling { budget; space = Search.Stochastic.Heuristic })
+  | "sampling-edges" ->
+      Ok (Sampling { budget; space = Search.Stochastic.Edges })
+  | "annealing" ->
+      Ok (Annealing { budget; space = Search.Stochastic.Heuristic })
+  | "annealing-edges" ->
+      Ok (Annealing { budget; space = Search.Stochastic.Edges })
   | "rl" ->
-      Rl_search
-        {
-          Rl.Perfllm.default_config with
-          episodes = max 4 (budget / 24);
-          max_steps = 20;
-        }
-  | s ->
-      Printf.eprintf "unknown strategy %S\n" s;
-      exit 1
+      Ok
+        (Rl_search
+           {
+             Rl.Perfllm.default_config with
+             episodes = max 4 (budget / 24);
+             max_steps = 20;
+           })
+  | s -> Error (true, Printf.sprintf "unknown strategy %S" s)
+
+let load_db path : (Tuning.Db.t, bool * string) result =
+  match Tuning.Db.load path with
+  | Ok db -> Ok db
+  | Error msg -> Error (false, msg)
 
 (* shared options *)
 let target_arg =
@@ -79,6 +107,10 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let db_file_arg =
+  let doc = "Tuning database file (JSONL, one schedule record per line)." in
+  Arg.(value & opt string "tune.jsonl" & info [ "db" ] ~docv:"FILE" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -101,17 +133,12 @@ let list_cmd =
 let targets_cmd =
   let run () =
     List.iter
-      (fun (name, t) ->
-        Printf.printf "%-8s %s\n" name (Machine.Desc.target_name t))
-      [
-        ("x86", target_of_string "x86");
-        ("avx512", target_of_string "avx512");
-        ("arm", target_of_string "arm");
-        ("riscv", target_of_string "riscv");
-        ("snitch", target_of_string "snitch");
-        ("gh200", target_of_string "gh200");
-        ("mi300a", target_of_string "mi300a");
-      ]
+      (fun name ->
+        match target_of_string name with
+        | Ok (short, t) ->
+            Printf.printf "%-8s %s\n" short (Machine.Desc.target_name t)
+        | Error _ -> ())
+      [ "x86"; "avx512"; "arm"; "riscv"; "snitch"; "gh200"; "mi300a" ]
   in
   Cmd.v (Cmd.info "targets" ~doc:"List the modelled machines.")
     Term.(const run $ const ())
@@ -122,20 +149,22 @@ let targets_cmd =
 
 let show_cmd =
   let run kernel emit_c =
-    let e = find_kernel kernel in
-    let p = e.build () in
-    print_string (Ir.Printer.program p);
-    if emit_c then begin
-      print_endline "\n/* generated C */";
-      print_string (Codegen.program p)
-    end
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let p = e.build () in
+       print_string (Ir.Printer.program p);
+       if emit_c then begin
+         print_endline "\n/* generated C */";
+         print_string (Codegen.program p)
+       end;
+       Ok ()
   in
   let c_arg =
     Arg.(value & flag & info [ "c" ] ~doc:"Also print the generated C.")
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print a kernel's textual IR (and optionally C).")
-    Term.(const run $ kernel_arg $ c_arg)
+    Term.(ret (const run $ kernel_arg $ c_arg))
 
 (* ------------------------------------------------------------------ *)
 (* moves                                                               *)
@@ -143,55 +172,125 @@ let show_cmd =
 
 let moves_cmd =
   let run kernel target =
-    let e = find_kernel kernel in
-    let t = target_of_string target in
-    let game = Game.start t (e.build ()) in
-    List.iter (fun (i, d) -> Printf.printf "%3d  %s\n" i d) (Game.moves game)
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let* _, t = target_of_string target in
+       let game = Game.start t (e.build ()) in
+       List.iter
+         (fun (i, d) -> Printf.printf "%3d  %s\n" i d)
+         (Game.moves game);
+       Ok ()
   in
   Cmd.v
     (Cmd.info "moves"
        ~doc:"List the applicable transformations at the kernel's root state.")
-    Term.(const run $ kernel_arg $ target_arg)
+    Term.(ret (const run $ kernel_arg $ target_arg))
 
 (* ------------------------------------------------------------------ *)
 (* optimize                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run kernel target strategy budget seed emit_c check =
-    let e = find_kernel kernel in
-    let t = target_of_string target in
-    let p = e.build () in
-    let t_naive = Machine.time t p in
-    let outcome =
-      Perfdojo.optimize ~seed (strategy_of_string budget strategy) t p
-    in
-    Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
-    Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
-    Printf.printf "strategy:   %s\n" strategy;
-    Printf.printf "naive:      %.3e s\n" t_naive;
-    Printf.printf "optimized:  %.3e s (%.2fx, %d evaluations)\n"
-      outcome.time_s (t_naive /. outcome.time_s) outcome.evaluations;
-    if outcome.moves <> [] then begin
-      print_endline "moves:";
-      List.iter (Printf.printf "  %s\n") outcome.moves
-    end;
-    print_endline "schedule:";
-    print_endline (Ir.Printer.body outcome.schedule);
-    if check then begin
-      let small = e.build_small () in
-      let small_outcome =
-        Perfdojo.optimize ~seed (strategy_of_string budget strategy) t small
-      in
-      match Interp.equivalent small small_outcome.schedule with
-      | Ok () ->
-          print_endline "numerical check (small variant): OK"
-      | Error msg -> Printf.printf "numerical check FAILED: %s\n" msg
-    end;
-    if emit_c then begin
-      print_endline "/* generated C */";
-      print_string (Codegen.program outcome.schedule)
-    end
+  let run kernel target strategy budget seed emit_c check db_file warm =
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let* tname, t = target_of_string target in
+       let* strat = strategy_of_string budget strategy in
+       let* db =
+         match db_file with
+         | None ->
+             if warm then
+               Error (true, "--warm-start needs a tuning database (--db)")
+             else Ok None
+         | Some f -> Result.map Option.some (load_db f)
+       in
+       let p = e.build () in
+       let t_naive = Machine.time t p in
+       let cache = Option.map (fun _ -> Tuning.Cache.create ()) db in
+       let warm_start =
+         if not warm then []
+         else
+           match db with
+           | None -> []
+           | Some d -> (
+               match
+                 Tuning.Warmstart.moves_for d ~kernel:e.label ~target:tname
+                   ~root:p
+               with
+               | [] ->
+                   Printf.eprintf
+                     "note: no matching record for %s on %s; starting cold\n"
+                     e.label tname;
+                   []
+               | moves -> moves)
+       in
+       let outcome =
+         Perfdojo.optimize ~seed ?cache ~warm_start strat t p
+       in
+       Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
+       Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
+       Printf.printf "strategy:   %s%s\n" strategy
+         (if warm_start <> [] then
+            Printf.sprintf " (warm-started from %d recorded moves)"
+              (List.length warm_start)
+          else "");
+       Printf.printf "naive:      %.3e s\n" t_naive;
+       Printf.printf "optimized:  %.3e s (%.2fx, %d evaluations)\n"
+         outcome.time_s (t_naive /. outcome.time_s) outcome.evaluations;
+       (match cache with
+       | Some c ->
+           Printf.printf
+             "memoization: %d hits / %d misses (%.1f%% hit rate, %d model \
+              evaluations saved)\n"
+             (Tuning.Cache.hits c) (Tuning.Cache.misses c)
+             (100. *. Tuning.Cache.hit_rate c)
+             (Tuning.Cache.hits c)
+       | None -> ());
+       if outcome.moves <> [] then begin
+         print_endline "moves:";
+         List.iter (Printf.printf "  %s\n") outcome.moves
+       end;
+       print_endline "schedule:";
+       print_endline (Ir.Printer.body outcome.schedule);
+       (* deposit the winner into the database *)
+       (match (db, db_file) with
+       | Some d, Some f ->
+           if outcome.moves = [] then
+             Printf.eprintf
+               "note: %s produced no move-replayable schedule; not recorded\n"
+               strategy
+           else begin
+             match
+               Tuning.Warmstart.record_of
+                 ~objective:(fun q -> Machine.time t q)
+                 ~caps:(Machine.caps t) ~kernel:e.label ~target:tname ~root:p
+                 ~moves:outcome.moves ~evals:outcome.evaluations
+             with
+             | Error msg -> Printf.eprintf "note: not recorded: %s\n" msg
+             | Ok r ->
+                 let verdict =
+                   match Tuning.Db.add d r with
+                   | `Inserted -> "new record"
+                   | `Improved -> "improved record"
+                   | `Duplicate -> "no improvement over recorded best"
+                 in
+                 Tuning.Db.save d f;
+                 Printf.printf "db:         %s (%s, %d records)\n" f verdict
+                   (Tuning.Db.size d)
+           end
+       | _ -> ());
+       if check then begin
+         let small = e.build_small () in
+         let small_outcome = Perfdojo.optimize ~seed strat t small in
+         match Interp.equivalent small small_outcome.schedule with
+         | Ok () -> print_endline "numerical check (small variant): OK"
+         | Error msg -> Printf.printf "numerical check FAILED: %s\n" msg
+       end;
+       if emit_c then begin
+         print_endline "/* generated C */";
+         print_string (Codegen.program outcome.schedule)
+       end;
+       Ok ()
   in
   let c_arg =
     Arg.(value & flag & info [ "c" ] ~doc:"Print C for the winning schedule.")
@@ -204,11 +303,140 @@ let optimize_cmd =
             "Re-run the strategy on a small variant of the kernel and \
              verify numerically against the reference interpreter.")
   in
+  let db_arg =
+    let doc =
+      "Tuning database (JSONL).  The run is memoized against it and its \
+       winning schedule is recorded into it."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+  in
+  let warm_arg =
+    Arg.(
+      value & flag
+      & info [ "warm-start" ]
+          ~doc:
+            "Seed the search from the database's best recorded schedule \
+             for this kernel/target (requires --db).")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a kernel for a target machine.")
     Term.(
-      const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
-      $ seed_arg $ c_arg $ check_arg)
+      ret
+        (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
+       $ seed_arg $ c_arg $ check_arg $ db_arg $ warm_arg))
+
+(* ------------------------------------------------------------------ *)
+(* db: inspect the tuning database                                     *)
+(* ------------------------------------------------------------------ *)
+
+let db_list_cmd =
+  let run db_file =
+    to_ret
+    @@ let* db = load_db db_file in
+       let records = Tuning.Db.records db in
+       if records = [] then Printf.printf "%s: empty\n" db_file
+       else begin
+         Printf.printf "%-14s %-8s %-12s %6s %6s  %s\n" "kernel" "target"
+           "best_time" "evals" "moves" "fingerprint";
+         List.iter
+           (fun (r : Tuning.Record.t) ->
+             Printf.printf "%-14s %-8s %-12s %6d %6d  %s\n" r.kernel r.target
+               (Printf.sprintf "%.3e" r.best_time)
+               r.evals (List.length r.moves)
+               (String.sub r.fingerprint 0 12))
+           records
+       end;
+       Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Summarize every record in the tuning database.")
+    Term.(ret (const run $ db_file_arg))
+
+let db_best_cmd =
+  let run db_file kernel target =
+    to_ret
+    @@ let* db = load_db db_file in
+       let* tname, _ = target_of_string target in
+       match Tuning.Db.best db ~kernel ~target:tname with
+       | None ->
+           Error
+             ( false,
+               Printf.sprintf "no record for %s on %s in %s" kernel tname
+                 db_file )
+       | Some r ->
+           (* metadata on stderr so stdout is a pure move trace, directly
+              consumable by `perfdojo replay` / Engine.replay *)
+           Printf.eprintf "# %s on %s: %.3e s (%d evals, fingerprint %s)\n"
+             r.kernel r.target r.best_time r.evals r.fingerprint;
+           List.iter print_endline r.moves;
+           Ok ()
+  in
+  Cmd.v
+    (Cmd.info "best"
+       ~doc:
+         "Print the best recorded move sequence for a kernel/target (one \
+          move per line on stdout; replayable with `perfdojo replay`).")
+    Term.(ret (const run $ db_file_arg $ kernel_arg $ target_arg))
+
+let db_export_cmd =
+  let run db_file kernel target k =
+    to_ret
+    @@ let* db = load_db db_file in
+       let* target =
+         match target with
+         | None -> Ok None
+         | Some t ->
+             let* tname, _ = target_of_string t in
+             Ok (Some tname)
+       in
+       let records =
+         match (kernel, target) with
+         | None, None -> Tuning.Db.records db
+         | _ -> Tuning.Db.query ?kernel ?target db
+       in
+       let records =
+         match k with
+         | None -> records
+         | Some k -> List.filteri (fun i _ -> i < k) records
+       in
+       List.iter
+         (fun r -> print_endline (Tuning.Record.to_json r))
+         records;
+       Ok ()
+  in
+  let kernel_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc:"Only this kernel.")
+  in
+  let target_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target"; "t" ] ~docv:"TARGET" ~doc:"Only this target.")
+  in
+  let top_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Keep only the N fastest matching records.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Re-emit records as canonical JSONL on stdout, optionally \
+          filtered by kernel/target and truncated to the top N.")
+    Term.(ret (const run $ db_file_arg $ kernel_opt $ target_opt $ top_opt))
+
+let db_cmd =
+  Cmd.group
+    (Cmd.info "db"
+       ~doc:
+         "Inspect the persistent tuning database (schedule records, one \
+          JSON object per line).")
+    [ db_list_cmd; db_best_cmd; db_export_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -216,33 +444,36 @@ let optimize_cmd =
 
 let verify_cmd =
   let run kernel target =
-    let e = find_kernel kernel in
-    let t = target_of_string target in
-    let caps = Machine.caps t in
-    let p = e.build_small () in
-    (* apply every applicable instance once and verify each result: the
-       paper's empirical validation of the applicability rules *)
-    let insts = Transform.Xforms.all caps p in
-    let failures = ref 0 in
-    List.iter
-      (fun (i : Transform.Xforms.instance) ->
-        let p' = i.apply p in
-        match Interp.equivalent ~tol:1e-4 p p' with
-        | Ok () -> ()
-        | Error msg ->
-            incr failures;
-            Printf.printf "FAIL %s: %s\n" (Transform.Xforms.describe i) msg)
-      insts;
-    Printf.printf "%d transformations verified on %s, %d failures\n"
-      (List.length insts) e.label !failures;
-    if !failures > 0 then exit 1
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let* _, t = target_of_string target in
+       let caps = Machine.caps t in
+       let p = e.build_small () in
+       (* apply every applicable instance once and verify each result:
+          the paper's empirical validation of the applicability rules *)
+       let insts = Transform.Xforms.all caps p in
+       let failures = ref 0 in
+       List.iter
+         (fun (i : Transform.Xforms.instance) ->
+           let p' = i.apply p in
+           match Interp.equivalent ~tol:1e-4 p p' with
+           | Ok () -> ()
+           | Error msg ->
+               incr failures;
+               Printf.printf "FAIL %s: %s\n" (Transform.Xforms.describe i) msg)
+         insts;
+       Printf.printf "%d transformations verified on %s, %d failures\n"
+         (List.length insts) e.label !failures;
+       if !failures > 0 then
+         Error (false, Printf.sprintf "%d transformations failed" !failures)
+       else Ok ()
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Numerically verify every applicable transformation of a kernel \
           (small shape) against the reference interpreter.")
-    Term.(const run $ kernel_arg $ target_arg)
+    Term.(ret (const run $ kernel_arg $ target_arg))
 
 (* ------------------------------------------------------------------ *)
 (* game: the interactive Dojo                                          *)
@@ -250,76 +481,79 @@ let verify_cmd =
 
 let game_cmd =
   let run kernel target trace_file =
-    let e = find_kernel kernel in
-    let t = target_of_string target in
-    let game = Game.start t (e.build ()) in
-    let t0 = Machine.time t (Game.state game) in
-    let print_state () =
-      Printf.printf "\n%s\n" (Ir.Printer.body (Game.state game));
-      let now = Machine.time t (Game.state game) in
-      Printf.printf "runtime %.3e s  (%.2fx vs start)\n" now (t0 /. now)
-    in
-    let print_moves () =
-      List.iter
-        (fun (i, d) -> Printf.printf "%3d  %s\n" i d)
-        (Game.moves game)
-    in
-    let save_trace () =
-      match trace_file with
-      | None -> ()
-      | Some path ->
-          let oc = open_out path in
-          List.iter (fun m -> output_string oc (m ^ "\n"))
-            (Game.moves_played game);
-          close_out oc;
-          Printf.printf "trace saved to %s\n" path
-    in
-    Printf.printf
-      "PerfDojo game: %s on %s\n\
-       commands: <n> play move n | m list moves | s show state | u undo |\n\
-      \          u <k> undo k-th move back | v verify | c emit C | q quit\n"
-      e.label
-      (Machine.Desc.target_name t);
-    print_state ();
-    (try
-       while true do
-         print_string "> ";
-         let line = String.trim (read_line ()) in
-         match String.split_on_char ' ' line with
-         | [ "q" ] | [ "quit" ] -> raise Exit
-         | [ "m" ] -> print_moves ()
-         | [ "s" ] -> print_state ()
-         | [ "v" ] -> (
-             match Game.verify game with
-             | Ok () -> print_endline "numerically equivalent to start: OK"
-             | Error msg -> Printf.printf "FAILED: %s\n" msg)
-         | [ "c" ] -> print_string (Codegen.program (Game.state game))
-         | [ "u" ] -> (
-             match Game.undo game with
-             | Some _ -> print_state ()
-             | None -> print_endline "nothing to undo")
-         | [ "u"; k ] -> (
-             match int_of_string_opt k with
-             | Some k -> (
-                 match Game.undo_at game k with
-                 | Some _ -> print_state ()
-                 | None ->
-                     print_endline
-                       "cannot remove: later moves depend on it")
-             | None -> print_endline "usage: u <k>")
-         | [ n ] when int_of_string_opt n <> None -> (
-             match int_of_string_opt n with
-             | Some i -> (
-                 try
-                   let time = Game.play game i in
-                   Printf.printf "-> %.3e s\n" time
-                 with Invalid_argument m -> print_endline m)
-             | None -> ())
-         | [ "" ] -> ()
-         | _ -> print_endline "unknown command (q m s u v c or a move number)"
-       done
-     with Exit | End_of_file -> ());
-    save_trace ()
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let* _, t = target_of_string target in
+       let game = Game.start t (e.build ()) in
+       let t0 = Machine.time t (Game.state game) in
+       let print_state () =
+         Printf.printf "\n%s\n" (Ir.Printer.body (Game.state game));
+         let now = Machine.time t (Game.state game) in
+         Printf.printf "runtime %.3e s  (%.2fx vs start)\n" now (t0 /. now)
+       in
+       let print_moves () =
+         List.iter
+           (fun (i, d) -> Printf.printf "%3d  %s\n" i d)
+           (Game.moves game)
+       in
+       let save_trace () =
+         match trace_file with
+         | None -> ()
+         | Some path ->
+             let oc = open_out path in
+             List.iter (fun m -> output_string oc (m ^ "\n"))
+               (Game.moves_played game);
+             close_out oc;
+             Printf.printf "trace saved to %s\n" path
+       in
+       Printf.printf
+         "PerfDojo game: %s on %s\n\
+          commands: <n> play move n | m list moves | s show state | u undo |\n\
+         \          u <k> undo k-th move back | v verify | c emit C | q quit\n"
+         e.label
+         (Machine.Desc.target_name t);
+       print_state ();
+       (try
+          while true do
+            print_string "> ";
+            let line = String.trim (read_line ()) in
+            match String.split_on_char ' ' line with
+            | [ "q" ] | [ "quit" ] -> raise Exit
+            | [ "m" ] -> print_moves ()
+            | [ "s" ] -> print_state ()
+            | [ "v" ] -> (
+                match Game.verify game with
+                | Ok () -> print_endline "numerically equivalent to start: OK"
+                | Error msg -> Printf.printf "FAILED: %s\n" msg)
+            | [ "c" ] -> print_string (Codegen.program (Game.state game))
+            | [ "u" ] -> (
+                match Game.undo game with
+                | Some _ -> print_state ()
+                | None -> print_endline "nothing to undo")
+            | [ "u"; k ] -> (
+                match int_of_string_opt k with
+                | Some k -> (
+                    match Game.undo_at game k with
+                    | Some _ -> print_state ()
+                    | None ->
+                        print_endline
+                          "cannot remove: later moves depend on it")
+                | None -> print_endline "usage: u <k>")
+            | [ n ] when int_of_string_opt n <> None -> (
+                match int_of_string_opt n with
+                | Some i -> (
+                    try
+                      let time = Game.play game i in
+                      Printf.printf "-> %.3e s\n" time
+                    with Invalid_argument m -> print_endline m)
+                | None -> ())
+            | [ "" ] -> ()
+            | _ ->
+                print_endline "unknown command (q m s u v c or a move number)"
+          done
+        with Exit | End_of_file -> ());
+       save_trace ();
+       Ok ()
   in
   let trace_arg =
     Arg.(
@@ -333,7 +567,7 @@ let game_cmd =
        ~doc:
          "Play the performance game interactively: list moves, apply \
           them, watch the modelled runtime, undo, verify.")
-    Term.(const run $ kernel_arg $ target_arg $ trace_arg)
+    Term.(ret (const run $ kernel_arg $ target_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* replay: apply a saved trace                                         *)
@@ -341,37 +575,44 @@ let game_cmd =
 
 let replay_cmd =
   let run kernel target file emit_c =
-    let e = find_kernel kernel in
-    let t = target_of_string target in
-    let caps = Machine.caps t in
-    let ic = open_in file in
-    let rec read acc =
-      match input_line ic with
-      | line -> read (String.trim line :: acc)
-      | exception End_of_file ->
-          close_in ic;
-          List.rev acc
-    in
-    let moves = List.filter (fun l -> l <> "") (read []) in
-    let p = e.build () in
-    match Transform.Engine.replay caps p moves with
-    | Error msg ->
-        Printf.eprintf "replay failed: %s\n" msg;
-        exit 1
-    | Ok result ->
-        Printf.printf "replayed %d moves\n" (List.length moves);
-        Printf.printf "runtime: %.3e s -> %.3e s\n" (Machine.time t p)
-          (Machine.time t result);
-        print_endline (Ir.Printer.body result);
-        if emit_c then print_string (Codegen.program result)
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let* _, t = target_of_string target in
+       let caps = Machine.caps t in
+       let ic = open_in file in
+       let rec read acc =
+         match input_line ic with
+         | line -> read (String.trim line :: acc)
+         | exception End_of_file ->
+             close_in ic;
+             List.rev acc
+       in
+       let moves =
+         List.filter
+           (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+           (read [])
+       in
+       let p = e.build () in
+       match Transform.Engine.replay caps p moves with
+       | Error msg -> Error (false, "replay failed: " ^ msg)
+       | Ok result ->
+           Printf.printf "replayed %d moves\n" (List.length moves);
+           Printf.printf "runtime: %.3e s -> %.3e s\n" (Machine.time t p)
+             (Machine.time t result);
+           print_endline (Ir.Printer.body result);
+           if emit_c then print_string (Codegen.program result);
+           Ok ()
   in
   let file_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE")
   in
   let c_arg = Arg.(value & flag & info [ "c" ] ~doc:"Also print C.") in
   Cmd.v
-    (Cmd.info "replay" ~doc:"Replay a move trace saved by the game command.")
-    Term.(const run $ kernel_arg $ target_arg $ file_arg $ c_arg)
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a move trace saved by the game command or printed by \
+          `perfdojo db best` (# comment lines are ignored).")
+    Term.(ret (const run $ kernel_arg $ target_arg $ file_arg $ c_arg))
 
 (* ------------------------------------------------------------------ *)
 (* analyze: performance-model breakdown                                *)
@@ -379,60 +620,63 @@ let replay_cmd =
 
 let analyze_cmd =
   let run kernel target strategy budget seed =
-    let e = find_kernel kernel in
-    let t = target_of_string target in
-    let p = e.build () in
-    let sched =
-      if strategy = "none" then p
-      else
-        (Perfdojo.optimize ~seed (strategy_of_string budget strategy) t p)
-          .schedule
-    in
-    Printf.printf "kernel:   %s (%s), schedule: %s\n" e.label e.shape_desc
-      strategy;
-    Printf.printf "target:   %s\n" (Machine.Desc.target_name t);
-    Printf.printf "runtime:  %.3e s   (%.2f GFLOP/s)\n"
-      (Machine.time t sched) (Machine.gflops t sched);
-    (match t with
-    | Machine.Desc.Cpu c ->
-        let b = Machine.Cpu_model.breakdown c sched in
-        let cycles = Float.max b.comp b.mem +. b.ovh in
-        Printf.printf
-          "cycles:   %.3e   compute %.3e (%.0f%%)  memory %.3e (%.0f%%)  \
-           overhead %.3e (%.0f%%)\n"
-          cycles b.comp
-          (100. *. b.comp /. cycles)
-          b.mem
-          (100. *. b.mem /. cycles)
-          b.ovh
-          (100. *. b.ovh /. cycles);
-        Printf.printf "bound:    %s\n"
-          (if b.mem > b.comp then "memory" else "compute")
-    | Machine.Desc.Snitch sn ->
-        let cycles = Machine.Snitch_sim.cycles sn sched in
-        Printf.printf "cycles:   %.3e   fraction of peak: %.3f\n" cycles
-          (Machine.Snitch_sim.peak_fraction sn sched)
-    | Machine.Desc.Gpu g ->
-        (* report per grid-mapped kernel *)
-        let idx = ref 0 in
-        Ir.Prog.iter_nodes
-          (fun path node ->
-            match node with
-            | Ir.Types.Scope sc when sc.annot = Ir.Types.GpuGrid ->
-                let depth = Ir.Prog.depth_of_path sched path in
-                let st = Machine.Gpu_model.analyze_kernel g sched depth sc in
-                Printf.printf
-                  "kernel %d: %.3e flops, %.3e B traffic, %.0f threads, \
-                   wavefront eff %.2f, vectorized %b\n"
-                  !idx st.flops st.traffic_bytes st.total_threads st.wave_eff
-                  st.vectorized;
-                incr idx
-            | _ -> ())
-          sched;
-        if !idx = 0 then
-          print_endline "no GPU-mapped kernels: everything runs on the host");
-    print_endline "\nschedule:";
-    print_endline (Ir.Printer.body sched)
+    to_ret
+    @@ let* e = find_kernel kernel in
+       let* _, t = target_of_string target in
+       let* sched =
+         if strategy = "none" then Ok (e.build ())
+         else
+           let* strat = strategy_of_string budget strategy in
+           Ok (Perfdojo.optimize ~seed strat t (e.build ())).schedule
+       in
+       Printf.printf "kernel:   %s (%s), schedule: %s\n" e.label e.shape_desc
+         strategy;
+       Printf.printf "target:   %s\n" (Machine.Desc.target_name t);
+       Printf.printf "runtime:  %.3e s   (%.2f GFLOP/s)\n"
+         (Machine.time t sched) (Machine.gflops t sched);
+       (match t with
+       | Machine.Desc.Cpu c ->
+           let b = Machine.Cpu_model.breakdown c sched in
+           let cycles = Float.max b.comp b.mem +. b.ovh in
+           Printf.printf
+             "cycles:   %.3e   compute %.3e (%.0f%%)  memory %.3e (%.0f%%)  \
+              overhead %.3e (%.0f%%)\n"
+             cycles b.comp
+             (100. *. b.comp /. cycles)
+             b.mem
+             (100. *. b.mem /. cycles)
+             b.ovh
+             (100. *. b.ovh /. cycles);
+           Printf.printf "bound:    %s\n"
+             (if b.mem > b.comp then "memory" else "compute")
+       | Machine.Desc.Snitch sn ->
+           let cycles = Machine.Snitch_sim.cycles sn sched in
+           Printf.printf "cycles:   %.3e   fraction of peak: %.3f\n" cycles
+             (Machine.Snitch_sim.peak_fraction sn sched)
+       | Machine.Desc.Gpu g ->
+           (* report per grid-mapped kernel *)
+           let idx = ref 0 in
+           Ir.Prog.iter_nodes
+             (fun path node ->
+               match node with
+               | Ir.Types.Scope sc when sc.annot = Ir.Types.GpuGrid ->
+                   let depth = Ir.Prog.depth_of_path sched path in
+                   let st =
+                     Machine.Gpu_model.analyze_kernel g sched depth sc
+                   in
+                   Printf.printf
+                     "kernel %d: %.3e flops, %.3e B traffic, %.0f threads, \
+                      wavefront eff %.2f, vectorized %b\n"
+                     !idx st.flops st.traffic_bytes st.total_threads
+                     st.wave_eff st.vectorized;
+                   incr idx
+               | _ -> ())
+             sched;
+           if !idx = 0 then
+             print_endline "no GPU-mapped kernels: everything runs on the host");
+       print_endline "\nschedule:";
+       print_endline (Ir.Printer.body sched);
+       Ok ()
   in
   let strategy_arg =
     let doc = "Schedule to analyze: none (naive) or any optimize strategy." in
@@ -445,8 +689,9 @@ let analyze_cmd =
           overhead; per-GPU-kernel stats) for a kernel's naive or \
           optimized schedule.")
     Term.(
-      const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
-      $ seed_arg)
+      ret
+        (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
+       $ seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* generate: the automated library generation pipeline                 *)
@@ -456,68 +701,108 @@ let analyze_cmd =
    operator and emit a C library (one translation unit per kernel, a
    header, and the schedules as replayable IR). *)
 let generate_cmd =
-  let run target strategy budget seed out =
-    let t = target_of_string target in
-    (try Unix.mkdir out 0o755
-     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    let sanitize label =
-      String.map (fun c -> if c = ' ' then '_' else c) label
-    in
-    let entries =
-      match t with
-      | Machine.Desc.Snitch _ -> Kernels.snitch_micro @ Kernels.table3
-      | _ -> Kernels.table3
-    in
-    let index = Buffer.create 256 in
-    Buffer.add_string index
-      (Printf.sprintf
-         "/* PerfDojo generated library for %s (strategy %s, budget %d) */\n"
-         (Machine.Desc.target_name t) strategy budget);
-    let total_speedup = ref [] in
-    List.iter
-      (fun (e : Kernels.entry) ->
-        let p = e.build () in
-        let t_naive = Machine.time t p in
-        let outcome =
-          Perfdojo.optimize ~seed (strategy_of_string budget strategy) t p
-        in
-        let speedup = t_naive /. outcome.time_s in
-        total_speedup := speedup :: !total_speedup;
-        let base = sanitize e.label in
-        (* the C implementation *)
-        let oc = open_out (Filename.concat out (base ^ ".c")) in
-        Printf.fprintf oc
-          "/* %s (%s): %s\n   modelled %.3e s (%.2fx over naive) */\n%s"
-          e.label e.shape_desc e.description outcome.time_s speedup
-          (Codegen.program outcome.schedule);
-        close_out oc;
-        (* the schedule itself, replayable via `perfdojo replay` /
-           Ir.Parser *)
-        let oc = open_out (Filename.concat out (base ^ ".pdj")) in
-        output_string oc (Ir.Printer.program outcome.schedule);
-        close_out oc;
-        Buffer.add_string index
-          (Printf.sprintf "/* %-14s %-18s %.3e s  %6.2fx */\n" e.label
-             e.shape_desc outcome.time_s speedup);
-        Printf.printf "generated %-14s %.3e s (%.2fx)\n%!" e.label
-          outcome.time_s speedup)
-      entries;
-    let geo =
-      Util.Stats.geomean (Array.of_list !total_speedup)
-    in
-    Buffer.add_string index
-      (Printf.sprintf "/* geomean speedup over naive: %.2fx */\n" geo);
-    let oc = open_out (Filename.concat out "INDEX.h") in
-    Buffer.output_buffer oc index;
-    close_out oc;
-    Printf.printf
-      "\nlibrary written to %s/ (%d kernels, geomean %.2fx over naive)\n" out
-      (List.length entries) geo
+  let run target strategy budget seed out db_file =
+    to_ret
+    @@ let* tname, t = target_of_string target in
+       let* strat = strategy_of_string budget strategy in
+       let* db =
+         match db_file with
+         | None -> Ok None
+         | Some f -> Result.map Option.some (load_db f)
+       in
+       (try Unix.mkdir out 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+       let sanitize label =
+         String.map (fun c -> if c = ' ' then '_' else c) label
+       in
+       let entries =
+         match t with
+         | Machine.Desc.Snitch _ -> Kernels.snitch_micro @ Kernels.table3
+         | _ -> Kernels.table3
+       in
+       let index = Buffer.create 256 in
+       Buffer.add_string index
+         (Printf.sprintf
+            "/* PerfDojo generated library for %s (strategy %s, budget %d) \
+             */\n"
+            (Machine.Desc.target_name t) strategy budget);
+       let total_speedup = ref [] in
+       List.iter
+         (fun (e : Kernels.entry) ->
+           let p = e.build () in
+           let t_naive = Machine.time t p in
+           let cache = Option.map (fun _ -> Tuning.Cache.create ()) db in
+           let warm_start =
+             match db with
+             | None -> []
+             | Some d ->
+                 Tuning.Warmstart.moves_for d ~kernel:e.label ~target:tname
+                   ~root:p
+           in
+           let outcome =
+             Perfdojo.optimize ~seed ?cache ~warm_start strat t p
+           in
+           (match db with
+           | Some d when outcome.moves <> [] ->
+               (match
+                  Tuning.Warmstart.record_of
+                    ~objective:(fun q -> Machine.time t q)
+                    ~caps:(Machine.caps t) ~kernel:e.label ~target:tname
+                    ~root:p ~moves:outcome.moves
+                    ~evals:outcome.evaluations
+                with
+               | Ok r -> ignore (Tuning.Db.add d r)
+               | Error _ -> ())
+           | _ -> ());
+           let speedup = t_naive /. outcome.time_s in
+           total_speedup := speedup :: !total_speedup;
+           let base = sanitize e.label in
+           (* the C implementation *)
+           let oc = open_out (Filename.concat out (base ^ ".c")) in
+           Printf.fprintf oc
+             "/* %s (%s): %s\n   modelled %.3e s (%.2fx over naive) */\n%s"
+             e.label e.shape_desc e.description outcome.time_s speedup
+             (Codegen.program outcome.schedule);
+           close_out oc;
+           (* the schedule itself, replayable via `perfdojo replay` /
+              Ir.Parser *)
+           let oc = open_out (Filename.concat out (base ^ ".pdj")) in
+           output_string oc (Ir.Printer.program outcome.schedule);
+           close_out oc;
+           Buffer.add_string index
+             (Printf.sprintf "/* %-14s %-18s %.3e s  %6.2fx */\n" e.label
+                e.shape_desc outcome.time_s speedup);
+           Printf.printf "generated %-14s %.3e s (%.2fx)\n%!" e.label
+             outcome.time_s speedup)
+         entries;
+       (match (db, db_file) with
+       | Some d, Some f ->
+           Tuning.Db.save d f;
+           Printf.printf "tuning database updated: %s (%d records)\n" f
+             (Tuning.Db.size d)
+       | _ -> ());
+       let geo = Util.Stats.geomean (Array.of_list !total_speedup) in
+       Buffer.add_string index
+         (Printf.sprintf "/* geomean speedup over naive: %.2fx */\n" geo);
+       let oc = open_out (Filename.concat out "INDEX.h") in
+       Buffer.output_buffer oc index;
+       close_out oc;
+       Printf.printf
+         "\nlibrary written to %s/ (%d kernels, geomean %.2fx over naive)\n"
+         out (List.length entries) geo;
+       Ok ()
   in
   let out_arg =
     Arg.(
       value & opt string "perfdojo_lib"
       & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let db_arg =
+    let doc =
+      "Tuning database (JSONL): warm-start every kernel from it and \
+       record every winner back into it."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "generate"
@@ -526,7 +811,9 @@ let generate_cmd =
           every built-in operator and emit C sources, replayable \
           schedules and an index.")
     Term.(
-      const run $ target_arg $ strategy_arg $ budget_arg $ seed_arg $ out_arg)
+      ret
+        (const run $ target_arg $ strategy_arg $ budget_arg $ seed_arg
+       $ out_arg $ db_arg))
 
 let () =
   let doc = "PerfDojo: transformation-centric kernel optimization." in
@@ -537,4 +824,5 @@ let () =
           [
             list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
             verify_cmd; game_cmd; replay_cmd; generate_cmd; analyze_cmd;
+            db_cmd;
           ]))

@@ -22,6 +22,7 @@ module Rl = Rl
 module Baselines = Baselines
 module Codegen = Codegen
 module Util = Util
+module Tuning = Tuning
 
 type target = Machine.Desc.target
 
@@ -108,6 +109,8 @@ type outcome = {
   time_s : float;
   moves : string list;
   evaluations : int;
+  cache_hits : int; (* memoized objective lookups answered from cache *)
+  cache_misses : int; (* lookups that ran the performance model *)
 }
 
 let heuristic_pass_for (target : target) caps prog =
@@ -119,57 +122,77 @@ let heuristic_pass_for (target : target) caps prog =
         ~score:(fun p -> Machine.time target p)
         caps prog
 
-let optimize ?(seed = 1) (strategy : strategy) (target : target)
-    (prog : Ir.Prog.t) : outcome =
+let optimize ?(seed = 1) ?cache ?(warm_start = []) (strategy : strategy)
+    (target : target) (prog : Ir.Prog.t) : outcome =
   let caps = Machine.caps target in
-  let objective p = Machine.time target p in
-  match strategy with
-  | Naive ->
-      let s = Search.Passes.naive caps prog in
-      { schedule = s; time_s = objective s; moves = []; evaluations = 1 }
-  | Greedy ->
-      let s = Search.Passes.greedy caps prog in
-      { schedule = s; time_s = objective s; moves = []; evaluations = 1 }
-  | Heuristic ->
-      let s = heuristic_pass_for target caps prog in
-      { schedule = s; time_s = objective s; moves = []; evaluations = 1 }
-  | Sampling { budget; space } ->
-      let r =
-        Search.Stochastic.random_sampling ~seed ~space ~budget caps objective
-          prog
+  let raw_objective p = Machine.time target p in
+  let objective =
+    match cache with
+    | None -> raw_objective
+    | Some c -> Tuning.Cache.memoize c raw_objective
+  in
+  let hits0, misses0 =
+    match cache with
+    | None -> (0, 0)
+    | Some c -> (Tuning.Cache.hits c, Tuning.Cache.misses c)
+  in
+  let base =
+    match strategy with
+    | Naive ->
+        let s = Search.Passes.naive caps prog in
+        (s, objective s, [], 1)
+    | Greedy ->
+        let s = Search.Passes.greedy caps prog in
+        (s, objective s, [], 1)
+    | Heuristic ->
+        let s = heuristic_pass_for target caps prog in
+        (s, objective s, [], 1)
+    | Sampling { budget; space } ->
+        let r =
+          Search.Stochastic.random_sampling ~seed ~init:warm_start ~space
+            ~budget caps objective prog
+        in
+        (r.best, r.best_time, r.best_moves, r.evals)
+    | Annealing { budget; space } ->
+        let r =
+          Search.Stochastic.simulated_annealing ~seed ~init:warm_start ~space
+            ~budget caps objective prog
+        in
+        (r.best, r.best_time, r.best_moves, r.evals)
+    | Rl_search cfg ->
+        let r, _agent =
+          Rl.Perfllm.optimize ~cfg ~init:warm_start ~seed caps objective prog
+        in
+        (r.best, r.best_time, r.best_moves, r.evaluations)
+  in
+  (* Pass strategies cannot absorb a warm-start sequence themselves:
+     replay it and keep whichever schedule is faster, so a warm run
+     never finishes behind the database's recorded best. *)
+  let schedule, time_s, moves, evaluations =
+    let s, t, m, e = base in
+    if warm_start = [] || m <> [] then base
+    else
+      let warm, applied =
+        Search.Stochastic.replay_skipping caps prog warm_start
       in
-      {
-        schedule = r.best;
-        time_s = r.best_time;
-        moves = r.best_moves;
-        evaluations = r.evals;
-      }
-  | Annealing { budget; space } ->
-      let r =
-        Search.Stochastic.simulated_annealing ~seed ~space ~budget caps
-          objective prog
-      in
-      {
-        schedule = r.best;
-        time_s = r.best_time;
-        moves = r.best_moves;
-        evaluations = r.evals;
-      }
-  | Rl_search cfg ->
-      let r, _agent = Rl.Perfllm.optimize ~cfg ~seed caps objective prog in
-      {
-        schedule = r.best;
-        time_s = r.best_time;
-        moves = r.best_moves;
-        evaluations = r.evaluations;
-      }
+      let wt = objective warm in
+      if wt < t then (warm, wt, applied, e + 1) else (s, t, m, e + 1)
+  in
+  let cache_hits, cache_misses =
+    match cache with
+    | None -> (0, 0)
+    | Some c ->
+        (Tuning.Cache.hits c - hits0, Tuning.Cache.misses c - misses0)
+  in
+  { schedule; time_s; moves; evaluations; cache_hits; cache_misses }
 
 (* Best-of: run a heuristic pass and a search, keep the winner — the
    usual production setting. *)
-let optimize_best ?(seed = 1) ?(budget = 300) target prog =
-  let h = optimize ~seed Heuristic target prog in
+let optimize_best ?(seed = 1) ?cache ?(warm_start = []) ?(budget = 300)
+    target prog =
+  let h = optimize ~seed ?cache ~warm_start Heuristic target prog in
   let s =
-    optimize ~seed
+    optimize ~seed ?cache ~warm_start
       (Annealing { budget; space = Search.Stochastic.Heuristic })
       target prog
   in

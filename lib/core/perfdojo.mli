@@ -15,6 +15,7 @@ module Rl = Rl
 module Baselines = Baselines
 module Codegen = Codegen
 module Util = Util
+module Tuning = Tuning
 
 type target = Machine.Desc.target
 
@@ -74,15 +75,37 @@ type outcome = {
   time_s : float;
   moves : string list;
   evaluations : int;
+  cache_hits : int;
+      (** memoized objective lookups answered from the cache (0 without
+          a cache) *)
+  cache_misses : int;  (** lookups that ran the performance model *)
 }
 
 val heuristic_pass_for :
   target -> Transform.Xforms.caps -> Ir.Prog.t -> Ir.Prog.t
 
-val optimize : ?seed:int -> strategy -> target -> Ir.Prog.t -> outcome
+val optimize :
+  ?seed:int ->
+  ?cache:Tuning.Cache.t ->
+  ?warm_start:string list ->
+  strategy ->
+  target ->
+  Ir.Prog.t ->
+  outcome
 (** One-call optimization of a kernel for a target.  Deterministic given
-    the seed. *)
+    the seed.  [cache] memoizes the performance model by program
+    fingerprint (repeated candidates cost zero evaluations; counters in
+    the outcome).  [warm_start] seeds search strategies with a recorded
+    move sequence — typically {!Tuning.Warmstart.moves_for} — so tuning
+    resumes from a database's best instead of restarting. *)
 
-val optimize_best : ?seed:int -> ?budget:int -> target -> Ir.Prog.t -> outcome
+val optimize_best :
+  ?seed:int ->
+  ?cache:Tuning.Cache.t ->
+  ?warm_start:string list ->
+  ?budget:int ->
+  target ->
+  Ir.Prog.t ->
+  outcome
 (** Heuristic pass and a heuristic-space annealing run; keeps the
     winner. *)

@@ -108,7 +108,7 @@ let candidates_of rng caps (cap : int) (prog : Ir.Prog.t)
     [| { inst = None; next_prog = prog;
          pair = Embed.action_pair state_emb state_emb } |]
 
-let optimize ?(cfg = default_config) ~seed caps
+let optimize ?(cfg = default_config) ?(init = []) ~seed caps
     (runtime : Ir.Prog.t -> float) (root : Ir.Prog.t) : result * Dqn.t =
   let agent = Dqn.create ~cfg:cfg.dqn seed in
   let env_rng = Util.Rng.create (seed + 7919) in
@@ -120,6 +120,18 @@ let optimize ?(cfg = default_config) ~seed caps
   let root_time = time root in
   let c = match cfg.reward_c with Some c -> c | None -> root_time in
   let best = ref root and best_time = ref root_time and best_moves = ref [] in
+  (* Warm-start: a recorded sequence (from the tuning database) seeds
+     the best-so-far, so episodes explore on top of a known-good
+     schedule instead of having to rediscover it. *)
+  if init <> [] then begin
+    let warm, applied = Search.Stochastic.replay_skipping caps root init in
+    let warm_time = time warm in
+    if warm_time < !best_time then begin
+      best := warm;
+      best_time := warm_time;
+      best_moves := applied
+    end
+  end;
   let episode_best = Array.make cfg.episodes root_time in
   for ep = 0 to cfg.episodes - 1 do
     let cur = ref root in

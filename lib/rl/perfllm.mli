@@ -58,10 +58,14 @@ val candidates_of :
 
 val optimize :
   ?cfg:config ->
+  ?init:string list ->
   seed:int ->
   Transform.Xforms.caps ->
   (Ir.Prog.t -> float) ->
   Ir.Prog.t ->
   result * Dqn.t
 (** Train an agent on one kernel and return the best schedule found
-    together with the trained agent.  Deterministic given [seed]. *)
+    together with the trained agent.  Deterministic given [seed].
+    [init] warm-starts the best-so-far from a recorded move sequence
+    (replayed via {!Search.Stochastic.replay_skipping}), so episodes
+    improve on a known-good schedule instead of restarting cold. *)

@@ -128,13 +128,35 @@ let run_curve budget f =
 (* Weighted random sampling                                            *)
 (* ------------------------------------------------------------------ *)
 
-let random_sampling ?(seed = 1) ?filter ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+(* Warm-start: replay a recorded move sequence from the root and return
+   it as a candidate to seed the search with — tuning resumes from the
+   database's best instead of restarting cold. *)
+let warm_candidate ?filter caps objective root (init : string list) :
+    candidate option =
+  if init = [] then None
+  else Some (eval_moves ?filter caps objective root init infinity)
+
+let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
+    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
-  let pool = ref [| { moves = []; prog = root;
-                      runtime = objective root;
-                      parent_runtime = objective root } |] in
-  let best = ref !pool.(0) in
+  let root_time = objective root in
+  let root_cand =
+    { moves = []; prog = root; runtime = root_time;
+      parent_runtime = root_time }
+  in
+  let pool =
+    ref
+      (match warm_candidate ?filter caps objective root init with
+      | None -> [| root_cand |]
+      | Some w ->
+          [| root_cand; { w with parent_runtime = root_time } |])
+  in
+  let best =
+    ref
+      (Array.fold_left
+         (fun acc c -> if c.runtime < acc.runtime then c else acc)
+         !pool.(0) !pool)
+  in
   let curve =
     run_curve budget (fun _ ->
         let weights =
@@ -171,18 +193,21 @@ let random_sampling ?(seed = 1) ?filter ~(space : space) ~(budget : int) caps
 (* Simulated annealing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let simulated_annealing ?(seed = 1) ?filter ?(t0 = 0.5) ?(cooling = 0.995)
-    ~(space : space) ~(budget : int) caps (objective : objective)
-    (root : Ir.Prog.t) : result =
+let simulated_annealing ?(seed = 1) ?filter ?(init = []) ?(t0 = 0.5)
+    ?(cooling = 0.995) ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
+  let root_time = objective root in
+  let root_cand =
+    { moves = []; prog = root; runtime = root_time;
+      parent_runtime = root_time }
+  in
   let current =
     ref
-      {
-        moves = [];
-        prog = root;
-        runtime = objective root;
-        parent_runtime = objective root;
-      }
+      (match warm_candidate ?filter caps objective root init with
+      | Some w when w.runtime <= root_time ->
+          { w with parent_runtime = root_time }
+      | Some _ | None -> root_cand)
   in
   let best = ref !current in
   let temp = ref t0 in

@@ -50,6 +50,7 @@ val mutate :
 val random_sampling :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
+  ?init:string list ->
   space:space ->
   budget:int ->
   Transform.Xforms.caps ->
@@ -57,11 +58,15 @@ val random_sampling :
   Ir.Prog.t ->
   result
 (** Global weighted sampling over all previously encountered candidates;
-    [filter] restricts the move set (used by the TVM-template baseline). *)
+    [filter] restricts the move set (used by the TVM-template baseline).
+    [init] warm-starts the pool with a recorded move sequence (replayed
+    through {!replay_skipping}), so search resumes from a tuning
+    database's best instead of restarting cold. *)
 
 val simulated_annealing :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
+  ?init:string list ->
   ?t0:float ->
   ?cooling:float ->
   space:space ->
@@ -70,3 +75,6 @@ val simulated_annealing :
   objective ->
   Ir.Prog.t ->
   result
+(** [init] seeds the annealing chain (and best-so-far) with a recorded
+    sequence; with [budget = 0] the result is exactly the replayed
+    schedule — replay fidelity the tuning tests rely on. *)

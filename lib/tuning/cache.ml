@@ -1,0 +1,31 @@
+(* Memoized objective evaluation, keyed on the program fingerprint. *)
+
+type t = {
+  table : (string, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 512; hits = 0; misses = 0 }
+
+let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
+    float =
+  let fp = Record.fingerprint p in
+  match Hashtbl.find_opt cache.table fp with
+  | Some time ->
+      cache.hits <- cache.hits + 1;
+      time
+  | None ->
+      cache.misses <- cache.misses + 1;
+      let time = objective p in
+      Hashtbl.add cache.table fp time;
+      time
+
+let hits (c : t) = c.hits
+let misses (c : t) = c.misses
+
+let hit_rate (c : t) =
+  let total = c.hits + c.misses in
+  if total = 0 then 0. else float_of_int c.hits /. float_of_int total
+
+let entries (c : t) = Hashtbl.length c.table

@@ -1,0 +1,28 @@
+(** Memoized objective evaluation.
+
+    Stochastic search and RL episodes revisit the same program many
+    times (mutations that cancel, replayed prefixes, repeated candidate
+    enumeration); keying the performance model on the program
+    {!Record.fingerprint} makes every revisit free.  Hit/miss counters
+    quantify the saving — they feed the CLI report and the tuning
+    bench's [BENCH_tuning.json]. *)
+
+type t
+
+val create : unit -> t
+
+val memoize : t -> (Ir.Prog.t -> float) -> Ir.Prog.t -> float
+(** [memoize cache objective] behaves exactly like [objective] but
+    evaluates each distinct program at most once per cache. *)
+
+val hits : t -> int
+(** Evaluations answered from the cache. *)
+
+val misses : t -> int
+(** Evaluations that ran the underlying model. *)
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val entries : t -> int
+(** Distinct programs cached. *)

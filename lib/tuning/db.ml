@@ -1,0 +1,85 @@
+(* Append-only tuning database over a JSONL file.
+
+   In memory the store is a hashtable keyed by Record.key (fingerprint +
+   target + move sequence); on disk it is one canonical JSON object per
+   line in Record.compare_order, so save -> load -> save is
+   byte-identical and diffs stay reviewable. *)
+
+type t = { table : (string, Record.t) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let add (db : t) (r : Record.t) : [ `Inserted | `Improved | `Duplicate ] =
+  let k = Record.key r in
+  match Hashtbl.find_opt db.table k with
+  | None ->
+      Hashtbl.replace db.table k r;
+      `Inserted
+  | Some old ->
+      if r.best_time < old.best_time then begin
+        Hashtbl.replace db.table k r;
+        `Improved
+      end
+      else `Duplicate
+
+let size (db : t) = Hashtbl.length db.table
+
+let records (db : t) : Record.t list =
+  Hashtbl.fold (fun _ r acc -> r :: acc) db.table []
+  |> List.sort Record.compare_order
+
+let load (path : string) : (t, string) result =
+  if not (Sys.file_exists path) then Ok (create ())
+  else begin
+    let ic = open_in path in
+    let db = create () in
+    let rec loop lineno =
+      match input_line ic with
+      | exception End_of_file -> Ok db
+      | line ->
+          let line = String.trim line in
+          if line = "" then loop (lineno + 1)
+          else begin
+            match Record.of_json line with
+            | Ok r ->
+                ignore (add db r);
+                loop (lineno + 1)
+            | Error msg ->
+                Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+          end
+    in
+    let result = loop 1 in
+    close_in ic;
+    result
+  end
+
+let save (db : t) (path : string) : unit =
+  let oc = open_out path in
+  List.iter
+    (fun r ->
+      output_string oc (Record.to_json r);
+      output_char oc '\n')
+    (records db);
+  close_out oc
+
+let by_time (a : Record.t) (b : Record.t) =
+  let c = compare a.best_time b.best_time in
+  if c <> 0 then c else Record.compare_order a b
+
+let query ?kernel ?target (db : t) : Record.t list =
+  Hashtbl.fold
+    (fun _ (r : Record.t) acc ->
+      let keep =
+        (match kernel with None -> true | Some k -> r.kernel = k)
+        && match target with None -> true | Some t -> r.target = t
+      in
+      if keep then r :: acc else acc)
+    db.table []
+  |> List.sort by_time
+
+let top_k (db : t) ~kernel ~target k : Record.t list =
+  let matching = query ~kernel ~target db in
+  List.filteri (fun i _ -> i < k) matching
+
+let best (db : t) ~kernel ~target : Record.t option =
+  match top_k db ~kernel ~target 1 with [] -> None | r :: _ -> Some r

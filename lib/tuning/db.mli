@@ -1,0 +1,39 @@
+(** The persistent tuning database: an append-only set of schedule
+    {!Record}s behind a JSONL file, deduplicated by program fingerprint
+    (plus target and move sequence) and queried per (kernel, target).
+
+    This is the log-based store production autotuners keep: every search
+    run deposits its winner, later runs warm-start from it, and the best
+    record per (kernel, target) {e is} the generated library entry. *)
+
+type t
+
+val create : unit -> t
+(** An empty in-memory database. *)
+
+val load : string -> (t, string) result
+(** Load a JSONL file.  A missing file is an empty database (first run
+    bootstraps it); a malformed line is an [Error] naming the line. *)
+
+val save : t -> string -> unit
+(** Write all records, one JSON object per line, in the stable
+    {!Record.compare_order}.  save → load → save is byte-identical. *)
+
+val add : t -> Record.t -> [ `Inserted | `Improved | `Duplicate ]
+(** Insert with dedup: a record whose {!Record.key} is already present
+    replaces the incumbent only when strictly faster ([`Improved]);
+    an equal-or-slower duplicate leaves the database unchanged. *)
+
+val size : t -> int
+
+val records : t -> Record.t list
+(** All records in stable order. *)
+
+val query : ?kernel:string -> ?target:string -> t -> Record.t list
+(** Records matching the given kernel and/or target, best first. *)
+
+val best : t -> kernel:string -> target:string -> Record.t option
+(** Fastest record for the pair. *)
+
+val top_k : t -> kernel:string -> target:string -> int -> Record.t list
+(** The [k] fastest records for the pair, best first. *)

@@ -1,0 +1,112 @@
+(* One tuning result: the best move sequence found for a
+   (kernel, target) pair, with the provenance needed to reuse it —
+   program fingerprint, modelled runtime, evaluation count, schema
+   version.  Serialized as one canonical JSON object per line. *)
+
+type t = {
+  schema : int;
+  kernel : string;
+  target : string;
+  moves : string list;
+  best_time : float;
+  evals : int;
+  fingerprint : string;
+}
+
+let schema_version = 1
+
+(* Canonical program identity: digest of the printed text.  The printer
+   output parses back to a structurally identical program, so the
+   fingerprint is invariant under parse∘print round-trips. *)
+let fingerprint (p : Ir.Prog.t) : string =
+  Digest.to_hex (Digest.string (Ir.Printer.program p))
+
+let make ~kernel ~target ~moves ~best_time ~evals ~root =
+  {
+    schema = schema_version;
+    kernel;
+    target;
+    moves;
+    best_time;
+    evals;
+    fingerprint = fingerprint root;
+  }
+
+let to_json (r : t) : string =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Num (float_of_int r.schema));
+         ("kernel", Json.Str r.kernel);
+         ("target", Json.Str r.target);
+         ("moves", Json.Arr (List.map (fun m -> Json.Str m) r.moves));
+         ("best_time", Json.Num r.best_time);
+         ("evals", Json.Num (float_of_int r.evals));
+         ("fingerprint", Json.Str r.fingerprint);
+       ])
+
+let of_json (line : string) : (t, string) result =
+  match Json.of_string line with
+  | Error msg -> Error ("record: " ^ msg)
+  | Ok v -> (
+      let str_field name =
+        match Option.bind (Json.member name v) Json.to_str with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "record: missing string %S" name)
+      in
+      let int_field name =
+        match Option.bind (Json.member name v) Json.to_int with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "record: missing int %S" name)
+      in
+      let float_field name =
+        match Option.bind (Json.member name v) Json.to_float with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "record: missing number %S" name)
+      in
+      let moves_field () =
+        match Option.bind (Json.member "moves" v) Json.to_list with
+        | None -> Error "record: missing array \"moves\""
+        | Some items ->
+            List.fold_right
+              (fun item acc ->
+                match (Json.to_str item, acc) with
+                | Some s, Ok rest -> Ok (s :: rest)
+                | None, _ -> Error "record: non-string move"
+                | _, (Error _ as e) -> e)
+              items (Ok [])
+      in
+      let ( let* ) = Result.bind in
+      let* schema = int_field "schema" in
+      if schema <> schema_version then
+        Error (Printf.sprintf "record: unsupported schema version %d" schema)
+      else
+        let* kernel = str_field "kernel" in
+        let* target = str_field "target" in
+        let* moves = moves_field () in
+        let* best_time = float_field "best_time" in
+        let* evals = int_field "evals" in
+        let* fingerprint = str_field "fingerprint" in
+        Ok { schema; kernel; target; moves; best_time; evals; fingerprint })
+
+let key (r : t) : string =
+  r.kernel ^ "|" ^ r.fingerprint ^ "|" ^ r.target ^ "|"
+  ^ String.concat ";" r.moves
+
+(* Total order for stable saves: every field participates so equal-keyed
+   records compare equal only when byte-identical. *)
+let compare_order (a : t) (b : t) : int =
+  let c = compare a.kernel b.kernel in
+  if c <> 0 then c
+  else
+    let c = compare a.target b.target in
+    if c <> 0 then c
+    else
+      let c = compare a.best_time b.best_time in
+      if c <> 0 then c
+      else
+        let c = compare a.moves b.moves in
+        if c <> 0 then c
+        else
+          let c = compare a.evals b.evals in
+          if c <> 0 then c else compare a.fingerprint b.fingerprint

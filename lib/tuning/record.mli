@@ -1,0 +1,50 @@
+(** One tuning result: the best transformation sequence found for a
+    (kernel, target) pair, replayable via {!Transform.Engine.replay},
+    plus the provenance a later search needs to trust it (program
+    fingerprint, modelled runtime, evaluation count, schema version).
+
+    Records serialize to one JSON object per line (JSONL) with a
+    hand-rolled, canonical printer — see {!Json}. *)
+
+type t = {
+  schema : int;  (** {!schema_version} at write time *)
+  kernel : string;  (** kernel label, e.g. ["softmax"] *)
+  target : string;  (** canonical target name, e.g. ["snitch"] *)
+  moves : string list;  (** {!Transform.Xforms.describe} strings, in order *)
+  best_time : float;  (** modelled runtime of the replayed schedule, s *)
+  evals : int;  (** performance-model evaluations spent finding it *)
+  fingerprint : string;  (** {!fingerprint} of the {e root} program *)
+}
+
+val schema_version : int
+
+val fingerprint : Ir.Prog.t -> string
+(** Canonical program identity: the MD5 digest (hex) of the
+    {!Ir.Printer.program} text.  Invariant under parse∘print round-trips
+    — structurally equal programs fingerprint equally regardless of how
+    they were built. *)
+
+val make :
+  kernel:string ->
+  target:string ->
+  moves:string list ->
+  best_time:float ->
+  evals:int ->
+  root:Ir.Prog.t ->
+  t
+
+val to_json : t -> string
+(** One-line JSON object, canonical member order. *)
+
+val of_json : string -> (t, string) result
+(** Parse one JSONL line.  Unknown schema versions and missing or
+    ill-typed fields are errors, never silent defaults. *)
+
+val key : t -> string
+(** Dedup identity: kernel + fingerprint + target + move sequence, so
+    re-tuning the same program deduplicates while distinct kernel labels
+    stay independently queryable. *)
+
+val compare_order : t -> t -> int
+(** Total order used for stable database saves: by kernel, target,
+    best_time, moves, evals, fingerprint. *)

@@ -1,0 +1,26 @@
+(* Warm-started search: seed new tuning runs from the database's best
+   recorded schedule. *)
+
+let moves_for (db : Db.t) ~kernel ~target ~(root : Ir.Prog.t) : string list =
+  let fp = Record.fingerprint root in
+  match Db.best db ~kernel ~target with
+  | Some (r : Record.t) when r.fingerprint = fp -> r.moves
+  | Some _ | None -> []
+
+let replay caps prog moves = Search.Stochastic.replay_skipping caps prog moves
+
+(* Build a record by replaying the winner: the stored best_time is the
+   replayed schedule's modelled runtime, so the record is reproducible
+   by construction (budget-0 warm-start lands exactly on it). *)
+let record_of ~objective ~caps ~kernel ~target ~root ~moves ~evals :
+    (Record.t, string) result =
+  let replayed, applied = replay caps root moves in
+  if List.length applied <> List.length moves then
+    Error
+      (Printf.sprintf
+         "record_of: only %d of %d moves replayed from the root"
+         (List.length applied) (List.length moves))
+  else
+    Ok
+      (Record.make ~kernel ~target ~moves:applied
+         ~best_time:(objective replayed) ~evals ~root)

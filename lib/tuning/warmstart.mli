@@ -1,0 +1,34 @@
+(** Warm-started search: seed a new tuning run from the database's best
+    recorded schedule so search resumes instead of restarting.
+
+    Sequences replay through {!Search.Stochastic.replay_skipping}; a
+    record is only offered when its fingerprint matches the root program
+    being tuned, so a stale database can never seed the wrong kernel. *)
+
+val moves_for :
+  Db.t -> kernel:string -> target:string -> root:Ir.Prog.t -> string list
+(** Best recorded move sequence for the pair whose fingerprint matches
+    [root]; [[]] when the database has nothing to offer. *)
+
+val replay :
+  Transform.Xforms.caps ->
+  Ir.Prog.t ->
+  string list ->
+  Ir.Prog.t * string list
+(** {!Search.Stochastic.replay_skipping}, re-exported so callers outside
+    the search layer need no extra dependency. *)
+
+val record_of :
+  objective:(Ir.Prog.t -> float) ->
+  caps:Transform.Xforms.caps ->
+  kernel:string ->
+  target:string ->
+  root:Ir.Prog.t ->
+  moves:string list ->
+  evals:int ->
+  (Record.t, string) result
+(** Build a database record from a search winner by {e replaying} its
+    move sequence from the root and re-timing the result — the stored
+    [best_time] is the replayed schedule's, so every record in the
+    database is reproducible by construction.  [Error] when some move no
+    longer applies. *)
