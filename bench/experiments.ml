@@ -915,6 +915,109 @@ let tuning () =
         (Tuning.Db.size db)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel search: worker domains vs wall-clock                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The multicore story: the batched annealing search produces the same
+   result for every jobs >= 1 (same seed, same batch), so the only thing
+   --jobs buys is wall-clock time.  This experiment measures it, checks
+   the invariance, and records jobs -> {wall, speedup} for the roadmap's
+   perf trajectory.
+
+   The analytic machine models answer in microseconds, so candidate
+   evaluation here is never the bottleneck it is in production, where a
+   candidate is measured by running it on the device (AutoTVM-style) and
+   the host mostly *waits*.  We emulate that measuring backend with a
+   fixed per-evaluation round-trip so the experiment exercises the
+   latency-hiding that parallel evaluation exists for; the modelled time
+   itself stays exact, so the jobs-invariance check is still strict. *)
+let parallel () =
+  Report.header
+    "Parallel search: worker domains vs wall-clock (annealing, softmax \
+     512x512, x86)";
+  let budget = Report.search_budget () in
+  let batch = 16 in
+  let measure_latency = 0.002 (* s per evaluation, simulated device *) in
+  let p = Kernels.softmax ~n:512 ~m:512 in
+  let objective q =
+    let t = time target_x86 q in
+    Unix.sleepf measure_latency;
+    t
+  in
+  let run jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Stoch.simulated_annealing_parallel ~seed:1 ~batch ~pool
+            ~space:Stoch.Heuristic ~budget caps_x86 objective p
+        in
+        (r, Unix.gettimeofday () -. t0))
+  in
+  (* sequential reference: the default --jobs 0 algorithm *)
+  let t0 = Unix.gettimeofday () in
+  let seq =
+    Stoch.simulated_annealing ~seed:1 ~space:Stoch.Heuristic ~budget caps_x86
+      objective p
+  in
+  let seq_wall = Unix.gettimeofday () -. t0 in
+  let jobs_list = [ 1; 2; 4 ] in
+  let results = List.map (fun j -> (j, run j)) jobs_list in
+  let (r1 : Stoch.result), w1 = snd (List.hd results) in
+  let identical =
+    List.for_all
+      (fun (_, ((r : Stoch.result), _)) ->
+        r.best_time = r1.best_time && r.best_moves = r1.best_moves)
+      results
+  in
+  Report.table
+    [ "jobs"; "wall (s)"; "speedup vs jobs=1"; "best (s)"; "evals" ]
+    ([ "seq (jobs=0)"; Printf.sprintf "%.3f" seq_wall; "-";
+       Report.e3 seq.best_time; string_of_int seq.evals ]
+    :: List.map
+         (fun (j, ((r : Stoch.result), w)) ->
+           [
+             string_of_int j;
+             Printf.sprintf "%.3f" w;
+             Report.x2 (w1 /. w);
+             Report.e3 r.best_time;
+             string_of_int r.evals;
+           ])
+         results);
+  Printf.printf
+    "\nresult identical across jobs (same seed, batch %d): %b\n" batch
+    identical;
+  Printf.printf "recommended jobs on this machine: %d\n"
+    (Parallel.Pool.default_jobs ());
+  let json =
+    Tuning.Json.Obj
+      [
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ("batch", Tuning.Json.Num (float_of_int batch));
+        ("measure_latency_s", Tuning.Json.Num measure_latency);
+        ("workload", Tuning.Json.Str "annealing/heuristic softmax 512x512 x86");
+        ("identical", Tuning.Json.Str (string_of_bool identical));
+        ("seq_wall_s", Tuning.Json.Num seq_wall);
+        ( "runs",
+          Tuning.Json.Arr
+            (List.map
+               (fun (j, ((r : Stoch.result), w)) ->
+                 Tuning.Json.Obj
+                   [
+                     ("jobs", Tuning.Json.Num (float_of_int j));
+                     ("wall_s", Tuning.Json.Num w);
+                     ("speedup_vs_jobs1", Tuning.Json.Num (w1 /. w));
+                     ("best_s", Tuning.Json.Num r.best_time);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -939,4 +1042,5 @@ let all : (string * (unit -> unit)) list =
     ("arm", arm);
     ("rl-ablation", rl_ablation);
     ("tuning", tuning);
+    ("parallel", parallel);
   ]

@@ -75,6 +75,7 @@ let strategy_of_string budget s : (strategy, bool * string) result =
              episodes = max 4 (budget / 24);
              max_steps = 20;
            })
+  | "portfolio" -> Ok (Portfolio { budget })
   | s -> Error (true, Printf.sprintf "unknown strategy %S" s)
 
 let load_db path : (Tuning.Db.t, bool * string) result =
@@ -98,7 +99,7 @@ let budget_arg =
 let strategy_arg =
   let doc =
     "Strategy: naive, greedy, heuristic, sampling[-edges], \
-     annealing[-edges], rl."
+     annealing[-edges], rl, portfolio."
   in
   Arg.(
     value & opt string "heuristic" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
@@ -106,6 +107,15 @@ let strategy_arg =
 let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the stochastic searches (and the portfolio \
+     race).  0 (default) is the sequential path; N >= 1 evaluates \
+     candidates in parallel batches — the result is the same for every \
+     N >= 1, so --jobs only changes wall-clock time."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let db_file_arg =
   let doc = "Tuning database file (JSONL, one schedule record per line)." in
@@ -191,7 +201,7 @@ let moves_cmd =
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run kernel target strategy budget seed emit_c check db_file warm =
+  let run kernel target strategy budget seed jobs emit_c check db_file warm =
     to_ret
     @@ let* e = find_kernel kernel in
        let* tname, t = target_of_string target in
@@ -225,7 +235,7 @@ let optimize_cmd =
                | moves -> moves)
        in
        let outcome =
-         Perfdojo.optimize ~seed ?cache ~warm_start strat t p
+         Perfdojo.optimize ~seed ?cache ~warm_start ~jobs strat t p
        in
        Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
        Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
@@ -281,7 +291,7 @@ let optimize_cmd =
        | _ -> ());
        if check then begin
          let small = e.build_small () in
-         let small_outcome = Perfdojo.optimize ~seed strat t small in
+         let small_outcome = Perfdojo.optimize ~seed ~jobs strat t small in
          match Interp.equivalent small small_outcome.schedule with
          | Ok () -> print_endline "numerical check (small variant): OK"
          | Error msg -> Printf.printf "numerical check FAILED: %s\n" msg
@@ -323,7 +333,7 @@ let optimize_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
-       $ seed_arg $ c_arg $ check_arg $ db_arg $ warm_arg))
+       $ seed_arg $ jobs_arg $ c_arg $ check_arg $ db_arg $ warm_arg))
 
 (* ------------------------------------------------------------------ *)
 (* db: inspect the tuning database                                     *)
@@ -701,7 +711,7 @@ let analyze_cmd =
    operator and emit a C library (one translation unit per kernel, a
    header, and the schedules as replayable IR). *)
 let generate_cmd =
-  let run target strategy budget seed out db_file =
+  let run target strategy budget seed jobs out db_file =
     to_ret
     @@ let* tname, t = target_of_string target in
        let* strat = strategy_of_string budget strategy in
@@ -740,7 +750,7 @@ let generate_cmd =
                    ~root:p
            in
            let outcome =
-             Perfdojo.optimize ~seed ?cache ~warm_start strat t p
+             Perfdojo.optimize ~seed ?cache ~warm_start ~jobs strat t p
            in
            (match db with
            | Some d when outcome.moves <> [] ->
@@ -813,7 +823,7 @@ let generate_cmd =
     Term.(
       ret
         (const run $ target_arg $ strategy_arg $ budget_arg $ seed_arg
-       $ out_arg $ db_arg))
+       $ jobs_arg $ out_arg $ db_arg))
 
 let () =
   let doc = "PerfDojo: transformation-centric kernel optimization." in

@@ -103,6 +103,14 @@ type strategy =
   | Sampling of { budget : int; space : Search.Stochastic.space }
   | Annealing of { budget : int; space : Search.Stochastic.space }
   | Rl_search of Rl.Perfllm.config
+  | Portfolio of { budget : int }
+      (* race the default member set across domains, keep the best *)
+
+type portfolio_member = {
+  plabel : string;
+  pstrategy : strategy;
+  pseed : int;
+}
 
 type outcome = {
   schedule : Ir.Prog.t;
@@ -122,8 +130,37 @@ let heuristic_pass_for (target : target) caps prog =
         ~score:(fun p -> Machine.time target p)
         caps prog
 
-let optimize ?(seed = 1) ?cache ?(warm_start = []) (strategy : strategy)
-    (target : target) (prog : Ir.Prog.t) : outcome =
+(* The default portfolio: complementary strategies and seeds racing for
+   the same kernel.  Heuristic-space annealing is usually strongest, so
+   it gets two seeds; the edges-space and sampling members cover the
+   schedules it plateaus on; the expert pass is the safety net. *)
+let default_portfolio ?(seed = 1) ~budget () : portfolio_member list =
+  [
+    { plabel = "heuristic-pass"; pstrategy = Heuristic; pseed = seed };
+    {
+      plabel = "annealing/heuristic";
+      pstrategy = Annealing { budget; space = Search.Stochastic.Heuristic };
+      pseed = seed;
+    };
+    {
+      plabel = "annealing/heuristic+1";
+      pstrategy = Annealing { budget; space = Search.Stochastic.Heuristic };
+      pseed = seed + 1;
+    };
+    {
+      plabel = "annealing/edges";
+      pstrategy = Annealing { budget; space = Search.Stochastic.Edges };
+      pseed = seed;
+    };
+    {
+      plabel = "sampling/heuristic";
+      pstrategy = Sampling { budget; space = Search.Stochastic.Heuristic };
+      pseed = seed;
+    };
+  ]
+
+let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
+    (strategy : strategy) (target : target) (prog : Ir.Prog.t) : outcome =
   let caps = Machine.caps target in
   let raw_objective p = Machine.time target p in
   let objective =
@@ -136,6 +173,10 @@ let optimize ?(seed = 1) ?cache ?(warm_start = []) (strategy : strategy)
     | None -> (0, 0)
     | Some c -> (Tuning.Cache.hits c, Tuning.Cache.misses c)
   in
+  (* jobs = 0 (the default) is the sequential path, bit-identical to the
+     pre-parallel code; jobs >= 1 runs the batched-synchronous-parallel
+     search variants, whose trajectory depends on the batch size but not
+     on jobs (jobs = 1 and jobs = N give identical results). *)
   let base =
     match strategy with
     | Naive ->
@@ -149,14 +190,24 @@ let optimize ?(seed = 1) ?cache ?(warm_start = []) (strategy : strategy)
         (s, objective s, [], 1)
     | Sampling { budget; space } ->
         let r =
-          Search.Stochastic.random_sampling ~seed ~init:warm_start ~space
-            ~budget caps objective prog
+          if jobs >= 1 then
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Search.Stochastic.random_sampling_parallel ~seed
+                  ~init:warm_start ~pool ~space ~budget caps objective prog)
+          else
+            Search.Stochastic.random_sampling ~seed ~init:warm_start ~space
+              ~budget caps objective prog
         in
         (r.best, r.best_time, r.best_moves, r.evals)
     | Annealing { budget; space } ->
         let r =
-          Search.Stochastic.simulated_annealing ~seed ~init:warm_start ~space
-            ~budget caps objective prog
+          if jobs >= 1 then
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Search.Stochastic.simulated_annealing_parallel ~seed
+                  ~init:warm_start ~pool ~space ~budget caps objective prog)
+          else
+            Search.Stochastic.simulated_annealing ~seed ~init:warm_start
+              ~space ~budget caps objective prog
         in
         (r.best, r.best_time, r.best_moves, r.evals)
     | Rl_search cfg ->
@@ -164,6 +215,13 @@ let optimize ?(seed = 1) ?cache ?(warm_start = []) (strategy : strategy)
           Rl.Perfllm.optimize ~cfg ~init:warm_start ~seed caps objective prog
         in
         (r.best, r.best_time, r.best_moves, r.evaluations)
+    | Portfolio { budget } ->
+        let o, _winner =
+          optimize_portfolio ?cache ~warm_start ~jobs
+            ~members:(default_portfolio ~seed ~budget ())
+            target prog
+        in
+        (o.schedule, o.time_s, o.moves, o.evaluations)
   in
   (* Pass strategies cannot absorb a warm-start sequence themselves:
      replay it and keep whichever schedule is faster, so a warm run
@@ -186,13 +244,46 @@ let optimize ?(seed = 1) ?cache ?(warm_start = []) (strategy : strategy)
   in
   { schedule; time_s; moves; evaluations; cache_hits; cache_misses }
 
+(* Race portfolio members across domains; each member runs its own
+   sequential search (jobs = 0 inside workers), so a member's result is
+   independent of how the race is scheduled.  The winner is the fastest
+   schedule, ties resolved by member order — deterministic for any
+   [jobs].  The returned outcome carries the winner's schedule but the
+   total evaluation count of the whole portfolio (that is what the race
+   actually spent); cache counters are the winner's own. *)
+and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
+    ~(members : portfolio_member list) (target : target) (prog : Ir.Prog.t) :
+    outcome * string =
+  let members = Array.of_list members in
+  if Array.length members = 0 then
+    invalid_arg "optimize_portfolio: empty portfolio";
+  let run (m : portfolio_member) =
+    match m.pstrategy with
+    | Portfolio _ -> invalid_arg "optimize_portfolio: nested portfolio"
+    | s -> optimize ~seed:m.pseed ?cache ~warm_start s target prog
+  in
+  let jobs = max 1 (min jobs (Array.length members)) in
+  let outcomes =
+    Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.map pool run members)
+  in
+  let besti = ref 0 in
+  Array.iteri
+    (fun i (o : outcome) ->
+      if o.time_s < outcomes.(!besti).time_s then besti := i)
+    outcomes;
+  let total_evals =
+    Array.fold_left (fun acc (o : outcome) -> acc + o.evaluations) 0 outcomes
+  in
+  ( { (outcomes.(!besti)) with evaluations = total_evals },
+    members.(!besti).plabel )
+
 (* Best-of: run a heuristic pass and a search, keep the winner — the
    usual production setting. *)
-let optimize_best ?(seed = 1) ?cache ?(warm_start = []) ?(budget = 300)
-    target prog =
+let optimize_best ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
+    ?(budget = 300) target prog =
   let h = optimize ~seed ?cache ~warm_start Heuristic target prog in
   let s =
-    optimize ~seed ?cache ~warm_start
+    optimize ~seed ?cache ~warm_start ~jobs
       (Annealing { budget; space = Search.Stochastic.Heuristic })
       target prog
   in

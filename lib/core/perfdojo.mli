@@ -69,6 +69,14 @@ type strategy =
   | Sampling of { budget : int; space : Search.Stochastic.space }
   | Annealing of { budget : int; space : Search.Stochastic.space }
   | Rl_search of Rl.Perfllm.config  (** PerfLLM (§3) *)
+  | Portfolio of { budget : int }
+      (** race {!default_portfolio} across domains, keep the best *)
+
+type portfolio_member = {
+  plabel : string;  (** shown as the winner's name *)
+  pstrategy : strategy;  (** must not itself be [Portfolio] *)
+  pseed : int;
+}
 
 type outcome = {
   schedule : Ir.Prog.t;
@@ -84,10 +92,17 @@ type outcome = {
 val heuristic_pass_for :
   target -> Transform.Xforms.caps -> Ir.Prog.t -> Ir.Prog.t
 
+val default_portfolio :
+  ?seed:int -> budget:int -> unit -> portfolio_member list
+(** The member set {!optimize} races for [Portfolio]: the expert pass,
+    heuristic-space annealing under two seeds, edges-space annealing and
+    heuristic-space sampling. *)
+
 val optimize :
   ?seed:int ->
   ?cache:Tuning.Cache.t ->
   ?warm_start:string list ->
+  ?jobs:int ->
   strategy ->
   target ->
   Ir.Prog.t ->
@@ -97,15 +112,37 @@ val optimize :
     fingerprint (repeated candidates cost zero evaluations; counters in
     the outcome).  [warm_start] seeds search strategies with a recorded
     move sequence — typically {!Tuning.Warmstart.moves_for} — so tuning
-    resumes from a database's best instead of restarting. *)
+    resumes from a database's best instead of restarting.
+
+    [jobs] selects the evaluation backend for the stochastic strategies:
+    [0] (the default) is the sequential path, bit-identical to earlier
+    releases; [jobs >= 1] evaluates candidates in rounds of a fixed
+    batch on a {!Parallel.Pool} of [jobs] domains — results depend on
+    the batch size but not on [jobs], so [jobs = 1] and [jobs = N] agree
+    exactly.  [Portfolio] races its members across [jobs] domains. *)
+
+val optimize_portfolio :
+  ?cache:Tuning.Cache.t ->
+  ?warm_start:string list ->
+  ?jobs:int ->
+  members:portfolio_member list ->
+  target ->
+  Ir.Prog.t ->
+  outcome * string
+(** Race an explicit member list; returns the winning outcome (its
+    [evaluations] is the whole portfolio's total — what the race spent)
+    and the winner's label.  Ties resolve by member order, so the result
+    is deterministic for any [jobs].  Raises [Invalid_argument] on an
+    empty list or a nested [Portfolio] member. *)
 
 val optimize_best :
   ?seed:int ->
   ?cache:Tuning.Cache.t ->
   ?warm_start:string list ->
+  ?jobs:int ->
   ?budget:int ->
   target ->
   Ir.Prog.t ->
   outcome
 (** Heuristic pass and a heuristic-space annealing run; keeps the
-    winner. *)
+    winner.  [jobs] as in {!optimize}. *)

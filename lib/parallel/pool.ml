@@ -1,0 +1,146 @@
+(* Fixed-size worker pool over stdlib Domains.
+
+   Design: [create ~jobs] spawns [jobs - 1] persistent worker domains;
+   the caller participates in draining every batch, so jobs = 1 never
+   touches the domain machinery and is exactly a sequential loop.  A
+   batch is a shared task record; workers claim indices one at a time
+   under the pool mutex and run the body unlocked.  Results are written
+   into a caller-owned array slot per index, so output order is input
+   order no matter which domain ran what.
+
+   Exceptions: the task body wrapper catches everything, records the
+   first exception (with its backtrace) and flips [cancelled], which
+   stops further claims; [map] re-raises once the in-flight tasks have
+   drained.  This is fail-fast but still leaves the pool reusable. *)
+
+type task = {
+  body : int -> unit; (* never raises: map wraps the user function *)
+  size : int;
+  mutable next : int; (* next unclaimed index *)
+  mutable active : int; (* claimed but not yet finished *)
+  cancelled : bool ref;
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  have_work : Condition.t; (* a task with runnable items (or stop) *)
+  work_done : Condition.t; (* a task just completed *)
+  mutable current : task option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+let default_jobs () = Domain.recommended_domain_count ()
+
+let task_exhausted task = task.next >= task.size || !(task.cancelled)
+let task_finished task = task_exhausted task && task.active = 0
+
+(* Claim-and-run loop over one task.  Called and returns with the pool
+   mutex held. *)
+let drain pool task =
+  while not (task_exhausted task) do
+    let i = task.next in
+    task.next <- i + 1;
+    task.active <- task.active + 1;
+    Mutex.unlock pool.mutex;
+    task.body i;
+    Mutex.lock pool.mutex;
+    task.active <- task.active - 1;
+    if task_finished task then begin
+      pool.current <- None;
+      Condition.broadcast pool.work_done
+    end
+  done
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec await () =
+    if pool.stop then None
+    else
+      match pool.current with
+      | Some task when not (task_exhausted task) -> Some task
+      | _ ->
+          Condition.wait pool.have_work pool.mutex;
+          await ()
+  in
+  match await () with
+  | None -> Mutex.unlock pool.mutex
+  | Some task ->
+      drain pool task;
+      Mutex.unlock pool.mutex;
+      worker_loop pool
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      have_work = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let map pool (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  if pool.jobs = 1 || n <= 1 then Array.map f arr
+  else begin
+    let results : 'b option array = Array.make n None in
+    let error = ref None in
+    let cancelled = ref false in
+    let body i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock pool.mutex;
+          if !error = None then error := Some (e, bt);
+          cancelled := true;
+          Mutex.unlock pool.mutex
+    in
+    let task = { body; size = n; next = 0; active = 0; cancelled } in
+    Mutex.lock pool.mutex;
+    if Option.is_some pool.current then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.map: concurrent map on the same pool"
+    end;
+    pool.current <- Some task;
+    Condition.broadcast pool.have_work;
+    (* the caller is a worker too *)
+    drain pool task;
+    while not (task_finished task) do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    (* the finishing worker's epilogue clears [current]; make sure it is
+       gone even on edge paths before releasing the pool for reuse *)
+    (match pool.current with
+    | Some t when t == task -> pool.current <- None
+    | _ -> ());
+    Mutex.unlock pool.mutex;
+    match !error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* all ran *))
+          results
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.have_work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

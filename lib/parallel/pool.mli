@@ -1,0 +1,47 @@
+(** A small fixed-size worker pool on stdlib [Domain] / [Mutex] /
+    [Condition] — no external dependencies.
+
+    The pool provides [jobs]-way parallelism: [create ~jobs] spawns
+    [jobs - 1] worker domains and the calling domain itself participates
+    in every {!map}, so [jobs = 1] is a pure sequential loop with zero
+    domain overhead (and therefore bit-identical to unpooled code).
+
+    Intended use is the search layer's batched candidate evaluation:
+    the submitting thread generates a deterministic batch of pure tasks,
+    [map] fans them across domains, and results come back {e in input
+    order} regardless of completion order — which is what makes
+    [--jobs 1] and [--jobs N] runs produce identical search
+    trajectories.
+
+    Tasks must be pure or internally synchronized; the pool gives no
+    protection for shared mutable state inside tasks. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool of [jobs]-way parallelism ([jobs - 1]
+    worker domains).  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism degree the pool was created with. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [~jobs] for
+    saturating the machine. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] applies [f] to every element of [arr] across the
+    pool's domains and returns the results in input order.
+
+    If any [f] raises, the first exception (in completion order) is
+    re-raised in the caller with its original backtrace; remaining
+    unclaimed tasks are cancelled.  [map] may only be called from one
+    submitter at a time (the pool is not a reentrant scheduler). *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent; the pool must
+    not be used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
+    {!shutdown} on exit, exceptional or not. *)

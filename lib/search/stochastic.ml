@@ -34,16 +34,14 @@ type result = {
 
 (* Replay a sequence of move names from [prog], skipping moves that are
    not applicable at their point.  Returns the final program and the
-   names that actually applied. *)
+   names that actually applied.  Resolution goes through a per-step
+   describe -> instance hash table (Xforms.resolver) rather than a
+   linear find_opt that re-describes instances until a match. *)
 let replay_skipping ?(filter = fun (_ : Xforms.instance) -> true) caps prog
     names =
   List.fold_left
     (fun (p, applied) name ->
-      match
-        List.find_opt
-          (fun i -> filter i && Xforms.describe i = name)
-          (Xforms.all caps p)
-      with
+      match Xforms.resolver ~filter (Xforms.all caps p) name with
       | Some inst -> (inst.apply p, name :: applied)
       | None -> (p, applied))
     (prog, []) names
@@ -136,6 +134,35 @@ let warm_candidate ?filter caps objective root (init : string list) :
   if init = [] then None
   else Some (eval_moves ?filter caps objective root init infinity)
 
+(* The candidate pool and its selection weights live in growable buffers
+   (amortized O(1) push) — the previous per-evaluation [Array.append]
+   made pool growth O(budget^2).  The weight of a candidate depends only
+   on its parent's runtime, so it is computed once at push time;
+   [weighted_index_n] samples over the live prefix without copying. *)
+let make_pool ?filter caps objective root root_cand init =
+  let pool = Util.Dynarray.create ~capacity:64 root_cand in
+  let weights = Util.Dynarray.create ~capacity:64 0.0 in
+  let push c =
+    Util.Dynarray.push pool c;
+    Util.Dynarray.push weights (1.0 /. Float.max c.parent_runtime 1e-12)
+  in
+  push root_cand;
+  (match warm_candidate ?filter caps objective root init with
+  | None -> ()
+  | Some w -> push { w with parent_runtime = root_cand.runtime });
+  let best =
+    Util.Dynarray.fold_left
+      (fun acc c -> if c.runtime < acc.runtime then c else acc)
+      root_cand pool
+  in
+  (pool, weights, push, best)
+
+let pick_parent rng pool weights =
+  Util.Dynarray.get pool
+    (Util.Rng.weighted_index_n rng
+       (Util.Dynarray.unsafe_data weights)
+       (Util.Dynarray.length weights))
+
 let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
     ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
@@ -144,25 +171,13 @@ let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
-  let pool =
-    ref
-      (match warm_candidate ?filter caps objective root init with
-      | None -> [| root_cand |]
-      | Some w ->
-          [| root_cand; { w with parent_runtime = root_time } |])
+  let pool, weights, push, best0 =
+    make_pool ?filter caps objective root root_cand init
   in
-  let best =
-    ref
-      (Array.fold_left
-         (fun acc c -> if c.runtime < acc.runtime then c else acc)
-         !pool.(0) !pool)
-  in
+  let best = ref best0 in
   let curve =
     run_curve budget (fun _ ->
-        let weights =
-          Array.map (fun c -> 1.0 /. Float.max c.parent_runtime 1e-12) !pool
-        in
-        let parent = !pool.(Util.Rng.weighted_index rng weights) in
+        let parent = pick_parent rng pool weights in
         let child_moves, direct = expand ?filter space caps rng root parent in
         let child =
           match direct with
@@ -177,10 +192,146 @@ let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
               eval_moves ?filter caps objective root child_moves
                 parent.runtime
         in
-        pool := Array.append !pool [| child |];
+        push child;
         if child.runtime < !best.runtime then best := child;
         child.runtime)
   in
+  {
+    best = !best.prog;
+    best_time = !best.runtime;
+    best_moves = !best.moves;
+    curve;
+    evals = budget;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Batched-synchronous-parallel variants                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Parallelization follows AutoTVM's batched measurement loop: each
+   round deterministically prepares B candidate tasks on the submitting
+   thread (parent selection and one split-off RNG stream per task, in
+   slot order), fans the expensive part — growing the child and
+   replaying/evaluating it — across the pool, then folds the results
+   back in slot order.  Because every task is a pure function of its
+   (parent, RNG stream) inputs and both preparation and folding are
+   sequential, the trajectory is a function of (seed, batch) only: jobs
+   = 1 and jobs = N are identical, which the determinism tests pin.
+
+   Note the batched algorithms differ from the sequential ones for
+   batch > 1 (candidates within a round cannot see each other), so the
+   sequential entry points above remain the default path. *)
+
+let default_batch = 8
+
+(* Grow a child from [parent] with the task's own RNG stream and
+   evaluate it — the unit of parallel work. *)
+let child_task ?filter space caps root objective parent task_rng () :
+    candidate =
+  let child_moves, direct = expand ?filter space caps task_rng root parent in
+  match direct with
+  | Some p ->
+      {
+        moves = child_moves;
+        prog = p;
+        runtime = objective p;
+        parent_runtime = parent.runtime;
+      }
+  | None ->
+      eval_moves ?filter caps objective root child_moves parent.runtime
+
+let run_batched ~batch ~pool ~budget ~prepare ~fold =
+  if batch < 1 then invalid_arg "Stochastic: batch must be >= 1";
+  let curve = Array.make budget infinity in
+  let filled = ref 0 in
+  while !filled < budget do
+    let b = min batch (budget - !filled) in
+    let tasks = Array.make b (fun () -> assert false) in
+    for i = 0 to b - 1 do
+      (* explicit loop: slot order fixes the RNG draw order *)
+      tasks.(i) <- prepare ()
+    done;
+    let children = Parallel.Pool.map pool (fun task -> task ()) tasks in
+    Array.iteri
+      (fun i child -> curve.(!filled + i) <- fold child)
+      children;
+    filled := !filled + b
+  done;
+  curve
+
+let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
+    ?(batch = default_batch) ~(pool : Parallel.Pool.t) ~(space : space)
+    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+  let rng = Util.Rng.create seed in
+  let root_time = objective root in
+  let root_cand =
+    { moves = []; prog = root; runtime = root_time;
+      parent_runtime = root_time }
+  in
+  let cands, weights, push, best0 =
+    make_pool ?filter caps objective root root_cand init
+  in
+  let best = ref best0 in
+  let prepare () =
+    let parent = pick_parent rng cands weights in
+    let task_rng = Util.Rng.split rng in
+    child_task ?filter space caps root objective parent task_rng
+  in
+  let fold child =
+    push child;
+    if child.runtime < !best.runtime then best := child;
+    !best.runtime
+  in
+  let curve = run_batched ~batch ~pool ~budget ~prepare ~fold in
+  {
+    best = !best.prog;
+    best_time = !best.runtime;
+    best_moves = !best.moves;
+    curve;
+    evals = budget;
+  }
+
+let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
+    ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch)
+    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
+  let rng = Util.Rng.create seed in
+  let root_time = objective root in
+  let root_cand =
+    { moves = []; prog = root; runtime = root_time;
+      parent_runtime = root_time }
+  in
+  let current =
+    ref
+      (match warm_candidate ?filter caps objective root init with
+      | Some w when w.runtime <= root_time ->
+          { w with parent_runtime = root_time }
+      | Some _ | None -> root_cand)
+  in
+  let best = ref !current in
+  let temp = ref t0 in
+  let prepare () =
+    (* all proposals of a round branch off the round-start state *)
+    let parent = !current in
+    let task_rng = Util.Rng.split rng in
+    child_task ?filter space caps root objective parent task_rng
+  in
+  let fold child =
+    let accept =
+      child.runtime <= !current.runtime
+      ||
+      let delta =
+        (child.runtime -. !current.runtime)
+        /. Float.max !current.runtime 1e-12
+      in
+      Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
+    in
+    if accept then current := child;
+    if child.runtime < !best.runtime then best := child;
+    temp := !temp *. cooling;
+    !best.runtime
+  in
+  let curve = run_batched ~batch ~pool ~budget ~prepare ~fold in
   {
     best = !best.prog;
     best_time = !best.runtime;

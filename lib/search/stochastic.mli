@@ -78,3 +78,55 @@ val simulated_annealing :
 (** [init] seeds the annealing chain (and best-so-far) with a recorded
     sequence; with [budget = 0] the result is exactly the replayed
     schedule — replay fidelity the tuning tests rely on. *)
+
+(** {1 Batched-synchronous-parallel variants}
+
+    AutoTVM-style batched candidate measurement: each round prepares
+    [batch] candidate tasks deterministically on the submitting thread
+    (parent selection and one split-off RNG stream per slot, in slot
+    order), evaluates them across the pool's domains, and folds the
+    results back in slot order.  The trajectory is a function of
+    [(seed, batch)] only — [jobs = 1] and [jobs = N] pools return
+    bit-identical results, and the recorded [curve] keeps its
+    best-so-far-per-evaluation meaning.
+
+    For [batch > 1] the algorithm differs from the sequential one
+    (candidates within a round cannot see each other), so the
+    sequential entry points above remain the default path.
+
+    The [objective] runs concurrently on several domains: it must be
+    pure or internally synchronized (the analytic machine models are
+    pure; {!Tuning.Cache.memoize} is domain-safe). *)
+
+val random_sampling_parallel :
+  ?seed:int ->
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  ?init:string list ->
+  ?batch:int ->
+  pool:Parallel.Pool.t ->
+  space:space ->
+  budget:int ->
+  Transform.Xforms.caps ->
+  objective ->
+  Ir.Prog.t ->
+  result
+(** Batched {!random_sampling}: parents for a whole round are drawn
+    from the pool as of the round start.  [batch] defaults to 8. *)
+
+val simulated_annealing_parallel :
+  ?seed:int ->
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  ?init:string list ->
+  ?t0:float ->
+  ?cooling:float ->
+  ?batch:int ->
+  pool:Parallel.Pool.t ->
+  space:space ->
+  budget:int ->
+  Transform.Xforms.caps ->
+  objective ->
+  Ir.Prog.t ->
+  result
+(** Batched {!simulated_annealing}: every proposal of a round branches
+    off the round-start chain state; acceptance, cooling and best-so-far
+    fold sequentially in slot order.  [batch] defaults to 8. *)

@@ -68,7 +68,13 @@ let undo_at session k =
       session.history <- !new_hist;
       session.current <- !state;
       Some !state
-    with _ -> None
+    with
+    (* only the expected staleness/validation failures mean "cannot
+       remove"; anything else (Invalid_argument from an indexing bug,
+       Not_found, ...) is a genuine error and must propagate *)
+    | Xforms.Not_applicable _ | Ir.Prog.Invalid_path _
+    | Ir.Validate.Invalid _ ->
+      None
   end
 
 let moves session = List.rev_map (fun (i, _) -> i) session.history
@@ -81,11 +87,9 @@ let replay caps prog (names : string list) : (Ir.Prog.t, string) result =
   let rec go = function
     | [] -> Ok session.current
     | name :: rest -> (
-        match
-          List.find_opt
-            (fun i -> Xforms.describe i = name)
-            (applicable session)
-        with
+        (* hash-table resolution per step: one describe per instance
+           instead of a linear scan re-describing until a match *)
+        match Xforms.resolver (applicable session) name with
         | Some inst ->
             ignore (apply session inst);
             go rest

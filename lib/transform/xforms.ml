@@ -17,6 +17,33 @@ type instance = {
 
 let describe i = Printf.sprintf "%s(%s)" i.xname i.target
 
+(* Applying a stale instance (the location no longer matches after the
+   program changed underneath it) raises [Not_applicable] — distinct
+   from [Invalid_argument] so genuine programming errors (e.g. an
+   indexing bug) are never mistaken for staleness by handlers that
+   tolerate it (Engine.undo_at). *)
+exception Not_applicable of string
+
+let not_applicable msg = raise (Not_applicable msg)
+
+(* Resolve [describe] strings against an instance list through a hash
+   table built once — replaces the per-name linear scans (with repeated
+   [describe] calls) in Engine.replay / Stochastic.replay_skipping.
+   First occurrence wins, matching List.find_opt. *)
+let resolver ?(filter = fun (_ : instance) -> true) (insts : instance list) :
+    string -> instance option =
+  let table = lazy begin
+    let t = Hashtbl.create (2 * List.length insts + 1) in
+    List.iter
+      (fun i ->
+        if filter i then
+          let d = describe i in
+          if not (Hashtbl.mem t d) then Hashtbl.add t d i)
+      insts;
+    t
+  end in
+  fun name -> Hashtbl.find_opt (Lazy.force table) name
+
 (* Hardware capabilities gate which transformations are offered.  This is
    the paper's "hardware knowledge exposed to the search only as a library
    of transformations". *)
@@ -105,7 +132,7 @@ let apply_split p depth factor prog =
                                  guard = None; body } ];
               };
           ]
-      | _ -> invalid_arg "split_scope: not applicable")
+      | _ -> not_applicable "split_scope: not applicable")
 
 let find_split (caps : caps) (prog : Ir.Prog.t) : instance list =
   Ir.Prog.fold_nodes
@@ -150,14 +177,14 @@ let apply_join p prog =
                else if j = i + 1 then []
                else [ n ])
              nodes)
-    | _ -> invalid_arg "join_scopes: not applicable"
+    | _ -> not_applicable "join_scopes: not applicable"
   in
   if parent = [] then { prog with body = splice prog.body }
   else
     Ir.Prog.rewrite_at prog parent (fun node ->
         match node with
         | Scope sc -> [ Scope { sc with body = splice sc.body } ]
-        | Stmt _ -> invalid_arg "join_scopes: bad parent")
+        | Stmt _ -> not_applicable "join_scopes: bad parent")
 
 let find_join (prog : Ir.Prog.t) : instance list =
   let candidates parent_path nodes depth =
@@ -202,7 +229,7 @@ let apply_fission p k prog =
           let part1 = List.filteri (fun j _ -> j < k) sc.body in
           let part2 = List.filteri (fun j _ -> j >= k) sc.body in
           [ Scope { sc with body = part1 }; Scope { sc with body = part2 } ]
-      | _ -> invalid_arg "fission: not applicable")
+      | _ -> not_applicable "fission: not applicable")
 
 let find_fission (prog : Ir.Prog.t) : instance list =
   Ir.Prog.fold_nodes
@@ -258,8 +285,8 @@ let apply_interchange p depth prog =
                     body = [ Scope { outer with body } ];
                   };
               ]
-          | _ -> invalid_arg "interchange: not applicable")
-      | Stmt _ -> invalid_arg "interchange: not applicable")
+          | _ -> not_applicable "interchange: not applicable")
+      | Stmt _ -> not_applicable "interchange: not applicable")
 
 let find_interchange (prog : Ir.Prog.t) : instance list =
   Ir.Prog.fold_nodes
@@ -289,7 +316,7 @@ let find_interchange (prog : Ir.Prog.t) : instance list =
 
 let apply_reorder parent i prog =
   let swap nodes =
-    if i + 1 >= List.length nodes then invalid_arg "reorder: out of range";
+    if i + 1 >= List.length nodes then not_applicable "reorder: out of range";
     List.mapi
       (fun j n ->
         if j = i then List.nth nodes (i + 1)
@@ -302,7 +329,7 @@ let apply_reorder parent i prog =
     Ir.Prog.rewrite_at prog parent (fun node ->
         match node with
         | Scope sc -> [ Scope { sc with body = swap sc.body } ]
-        | Stmt _ -> invalid_arg "reorder: bad parent")
+        | Stmt _ -> not_applicable "reorder: bad parent")
 
 let find_reorder (prog : Ir.Prog.t) : instance list =
   let candidates parent_path nodes =
@@ -337,7 +364,7 @@ let set_annot p annot prog =
   Ir.Prog.rewrite_at prog p (fun node ->
       match node with
       | Scope sc -> [ Scope { sc with annot } ]
-      | Stmt _ -> invalid_arg "set_annot: not a scope")
+      | Stmt _ -> not_applicable "set_annot: not a scope")
 
 (* Total code replication an unroll would cause: the scope's own trip
    count times that of every unrolled scope above and below it.  Bounding
@@ -565,7 +592,7 @@ let apply_unannotate p prog =
   Ir.Prog.rewrite_at prog p (fun node ->
       match node with
       | Scope sc -> [ Scope { sc with annot = Seq; ssr = false } ]
-      | Stmt _ -> invalid_arg "unannotate: not a scope")
+      | Stmt _ -> not_applicable "unannotate: not a scope")
 
 let find_unannotate (prog : Ir.Prog.t) : instance list =
   Ir.Prog.fold_nodes
@@ -595,7 +622,7 @@ let apply_pad p m prog =
       | Scope sc when sc.guard = None && sc.size mod m <> 0 ->
           let padded = (sc.size + m - 1) / m * m in
           [ Scope { sc with size = padded; guard = Some sc.size } ]
-      | _ -> invalid_arg "pad_scope: not applicable")
+      | _ -> not_applicable "pad_scope: not applicable")
 
 let find_pad (caps : caps) (prog : Ir.Prog.t) : instance list =
   let multiples =
@@ -760,7 +787,7 @@ let set_ssr p v prog =
   Ir.Prog.rewrite_at prog p (fun node ->
       match node with
       | Scope sc -> [ Scope { sc with ssr = v } ]
-      | Stmt _ -> invalid_arg "ssr: not a scope")
+      | Stmt _ -> not_applicable "ssr: not a scope")
 
 (* SSR streams at most three iterating operand sequences through stream
    semantic registers; all accesses in the loop body must be affine
@@ -978,9 +1005,9 @@ let apply_split_reduction p depth k prog =
                 { prog with buffers = prog.buffers @ [ part ] }
               in
               Ir.Prog.rewrite_at prog p (fun _ -> [ init; main; combine ]))
-          | None -> invalid_arg "split_reduction: not a commutative reduction")
-      | _ -> invalid_arg "split_reduction: body must be a single statement")
-  | _ -> invalid_arg "split_reduction: not applicable"
+          | None -> not_applicable "split_reduction: not a commutative reduction")
+      | _ -> not_applicable "split_reduction: body must be a single statement")
+  | _ -> not_applicable "split_reduction: not applicable"
 
 let find_split_reduction (caps : caps) (prog : Ir.Prog.t) : instance list =
   if caps.reduction_split = [] then []

@@ -11,13 +11,27 @@ type instance = {
   xname : string;  (** transformation name, e.g. ["split_scope"] *)
   target : string;  (** human-readable location / parameters *)
   apply : Ir.Prog.t -> Ir.Prog.t;
-      (** total within applicability; raises [Invalid_argument] if the
-          location no longer matches *)
+      (** total within applicability; raises {!Not_applicable} (or
+          [Ir.Prog.Invalid_path] for a vanished path) if the location no
+          longer matches *)
 }
+
+exception Not_applicable of string
+(** Raised when applying an instance whose location went stale — the
+    program changed underneath it.  Deliberately distinct from
+    [Invalid_argument] so staleness-tolerant handlers (Engine.undo_at)
+    never swallow genuine programming errors. *)
 
 val describe : instance -> string
 (** ["name(target)"] — stable identifier used to record and replay move
     sequences. *)
+
+val resolver :
+  ?filter:(instance -> bool) -> instance list -> string -> instance option
+(** [resolver insts] builds (lazily, once) a {!describe} [->] instance
+    hash table over [insts] and returns the lookup function — the fast
+    path for replaying recorded move names.  First occurrence wins, as
+    with [List.find_opt]. *)
 
 (** Hardware capabilities gate which transformations are offered: the
     paper's "hardware knowledge exposed to the search only as a library

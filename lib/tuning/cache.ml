@@ -1,31 +1,63 @@
-(* Memoized objective evaluation, keyed on the program fingerprint. *)
+(* Memoized objective evaluation, keyed on the program fingerprint.
 
-type t = {
+   Domain-safe: the table is sharded by fingerprint hash and every shard
+   carries its own mutex, so concurrent search workers (Parallel.Pool)
+   share memoization without races and without serializing on a single
+   lock.  The objective itself runs *outside* the shard lock — it is the
+   expensive part, and holding the lock there would serialize the very
+   evaluations the pool exists to overlap.  Two workers racing on the
+   same fresh fingerprint may thus both evaluate it (both count as
+   misses — for a deterministic objective they store the same value);
+   what is guaranteed is hits + misses = total lookups, exactly. *)
+
+type shard = {
   table : (string, float) Hashtbl.t;
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { table = Hashtbl.create 512; hits = 0; misses = 0 }
+type t = shard array
+
+let shard_count = 16 (* power of two: shard index is a mask *)
+
+let create () : t =
+  Array.init shard_count (fun _ ->
+      {
+        table = Hashtbl.create 64;
+        lock = Mutex.create ();
+        hits = 0;
+        misses = 0;
+      })
+
+let shard_of (cache : t) fp = cache.(Hashtbl.hash fp land (shard_count - 1))
 
 let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
     float =
   let fp = Record.fingerprint p in
-  match Hashtbl.find_opt cache.table fp with
+  let s = shard_of cache fp in
+  Mutex.lock s.lock;
+  match Hashtbl.find_opt s.table fp with
   | Some time ->
-      cache.hits <- cache.hits + 1;
+      s.hits <- s.hits + 1;
+      Mutex.unlock s.lock;
       time
   | None ->
-      cache.misses <- cache.misses + 1;
+      s.misses <- s.misses + 1;
+      Mutex.unlock s.lock;
       let time = objective p in
-      Hashtbl.add cache.table fp time;
+      Mutex.lock s.lock;
+      if not (Hashtbl.mem s.table fp) then Hashtbl.add s.table fp time;
+      Mutex.unlock s.lock;
       time
 
-let hits (c : t) = c.hits
-let misses (c : t) = c.misses
+let sum (cache : t) f = Array.fold_left (fun acc s -> acc + f s) 0 cache
+let hits (c : t) = sum c (fun s -> s.hits)
+let misses (c : t) = sum c (fun s -> s.misses)
 
 let hit_rate (c : t) =
-  let total = c.hits + c.misses in
-  if total = 0 then 0. else float_of_int c.hits /. float_of_int total
+  let h = hits c and m = misses c in
+  let total = h + m in
+  if total = 0 then 0. else float_of_int h /. float_of_int total
 
-let entries (c : t) = Hashtbl.length c.table
+let entries (c : t) = sum c (fun s -> Hashtbl.length s.table)

@@ -5,7 +5,15 @@
     enumeration); keying the performance model on the program
     {!Record.fingerprint} makes every revisit free.  Hit/miss counters
     quantify the saving — they feed the CLI report and the tuning
-    bench's [BENCH_tuning.json]. *)
+    bench's [BENCH_tuning.json].
+
+    Domain-safe: the table is sharded with a mutex per shard, so a cache
+    can back the objective of a parallel search ({!Search.Stochastic}'s
+    [_parallel] variants) shared across worker domains.  The invariant
+    [hits + misses = total lookups] holds exactly under concurrency;
+    two workers racing on the same fresh program may both miss (the
+    objective runs outside the lock), which for a deterministic
+    objective is only a duplicated evaluation, never a wrong value. *)
 
 type t
 
@@ -13,7 +21,8 @@ val create : unit -> t
 
 val memoize : t -> (Ir.Prog.t -> float) -> Ir.Prog.t -> float
 (** [memoize cache objective] behaves exactly like [objective] but
-    evaluates each distinct program at most once per cache. *)
+    evaluates each distinct program at most once per cache (up to
+    concurrent first-evaluation races, see above). *)
 
 val hits : t -> int
 (** Evaluations answered from the cache. *)

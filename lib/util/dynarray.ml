@@ -1,0 +1,45 @@
+(* Amortized growable array.
+
+   The stochastic search pool previously grew with
+   [Array.append pool [| child |]] — an O(n) copy per evaluation, i.e.
+   O(budget^2) overall.  This buffer doubles its backing store instead,
+   giving O(1) amortized [push].  (Stdlib gains Dynarray in 5.2; this is
+   the small subset the repo needs, on 5.1.) *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a; (* fills unused capacity so no [Obj] tricks are needed *)
+}
+
+let create ?(capacity = 16) dummy =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray.get: out of bounds";
+  t.data.(i)
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let grown = Array.make (2 * t.len) t.dummy in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+(* The live prefix of the backing store, for functions that take a
+   [len]-bounded array view (e.g. Rng.weighted_index_n).  Elements at
+   indices >= length are the dummy; callers must respect the bound. *)
+let unsafe_data t = t.data
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.len

@@ -1,0 +1,29 @@
+(** Amortized growable array (doubling backing store): O(1) amortized
+    {!push} instead of the O(n)-per-append [Array.append] pattern.
+
+    A small 5.1-compatible subset of the stdlib [Dynarray] that lands in
+    OCaml 5.2; the [dummy] element fills unused capacity so the
+    implementation stays free of [Obj] magic. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create ?capacity dummy] — [dummy] pads unreached capacity. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the end; amortized O(1). *)
+
+val unsafe_data : 'a t -> 'a array
+(** The backing store; only indices [< length] are live (the rest hold
+    the dummy).  For length-bounded array consumers such as
+    {!Rng.weighted_index_n}. *)
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val to_array : 'a t -> 'a array
+(** Copy of the live prefix. *)

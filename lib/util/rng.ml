@@ -83,13 +83,19 @@ let choose t arr =
   if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
   arr.(int t (Array.length arr))
 
-(* Sample an index proportionally to the given non-negative weights. *)
-let weighted_index t weights =
-  let total = Array.fold_left ( +. ) 0.0 weights in
-  if total <= 0.0 then int t (Array.length weights)
+(* Sample an index proportionally to the first [n] non-negative weights.
+   Draw-for-draw identical to [weighted_index] on an n-element array, so
+   search code can keep weights in a growable buffer without copying. *)
+let weighted_index_n t weights n =
+  if n <= 0 || n > Array.length weights then
+    invalid_arg "Rng.weighted_index_n: bad prefix length";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. weights.(i)
+  done;
+  if !total <= 0.0 then int t n
   else begin
-    let target = float t *. total in
-    let n = Array.length weights in
+    let target = float t *. !total in
     let rec go i acc =
       if i >= n - 1 then n - 1
       else
@@ -98,3 +104,5 @@ let weighted_index t weights =
     in
     go 0 0.0
   end
+
+let weighted_index t weights = weighted_index_n t weights (Array.length weights)

@@ -43,3 +43,9 @@ val choose : t -> 'a array -> 'a
 val weighted_index : t -> float array -> int
 (** [weighted_index t w] samples an index with probability proportional
     to the non-negative weights [w]; uniform if all weights are zero. *)
+
+val weighted_index_n : t -> float array -> int -> int
+(** [weighted_index_n t w n] is {!weighted_index} restricted to the
+    first [n] entries of [w] — same draw sequence, no copy; lets callers
+    keep weights in a growable buffer.  Raises [Invalid_argument] when
+    [n <= 0] or [n > Array.length w]. *)

@@ -117,6 +117,73 @@ let optimize_tests =
           (Codegen.contains_gpu o.schedule));
   ]
 
+let parallel_facade_tests =
+  [
+    Alcotest.test_case "optimize is jobs-invariant for a search strategy"
+      `Quick (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let strat =
+          Annealing { budget = 40; space = Search.Stochastic.Heuristic }
+        in
+        let a = Perfdojo.optimize ~seed:6 ~jobs:1 strat target_snitch p in
+        let b = Perfdojo.optimize ~seed:6 ~jobs:4 strat target_snitch p in
+        Alcotest.(check (float 0.0)) "time" a.time_s b.time_s;
+        Alcotest.(check (list string)) "moves" a.moves b.moves;
+        Alcotest.(check int) "evals" a.evaluations b.evaluations);
+    Alcotest.test_case "portfolio returns its best member's schedule" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:32 ~m:32 in
+        let members = Perfdojo.default_portfolio ~seed:2 ~budget:30 () in
+        let o, winner =
+          Perfdojo.optimize_portfolio ~jobs:2 ~members target_cpu p
+        in
+        Ir.Validate.check_exn o.schedule;
+        Alcotest.(check bool) "winner is a member" true
+          (List.exists (fun m -> m.plabel = winner) members);
+        List.iter
+          (fun (m : Perfdojo.portfolio_member) ->
+            let solo =
+              Perfdojo.optimize ~seed:m.pseed m.pstrategy target_cpu p
+            in
+            Alcotest.(check bool)
+              (winner ^ " beats " ^ m.plabel)
+              true (o.time_s <= solo.time_s))
+          members;
+        match Interp.equivalent ~tol:1e-4 p o.schedule with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "portfolio schedule: %s" e);
+    Alcotest.test_case "portfolio race is deterministic across jobs" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let strat = Portfolio { budget = 25 } in
+        let a = Perfdojo.optimize ~seed:4 ~jobs:1 strat target_snitch p in
+        let b = Perfdojo.optimize ~seed:4 ~jobs:3 strat target_snitch p in
+        Alcotest.(check (float 0.0)) "time" a.time_s b.time_s;
+        Alcotest.(check (list string)) "moves" a.moves b.moves);
+    Alcotest.test_case "portfolio rejects empty and nested members" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:8 ~m:8 in
+        (match Perfdojo.optimize_portfolio ~members:[] target_cpu p with
+        | _ -> Alcotest.fail "accepted an empty portfolio"
+        | exception Invalid_argument _ -> ());
+        let nested =
+          [
+            {
+              Perfdojo.plabel = "nested";
+              pstrategy = Portfolio { budget = 5 };
+              pseed = 1;
+            };
+          ]
+        in
+        match Perfdojo.optimize_portfolio ~members:nested target_cpu p with
+        | _ -> Alcotest.fail "accepted a nested portfolio"
+        | exception Invalid_argument _ -> ());
+  ]
+
 let () =
   Alcotest.run "core"
-    [ ("game", game_tests); ("optimize", optimize_tests) ]
+    [
+      ("game", game_tests);
+      ("optimize", optimize_tests);
+      ("parallel-facade", parallel_facade_tests);
+    ]

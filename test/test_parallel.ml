@@ -1,0 +1,96 @@
+(* Tests for the Domain-based worker pool: result ordering, the
+   sequential jobs=1 path, fail-fast exception propagation, and pool
+   reuse after both completion and failure. *)
+
+let pool_tests =
+  [
+    Alcotest.test_case "map preserves input order" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            let input = Array.init 100 (fun i -> i) in
+            let out = Parallel.Pool.map pool (fun x -> x * x) input in
+            Alcotest.(check int) "length" 100 (Array.length out);
+            Array.iteri
+              (fun i y -> Alcotest.(check int) "slot" (i * i) y)
+              out));
+    Alcotest.test_case "map agrees with Array.map" `Quick (fun () ->
+        let input = Array.init 257 (fun i -> 3 * i - 7) in
+        let f x = (x * x) - x in
+        let expected = Array.map f input in
+        Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+            Alcotest.(check (array int))
+              "same" expected
+              (Parallel.Pool.map pool f input)));
+    Alcotest.test_case "jobs=1 runs on the calling domain" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:1 (fun pool ->
+            let self = Domain.self () in
+            let out =
+              Parallel.Pool.map pool
+                (fun x ->
+                  Alcotest.(check bool)
+                    "same domain" true
+                    (Domain.self () = self);
+                  x + 1)
+                (Array.init 10 (fun i -> i))
+            in
+            Alcotest.(check int) "last" 10 out.(9)));
+    Alcotest.test_case "empty and singleton inputs" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            Alcotest.(check int) "empty" 0
+              (Array.length (Parallel.Pool.map pool (fun x -> x) [||]));
+            Alcotest.(check (array int))
+              "singleton" [| 42 |]
+              (Parallel.Pool.map pool (fun x -> x * 2) [| 21 |])));
+    Alcotest.test_case "exceptions propagate to the caller" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            match
+              Parallel.Pool.map pool
+                (fun x -> if x = 37 then failwith "boom" else x)
+                (Array.init 64 (fun i -> i))
+            with
+            | _ -> Alcotest.fail "expected the exception to propagate"
+            | exception Failure msg -> Alcotest.(check string) "msg" "boom" msg));
+    Alcotest.test_case "pool stays usable after a failed map" `Quick
+      (fun () ->
+        Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+            (try
+               ignore
+                 (Parallel.Pool.map pool
+                    (fun _ -> failwith "first batch dies")
+                    (Array.init 16 (fun i -> i)))
+             with Failure _ -> ());
+            let out =
+              Parallel.Pool.map pool (fun x -> x + 1)
+                (Array.init 16 (fun i -> i))
+            in
+            Alcotest.(check int) "recovered" 16 out.(15)));
+    Alcotest.test_case "many successive batches reuse the workers" `Quick
+      (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            for round = 1 to 50 do
+              let out =
+                Parallel.Pool.map pool
+                  (fun x -> x * round)
+                  (Array.init 8 (fun i -> i))
+              in
+              Alcotest.(check int) "slot 7" (7 * round) out.(7)
+            done));
+    Alcotest.test_case "create rejects jobs < 1" `Quick (fun () ->
+        match Parallel.Pool.create ~jobs:0 with
+        | _ -> Alcotest.fail "accepted jobs = 0"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "with_pool returns the body's value" `Quick (fun () ->
+        Alcotest.(check int) "value" 99
+          (Parallel.Pool.with_pool ~jobs:2 (fun _ -> 99)));
+    Alcotest.test_case "with_pool shuts down on body exception" `Quick
+      (fun () ->
+        match
+          Parallel.Pool.with_pool ~jobs:2 (fun _ -> failwith "body")
+        with
+        | _ -> Alcotest.fail "expected Failure"
+        | exception Failure msg -> Alcotest.(check string) "msg" "body" msg);
+    Alcotest.test_case "default_jobs is positive" `Quick (fun () ->
+        Alcotest.(check bool) "positive" true
+          (Parallel.Pool.default_jobs () >= 1));
+  ]
+
+let () = Alcotest.run "parallel" [ ("pool", pool_tests) ]

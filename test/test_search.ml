@@ -186,6 +186,78 @@ let mutation_tests =
         Ir.Validate.check_exn final);
   ]
 
+(* Batched-parallel search: the contract is that the trajectory depends
+   on (seed, batch) but never on how many domains evaluate it. *)
+let parallel_search_tests =
+  let check_result_equal label (a : Search.Stochastic.result)
+      (b : Search.Stochastic.result) =
+    Alcotest.(check (float 0.0)) (label ^ ": best_time") a.best_time b.best_time;
+    Alcotest.(check (list string))
+      (label ^ ": best_moves") a.best_moves b.best_moves;
+    Alcotest.(check (array (float 0.0))) (label ^ ": curve") a.curve b.curve;
+    Alcotest.(check int) (label ^ ": evals") a.evals b.evals
+  in
+  [
+    Alcotest.test_case "annealing: jobs=1 and jobs=4 agree exactly" `Quick
+      (fun () ->
+        let p = Kernels.softmax ~n:16 ~m:16 in
+        let run jobs =
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              Search.Stochastic.simulated_annealing_parallel ~seed:7 ~pool
+                ~space:Search.Stochastic.Heuristic ~budget:40 caps_cpu
+                (objective target_cpu) p)
+        in
+        check_result_equal "annealing" (run 1) (run 4));
+    Alcotest.test_case "sampling: jobs=1 and jobs=4 agree exactly" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let run jobs =
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              Search.Stochastic.random_sampling_parallel ~seed:5 ~pool
+                ~space:Search.Stochastic.Edges ~budget:40 caps_sn
+                (objective target_sn) p)
+        in
+        check_result_equal "sampling" (run 1) (run 4));
+    Alcotest.test_case "parallel runs are repeatable under one pool" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:16 ~m:16 in
+        Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+            let run () =
+              Search.Stochastic.simulated_annealing_parallel ~seed:9 ~pool
+                ~space:Search.Stochastic.Heuristic ~budget:30 caps_cpu
+                (objective target_cpu) p
+            in
+            check_result_equal "repeat" (run ()) (run ())));
+    Alcotest.test_case "parallel best preserves semantics" `Quick (fun () ->
+        let p = Kernels.softmax ~n:8 ~m:8 in
+        let r =
+          Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+              Search.Stochastic.simulated_annealing_parallel ~seed:3 ~pool
+                ~space:Search.Stochastic.Heuristic ~budget:30 caps_cpu
+                (objective target_cpu) p)
+        in
+        Ir.Validate.check_exn r.best;
+        equivalent_to "parallel annealed best" p r.best);
+    Alcotest.test_case "parallel curve is best-so-far monotone" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let r =
+          Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+              Search.Stochastic.random_sampling_parallel ~seed:2 ~pool
+                ~space:Search.Stochastic.Heuristic ~budget:35 caps_sn
+                (objective target_sn) p)
+        in
+        Alcotest.(check int) "curve length" 35 (Array.length r.curve);
+        Array.iteri
+          (fun i v ->
+            if i > 0 then
+              Alcotest.(check bool) "non-increasing" true (v <= r.curve.(i - 1)))
+          r.curve;
+        Alcotest.(check (float 0.0)) "last point is the best"
+          r.best_time
+          r.curve.(Array.length r.curve - 1));
+  ]
+
 let () =
   Alcotest.run "search"
     [
@@ -194,4 +266,5 @@ let () =
       ("improvements", improvement_tests);
       ("stochastic", stochastic_tests);
       ("mutation", mutation_tests);
+      ("parallel-search", parallel_search_tests);
     ]

@@ -298,6 +298,32 @@ let cache_tests =
           (Tuning.Cache.hits cache > 0));
   ]
 
+(* The cache backs the objective of the parallel search, so several
+   domains hammer one instance concurrently.  The contract under races:
+   hits + misses = total lookups exactly, entries never exceed the
+   distinct programs, and every answer equals the raw objective. *)
+let prop_cache_domain_safe =
+  QCheck.Test.make ~count:15 ~name:"cache accounting is exact under domains"
+    QCheck.(pair (int_range 1 6) (int_range 1 60))
+    (fun (nprogs, lookups) ->
+      let cache = Tuning.Cache.create () in
+      let progs = Array.init nprogs (fun i -> Kernels.relu ~n:(4 + i) ~m:3) in
+      let memo = Tuning.Cache.memoize cache (objective target_cpu) in
+      let worker seed () =
+        let rng = Util.Rng.create seed in
+        for _ = 1 to lookups do
+          ignore (memo progs.(Util.Rng.int rng nprogs))
+        done
+      in
+      let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+      List.iter Domain.join domains;
+      let total = Tuning.Cache.hits cache + Tuning.Cache.misses cache in
+      total = 4 * lookups
+      && Tuning.Cache.entries cache <= nprogs
+      && Array.for_all
+           (fun p -> memo p = objective target_cpu p)
+           progs)
+
 (* ------------------------------------------------------------------ *)
 (* Warm-started search                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -466,6 +492,8 @@ let () =
       ("fingerprint", fingerprint_tests);
       ("db", db_tests);
       ("cache", cache_tests);
+      ( "cache-qcheck",
+        List.map QCheck_alcotest.to_alcotest [ prop_cache_domain_safe ] );
       ("warmstart", warmstart_tests);
       ("facade", facade_tests);
     ]
