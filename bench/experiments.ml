@@ -945,13 +945,17 @@ let parallel () =
     t
   in
   let run jobs =
+    (* every run traces into its own buffer: the stripped streams must
+       agree across jobs (the observability layer's invariance
+       guarantee), and the last run's stream becomes the JSONL sidecar *)
+    let obs = Obs.Trace.make_buffer () in
     Parallel.Pool.with_pool ~jobs (fun pool ->
         let t0 = Unix.gettimeofday () in
         let r =
-          Stoch.simulated_annealing_parallel ~seed:1 ~batch ~pool
+          Stoch.simulated_annealing_parallel ~seed:1 ~obs ~batch ~pool
             ~space:Stoch.Heuristic ~budget caps_x86 objective p
         in
-        (r, Unix.gettimeofday () -. t0))
+        (r, Unix.gettimeofday () -. t0, obs))
   in
   (* sequential reference: the default --jobs 0 algorithm *)
   let t0 = Unix.gettimeofday () in
@@ -962,11 +966,20 @@ let parallel () =
   let seq_wall = Unix.gettimeofday () -. t0 in
   let jobs_list = [ 1; 2; 4 ] in
   let results = List.map (fun j -> (j, run j)) jobs_list in
-  let (r1 : Stoch.result), w1 = snd (List.hd results) in
+  let (r1 : Stoch.result), w1, obs1 = snd (List.hd results) in
   let identical =
     List.for_all
-      (fun (_, ((r : Stoch.result), _)) ->
+      (fun (_, ((r : Stoch.result), _, _)) ->
         r.best_time = r1.best_time && r.best_moves = r1.best_moves)
+      results
+  in
+  let stripped obs =
+    List.map Obs.Trace.strip_timing (Obs.Trace.events obs)
+  in
+  let trace_identical =
+    let ref_stream = stripped obs1 in
+    List.for_all
+      (fun (_, (_, _, obs)) -> stripped obs = ref_stream)
       results
   in
   Report.table
@@ -974,7 +987,7 @@ let parallel () =
     ([ "seq (jobs=0)"; Printf.sprintf "%.3f" seq_wall; "-";
        Report.e3 seq.best_time; string_of_int seq.evals ]
     :: List.map
-         (fun (j, ((r : Stoch.result), w)) ->
+         (fun (j, ((r : Stoch.result), w, _)) ->
            [
              string_of_int j;
              Printf.sprintf "%.3f" w;
@@ -986,8 +999,22 @@ let parallel () =
   Printf.printf
     "\nresult identical across jobs (same seed, batch %d): %b\n" batch
     identical;
+  Printf.printf "trace identical across jobs (modulo dur_s): %b\n"
+    trace_identical;
   Printf.printf "recommended jobs on this machine: %d\n"
     (Parallel.Pool.default_jobs ());
+  (* JSONL trace sidecar: one canonical event per line, from the last
+     (highest-jobs) run.  bench/trace_lint.exe re-parses it and the
+     @smoke alias fails on any malformed line. *)
+  let _, (_, _, obs_last) = List.nth results (List.length results - 1) in
+  let oc = open_out "BENCH_parallel_trace.jsonl" in
+  List.iter
+    (fun ev ->
+      output_string oc (Tuning.Json.to_string ev);
+      output_char oc '\n')
+    (Obs.Trace.events obs_last);
+  close_out oc;
+  print_endline "wrote BENCH_parallel_trace.jsonl";
   let json =
     Tuning.Json.Obj
       [
@@ -996,11 +1023,12 @@ let parallel () =
         ("measure_latency_s", Tuning.Json.Num measure_latency);
         ("workload", Tuning.Json.Str "annealing/heuristic softmax 512x512 x86");
         ("identical", Tuning.Json.Str (string_of_bool identical));
+        ("trace_identical", Tuning.Json.Str (string_of_bool trace_identical));
         ("seq_wall_s", Tuning.Json.Num seq_wall);
         ( "runs",
           Tuning.Json.Arr
             (List.map
-               (fun (j, ((r : Stoch.result), w)) ->
+               (fun (j, ((r : Stoch.result), w, _)) ->
                  Tuning.Json.Obj
                    [
                      ("jobs", Tuning.Json.Num (float_of_int j));

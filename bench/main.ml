@@ -86,21 +86,34 @@ let rec extract_db = function
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> extract_db in
   let t0 = Sys.time () in
+  (* Per-experiment wall-clock spans, written as a JSONL sidecar so a
+     bench run leaves a machine-readable account of where its time
+     went. *)
+  let trace = Obs.Trace.make_buffer () in
+  let timed name f = Obs.Span.run ~trace ("experiment." ^ name) f in
   (match args with
   | [] ->
-      List.iter (fun (_, f) -> f ()) Experiments.all;
-      run_framework_microbench ()
-  | [ "framework" ] -> run_framework_microbench ()
+      List.iter (fun (name, f) -> timed name f) Experiments.all;
+      timed "framework" run_framework_microbench
+  | [ "framework" ] -> timed "framework" run_framework_microbench
   | names ->
       List.iter
         (fun name ->
-          if name = "framework" then run_framework_microbench ()
+          if name = "framework" then timed "framework" run_framework_microbench
           else
             match List.assoc_opt name Experiments.all with
-            | Some f -> f ()
+            | Some f -> timed name f
             | None ->
                 Printf.eprintf "unknown experiment %S; available: %s\n" name
                   (String.concat ", "
                      ("framework" :: List.map fst Experiments.all)))
         names);
+  let oc = open_out "BENCH_trace.jsonl" in
+  List.iter
+    (fun ev ->
+      output_string oc (Util.Json.to_string ev);
+      output_char oc '\n')
+    (Obs.Trace.events trace);
+  close_out oc;
+  print_endline "wrote BENCH_trace.jsonl";
   Printf.printf "\n[bench completed in %.1f s CPU]\n" (Sys.time () -. t0)

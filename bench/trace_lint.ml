@@ -1,0 +1,47 @@
+(* trace_lint: validate a JSONL trace file.
+
+   Every line must (1) parse as a single canonical JSON value, (2)
+   re-print byte-identically (the canonical-form invariant the tuning
+   database and the trace sink share), and (3) be an object carrying an
+   "ev" string — the trace event envelope.  Exit status 1 on the first
+   violation, so the @smoke alias catches a sink regression the moment
+   it produces a malformed or non-canonical line. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let lint_line path lineno line =
+  match Util.Json.of_string line with
+  | Error msg -> fail "%s:%d: unparseable JSON: %s" path lineno msg
+  | Ok json ->
+      let reprinted = Util.Json.to_string json in
+      if reprinted <> line then
+        fail "%s:%d: not canonical:\n  read:      %s\n  reprinted: %s" path
+          lineno line reprinted;
+      (match json with
+      | Util.Json.Obj fields -> (
+          match List.assoc_opt "ev" fields with
+          | Some (Util.Json.Str _) -> ()
+          | Some _ -> fail "%s:%d: \"ev\" is not a string" path lineno
+          | None -> fail "%s:%d: event without an \"ev\" field" path lineno)
+      | _ -> fail "%s:%d: event is not a JSON object" path lineno)
+
+let lint path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> fail "cannot open trace: %s" msg
+  in
+  let n = ref 0 in
+  (try
+     while true do
+       incr n;
+       lint_line path !n (input_line ic)
+     done
+   with End_of_file -> close_in ic);
+  Printf.printf "%s: %d events OK\n" path (!n - 1)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as paths) -> List.iter lint paths
+  | _ ->
+      prerr_endline "usage: trace_lint FILE.jsonl [FILE.jsonl ...]";
+      exit 2

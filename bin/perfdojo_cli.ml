@@ -201,7 +201,8 @@ let moves_cmd =
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run kernel target strategy budget seed jobs emit_c check db_file warm =
+  let run kernel target strategy budget seed jobs emit_c check db_file warm
+      trace_file stats =
     to_ret
     @@ let* e = find_kernel kernel in
        let* tname, t = target_of_string target in
@@ -234,8 +235,19 @@ let optimize_cmd =
                    []
                | moves -> moves)
        in
+       (* --trace writes JSONL straight to the file; --stats collects a
+          metrics registry printed after the run.  Both default to off,
+          in which case the instrumented code paths cost nothing. *)
+       let trace_oc = Option.map open_out trace_file in
+       let obs =
+         match trace_oc with
+         | None -> Obs.Trace.null
+         | Some oc -> Obs.Trace.to_channel oc
+       in
+       let metrics = if stats then Some (Obs.Metrics.create ()) else None in
        let outcome =
-         Perfdojo.optimize ~seed ?cache ~warm_start ~jobs strat t p
+         Perfdojo.optimize ~seed ?cache ~warm_start ~jobs ~obs ?metrics
+           strat t p
        in
        Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
        Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
@@ -269,26 +281,34 @@ let optimize_cmd =
              Printf.eprintf
                "note: %s produced no move-replayable schedule; not recorded\n"
                strategy
-           else begin
-             match
-               Tuning.Warmstart.record_of
-                 ~objective:(fun q -> Machine.time t q)
-                 ~caps:(Machine.caps t) ~kernel:e.label ~target:tname ~root:p
-                 ~moves:outcome.moves ~evals:outcome.evaluations
-             with
-             | Error msg -> Printf.eprintf "note: not recorded: %s\n" msg
-             | Ok r ->
-                 let verdict =
-                   match Tuning.Db.add d r with
-                   | `Inserted -> "new record"
-                   | `Improved -> "improved record"
-                   | `Duplicate -> "no improvement over recorded best"
-                 in
-                 Tuning.Db.save d f;
-                 Printf.printf "db:         %s (%s, %d records)\n" f verdict
-                   (Tuning.Db.size d)
-           end
+           else
+             Obs.Span.run ?metrics ~trace:obs "db-write" (fun () ->
+                 match
+                   Tuning.Warmstart.record_of
+                     ~objective:(fun q -> Machine.time t q)
+                     ~caps:(Machine.caps t) ~kernel:e.label ~target:tname
+                     ~root:p ~moves:outcome.moves ~evals:outcome.evaluations
+                 with
+                 | Error msg -> Printf.eprintf "note: not recorded: %s\n" msg
+                 | Ok r ->
+                     let verdict =
+                       match Tuning.Db.add d r with
+                       | `Inserted -> "new record"
+                       | `Improved -> "improved record"
+                       | `Duplicate -> "no improvement over recorded best"
+                     in
+                     Tuning.Db.save d f;
+                     Printf.printf "db:         %s (%s, %d records)\n" f
+                       verdict (Tuning.Db.size d))
        | _ -> ());
+       (match trace_oc with
+       | Some oc ->
+           close_out oc;
+           Printf.printf "trace:      %s\n" (Option.get trace_file)
+       | None -> ());
+       (match metrics with
+       | Some m -> Format.printf "%a" Obs.Metrics.pp_summary m
+       | None -> ());
        if check then begin
          let small = e.build_small () in
          let small_outcome = Perfdojo.optimize ~seed ~jobs strat t small in
@@ -328,12 +348,31 @@ let optimize_cmd =
             "Seed the search from the database's best recorded schedule \
              for this kernel/target (requires --db).")
   in
+  let trace_arg =
+    let doc =
+      "Write a structured JSONL trace of the run to $(docv): search \
+       steps, engine moves, phase spans.  The stream is deterministic \
+       for a given seed — identical for --jobs 1 and --jobs N up to the \
+       wall-clock dur_s fields."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print an end-of-run metrics table: search counters, cache \
+             hit rate, pool utilization and per-phase span times.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a kernel for a target machine.")
     Term.(
       ret
         (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
-       $ seed_arg $ jobs_arg $ c_arg $ check_arg $ db_arg $ warm_arg))
+       $ seed_arg $ jobs_arg $ c_arg $ check_arg $ db_arg $ warm_arg
+       $ trace_arg $ stats_arg))
 
 (* ------------------------------------------------------------------ *)
 (* db: inspect the tuning database                                     *)
@@ -589,12 +628,19 @@ let replay_cmd =
     @@ let* e = find_kernel kernel in
        let* _, t = target_of_string target in
        let caps = Machine.caps t in
-       let ic = open_in file in
+       (* "-" reads the trace from stdin, so `db best ... | replay K -`
+          works as a pipeline *)
+       let* ic =
+         if file = "-" then Ok stdin
+         else
+           try Ok (open_in file)
+           with Sys_error msg -> Error (false, msg)
+       in
        let rec read acc =
          match input_line ic with
          | line -> read (String.trim line :: acc)
          | exception End_of_file ->
-             close_in ic;
+             if ic != stdin then close_in ic;
              List.rev acc
        in
        let moves =
@@ -614,14 +660,15 @@ let replay_cmd =
            Ok ()
   in
   let file_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE")
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TRACE")
   in
   let c_arg = Arg.(value & flag & info [ "c" ] ~doc:"Also print C.") in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Replay a move trace saved by the game command or printed by \
-          `perfdojo db best` (# comment lines are ignored).")
+          `perfdojo db best` (# comment lines are ignored; TRACE may be \
+          '-' for stdin).")
     Term.(ret (const run $ kernel_arg $ target_arg $ file_arg $ c_arg))
 
 (* ------------------------------------------------------------------ *)

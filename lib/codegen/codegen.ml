@@ -54,12 +54,20 @@ let access_c (prog : Ir.Prog.t) (a : access) : string =
   Printf.sprintf "%s[%s]" b.bname
     (flatten a.idx (Ir.Prog.storage_shape b) b.reuse)
 
+(* Every binop arm is matched explicitly (fmaxf/fminf for Max/Min, one
+   [infix_c] call per arithmetic operator), so there is no catch-all arm
+   needing an unreachable Max|Min assert. *)
 let rec expr_c prog (e : expr) : string =
   match e with
   | Ref a -> access_c prog a
   | IterVal i -> Printf.sprintf "(float)(%s)" (index_c i)
   | Const c ->
-      if c = Float.neg_infinity then "-INFINITY"
+      (* NaN has no C literal: %g renders it as "nan", which suffixed
+         with "f" became the invalid token "nanf".  Emit the math.h
+         macro, like the INFINITY cases.  (NaN compares unequal to
+         everything, so it must be tested before the infinity arms.) *)
+      if Float.is_nan c then "NAN"
+      else if c = Float.neg_infinity then "-INFINITY"
       else if c = Float.infinity then "INFINITY"
       else if Float.is_integer c && Float.abs c < 1e9 then
         Printf.sprintf "%.1ff" c
@@ -68,22 +76,19 @@ let rec expr_c prog (e : expr) : string =
       Printf.sprintf "fmaxf(%s, %s)" (expr_c prog a) (expr_c prog b)
   | Bin (Min, a, b) ->
       Printf.sprintf "fminf(%s, %s)" (expr_c prog a) (expr_c prog b)
-  | Bin (op, a, b) ->
-      let o =
-        match op with
-        | Add -> "+"
-        | Sub -> "-"
-        | Mul -> "*"
-        | Div -> "/"
-        | Max | Min -> assert false
-      in
-      Printf.sprintf "(%s %s %s)" (expr_c prog a) o (expr_c prog b)
+  | Bin (Add, a, b) -> infix_c prog "+" a b
+  | Bin (Sub, a, b) -> infix_c prog "-" a b
+  | Bin (Mul, a, b) -> infix_c prog "*" a b
+  | Bin (Div, a, b) -> infix_c prog "/" a b
   | Un (Exp, e) -> Printf.sprintf "expf(%s)" (expr_c prog e)
   | Un (Log, e) -> Printf.sprintf "logf(%s)" (expr_c prog e)
   | Un (Sqrt, e) -> Printf.sprintf "sqrtf(%s)" (expr_c prog e)
   | Un (Neg, e) -> Printf.sprintf "(-%s)" (expr_c prog e)
   | Un (Recip, e) -> Printf.sprintf "(1.0f / %s)" (expr_c prog e)
   | Un (Relu, e) -> Printf.sprintf "fmaxf(0.0f, %s)" (expr_c prog e)
+
+and infix_c prog o a b =
+  Printf.sprintf "(%s %s %s)" (expr_c prog a) o (expr_c prog b)
 
 let stmt_c prog (s : stmt) =
   Printf.sprintf "%s = %s;" (access_c prog s.dst) (expr_c prog s.rhs)

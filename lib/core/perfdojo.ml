@@ -23,6 +23,7 @@ module Baselines = Baselines
 module Codegen = Codegen
 module Util = Util
 module Tuning = Tuning
+module Obs = Obs
 
 type target = Machine.Desc.target
 
@@ -38,10 +39,10 @@ module Game = struct
     mutable evaluations : int;
   }
 
-  let start (target : target) (prog : Ir.Prog.t) : t =
+  let start ?obs (target : target) (prog : Ir.Prog.t) : t =
     Ir.Validate.check_exn prog;
     let caps = Machine.caps target in
-    let session = Transform.Engine.start caps prog in
+    let session = Transform.Engine.start ?obs caps prog in
     let t0 = Machine.time target prog in
     { session; target; reward_c = t0; evaluations = 1 }
 
@@ -160,7 +161,8 @@ let default_portfolio ?(seed = 1) ~budget () : portfolio_member list =
   ]
 
 let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
-    (strategy : strategy) (target : target) (prog : Ir.Prog.t) : outcome =
+    ?(obs = Obs.Trace.null) ?metrics (strategy : strategy) (target : target)
+    (prog : Ir.Prog.t) : outcome =
   let caps = Machine.caps target in
   let raw_objective p = Machine.time target p in
   let objective =
@@ -173,55 +175,77 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
     | None -> (0, 0)
     | Some c -> (Tuning.Cache.hits c, Tuning.Cache.misses c)
   in
+  (* An instrumented pool keeps per-worker busy time for [--stats]; the
+     default stays clock-free.  Exports happen inside [with_pool] —
+     the pool must still be alive to be read. *)
+  let instrument = metrics <> None in
+  let export_pool pool =
+    match metrics with
+    | Some m -> Parallel.Pool.export pool m
+    | None -> ()
+  in
   (* jobs = 0 (the default) is the sequential path, bit-identical to the
      pre-parallel code; jobs >= 1 runs the batched-synchronous-parallel
      search variants, whose trajectory depends on the batch size but not
      on jobs (jobs = 1 and jobs = N give identical results). *)
   let base =
-    match strategy with
-    | Naive ->
-        let s = Search.Passes.naive caps prog in
-        (s, objective s, [], 1)
-    | Greedy ->
-        let s = Search.Passes.greedy caps prog in
-        (s, objective s, [], 1)
-    | Heuristic ->
-        let s = heuristic_pass_for target caps prog in
-        (s, objective s, [], 1)
-    | Sampling { budget; space } ->
-        let r =
-          if jobs >= 1 then
-            Parallel.Pool.with_pool ~jobs (fun pool ->
-                Search.Stochastic.random_sampling_parallel ~seed
-                  ~init:warm_start ~pool ~space ~budget caps objective prog)
-          else
-            Search.Stochastic.random_sampling ~seed ~init:warm_start ~space
-              ~budget caps objective prog
-        in
-        (r.best, r.best_time, r.best_moves, r.evals)
-    | Annealing { budget; space } ->
-        let r =
-          if jobs >= 1 then
-            Parallel.Pool.with_pool ~jobs (fun pool ->
-                Search.Stochastic.simulated_annealing_parallel ~seed
-                  ~init:warm_start ~pool ~space ~budget caps objective prog)
-          else
-            Search.Stochastic.simulated_annealing ~seed ~init:warm_start
-              ~space ~budget caps objective prog
-        in
-        (r.best, r.best_time, r.best_moves, r.evals)
-    | Rl_search cfg ->
-        let r, _agent =
-          Rl.Perfllm.optimize ~cfg ~init:warm_start ~seed caps objective prog
-        in
-        (r.best, r.best_time, r.best_moves, r.evaluations)
-    | Portfolio { budget } ->
-        let o, _winner =
-          optimize_portfolio ?cache ~warm_start ~jobs
-            ~members:(default_portfolio ~seed ~budget ())
-            target prog
-        in
-        (o.schedule, o.time_s, o.moves, o.evaluations)
+    Obs.Span.run ?metrics ~trace:obs "search" (fun () ->
+        match strategy with
+        | Naive ->
+            let s = Search.Passes.naive caps prog in
+            (s, objective s, [], 1)
+        | Greedy ->
+            let s = Search.Passes.greedy caps prog in
+            (s, objective s, [], 1)
+        | Heuristic ->
+            let s = heuristic_pass_for target caps prog in
+            (s, objective s, [], 1)
+        | Sampling { budget; space } ->
+            let r =
+              if jobs >= 1 then
+                Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
+                    let r =
+                      Search.Stochastic.random_sampling_parallel ~seed
+                        ~init:warm_start ~obs ?metrics ~pool ~space ~budget
+                        caps objective prog
+                    in
+                    export_pool pool;
+                    r)
+              else
+                Search.Stochastic.random_sampling ~seed ~init:warm_start
+                  ~obs ?metrics ~space ~budget caps objective prog
+            in
+            (r.best, r.best_time, r.best_moves, r.evals)
+        | Annealing { budget; space } ->
+            let r =
+              if jobs >= 1 then
+                Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
+                    let r =
+                      Search.Stochastic.simulated_annealing_parallel ~seed
+                        ~init:warm_start ~obs ?metrics ~pool ~space ~budget
+                        caps objective prog
+                    in
+                    export_pool pool;
+                    r)
+              else
+                Search.Stochastic.simulated_annealing ~seed
+                  ~init:warm_start ~obs ?metrics ~space ~budget caps
+                  objective prog
+            in
+            (r.best, r.best_time, r.best_moves, r.evals)
+        | Rl_search cfg ->
+            let r, _agent =
+              Rl.Perfllm.optimize ~cfg ~init:warm_start ~seed caps objective
+                prog
+            in
+            (r.best, r.best_time, r.best_moves, r.evaluations)
+        | Portfolio { budget } ->
+            let o, _winner =
+              optimize_portfolio ?cache ~warm_start ~jobs ~obs ?metrics
+                ~members:(default_portfolio ~seed ~budget ())
+                target prog
+            in
+            (o.schedule, o.time_s, o.moves, o.evaluations))
   in
   (* Pass strategies cannot absorb a warm-start sequence themselves:
      replay it and keep whichever schedule is faster, so a warm run
@@ -230,11 +254,12 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
     let s, t, m, e = base in
     if warm_start = [] || m <> [] then base
     else
-      let warm, applied =
-        Search.Stochastic.replay_skipping caps prog warm_start
-      in
-      let wt = objective warm in
-      if wt < t then (warm, wt, applied, e + 1) else (s, t, m, e + 1)
+      Obs.Span.run ?metrics ~trace:obs "warm-start" (fun () ->
+          let warm, applied =
+            Search.Stochastic.replay_skipping caps prog warm_start
+          in
+          let wt = objective warm in
+          if wt < t then (warm, wt, applied, e + 1) else (s, t, m, e + 1))
   in
   let cache_hits, cache_misses =
     match cache with
@@ -242,6 +267,9 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
     | Some c ->
         (Tuning.Cache.hits c - hits0, Tuning.Cache.misses c - misses0)
   in
+  (match (cache, metrics) with
+  | Some c, Some m -> Tuning.Cache.export c m
+  | _ -> ());
   { schedule; time_s; moves; evaluations; cache_hits; cache_misses }
 
 (* Race portfolio members across domains; each member runs its own
@@ -252,25 +280,65 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
    total evaluation count of the whole portfolio (that is what the race
    actually spent); cache counters are the winner's own. *)
 and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
-    ~(members : portfolio_member list) (target : target) (prog : Ir.Prog.t) :
-    outcome * string =
+    ?(obs = Obs.Trace.null) ?metrics ~(members : portfolio_member list)
+    (target : target) (prog : Ir.Prog.t) : outcome * string =
   let members = Array.of_list members in
-  if Array.length members = 0 then
-    invalid_arg "optimize_portfolio: empty portfolio";
-  let run (m : portfolio_member) =
+  let n = Array.length members in
+  if n = 0 then invalid_arg "optimize_portfolio: empty portfolio";
+  (* Each member traces into its own buffer sink; the buffers are
+     folded into [obs] in member order after the race, prefixed with a
+     [portfolio.member] header — so the merged stream does not depend
+     on race scheduling.  The metrics registry is shared (it is
+     mutex-protected and its counters commute). *)
+  let traced = Obs.Trace.enabled obs in
+  let sinks =
+    Array.init n (fun _ ->
+        if traced then Obs.Trace.make_buffer () else Obs.Trace.null)
+  in
+  let run i =
+    let m = members.(i) in
     match m.pstrategy with
     | Portfolio _ -> invalid_arg "optimize_portfolio: nested portfolio"
-    | s -> optimize ~seed:m.pseed ?cache ~warm_start s target prog
+    | s ->
+        optimize ~seed:m.pseed ?cache ~warm_start ~obs:sinks.(i) ?metrics s
+          target prog
   in
-  let jobs = max 1 (min jobs (Array.length members)) in
+  let jobs = max 1 (min jobs n) in
+  let instrument = metrics <> None in
   let outcomes =
-    Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.map pool run members)
+    Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
+        let outcomes =
+          Parallel.Pool.map pool run (Array.init n (fun i -> i))
+        in
+        (match metrics with
+        | Some m -> Parallel.Pool.export pool m
+        | None -> ());
+        outcomes)
   in
   let besti = ref 0 in
   Array.iteri
     (fun i (o : outcome) ->
       if o.time_s < outcomes.(!besti).time_s then besti := i)
     outcomes;
+  if traced then
+    Array.iteri
+      (fun i sink ->
+        Obs.Trace.emit obs "portfolio.member" (fun () ->
+            Obs.Trace.
+              [
+                str "label" members.(i).plabel;
+                num "time_s" outcomes.(i).time_s;
+                int "evals" outcomes.(i).evaluations;
+              ]);
+        Obs.Trace.append ~into:obs sink)
+      sinks;
+  if traced then
+    Obs.Trace.emit obs "portfolio.winner" (fun () ->
+        Obs.Trace.
+          [
+            str "label" members.(!besti).plabel;
+            num "time_s" outcomes.(!besti).time_s;
+          ]);
   let total_evals =
     Array.fold_left (fun acc (o : outcome) -> acc + o.evaluations) 0 outcomes
   in
@@ -280,10 +348,10 @@ and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
 (* Best-of: run a heuristic pass and a search, keep the winner — the
    usual production setting. *)
 let optimize_best ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
-    ?(budget = 300) target prog =
-  let h = optimize ~seed ?cache ~warm_start Heuristic target prog in
+    ?obs ?metrics ?(budget = 300) target prog =
+  let h = optimize ~seed ?cache ~warm_start ?obs ?metrics Heuristic target prog in
   let s =
-    optimize ~seed ?cache ~warm_start ~jobs
+    optimize ~seed ?cache ~warm_start ~jobs ?obs ?metrics
       (Annealing { budget; space = Search.Stochastic.Heuristic })
       target prog
   in

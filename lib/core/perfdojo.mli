@@ -16,6 +16,7 @@ module Baselines = Baselines
 module Codegen = Codegen
 module Util = Util
 module Tuning = Tuning
+module Obs = Obs
 
 type target = Machine.Desc.target
 
@@ -31,9 +32,11 @@ module Game : sig
     mutable evaluations : int;
   }
 
-  val start : target -> Ir.Prog.t -> t
+  val start : ?obs:Obs.Trace.sink -> target -> Ir.Prog.t -> t
   (** Validates the program and opens a session.  Raises
-      {!Ir.Validate.Invalid} on a structurally invalid program. *)
+      {!Ir.Validate.Invalid} on a structurally invalid program.  [obs]
+      receives the engine's [engine.apply] / [engine.undo] /
+      [engine.enumerate] events. *)
 
   val state : t -> Ir.Prog.t
   val moves_played : t -> string list
@@ -103,6 +106,8 @@ val optimize :
   ?cache:Tuning.Cache.t ->
   ?warm_start:string list ->
   ?jobs:int ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   strategy ->
   target ->
   Ir.Prog.t ->
@@ -119,12 +124,22 @@ val optimize :
     releases; [jobs >= 1] evaluates candidates in rounds of a fixed
     batch on a {!Parallel.Pool} of [jobs] domains — results depend on
     the batch size but not on [jobs], so [jobs = 1] and [jobs = N] agree
-    exactly.  [Portfolio] races its members across [jobs] domains. *)
+    exactly.  [Portfolio] races its members across [jobs] domains.
+
+    [obs] receives the run's trace: a ["search"] span around the whole
+    strategy, a ["warm-start"] span around the replay fallback, and the
+    search layer's per-step events.  [metrics] additionally collects
+    the search counters, the per-phase span histograms, pool
+    utilization ([Parallel.Pool.export]) and — when [cache] is given —
+    the cache counters ([Tuning.Cache.export]).  Both default to off
+    and then cost nothing. *)
 
 val optimize_portfolio :
   ?cache:Tuning.Cache.t ->
   ?warm_start:string list ->
   ?jobs:int ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   members:portfolio_member list ->
   target ->
   Ir.Prog.t ->
@@ -133,13 +148,20 @@ val optimize_portfolio :
     [evaluations] is the whole portfolio's total — what the race spent)
     and the winner's label.  Ties resolve by member order, so the result
     is deterministic for any [jobs].  Raises [Invalid_argument] on an
-    empty list or a nested [Portfolio] member. *)
+    empty list or a nested [Portfolio] member.
+
+    Each member traces into a private buffer; the buffers fold into
+    [obs] in member order behind [portfolio.member] headers, followed
+    by a [portfolio.winner] event — the merged stream is independent of
+    race scheduling (modulo {!Obs.Trace.strip_timing}). *)
 
 val optimize_best :
   ?seed:int ->
   ?cache:Tuning.Cache.t ->
   ?warm_start:string list ->
   ?jobs:int ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   ?budget:int ->
   target ->
   Ir.Prog.t ->

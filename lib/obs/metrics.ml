@@ -1,0 +1,141 @@
+(* Metrics registry: counters, gauges and histograms behind one mutex.
+
+   A registry is shared by every layer of one optimize run — the search
+   loop, the memoization cache, the worker pool — and some of those run
+   on worker domains, so every operation takes the registry lock.  The
+   operations are a hashtable probe plus an int/float write; the lock is
+   uncontended in practice (workers report in bulk via [export]-style
+   calls on the submitting thread), so the cost is nanoseconds against
+   objective evaluations that cost micro- to milliseconds.
+
+   Histograms store raw samples (Util.Dynarray, amortized O(1) push) so
+   the summary can report exact interpolated quantiles via Util.Stats —
+   search budgets are a few thousand samples, far below the point where
+   sketches would be warranted. *)
+
+type histogram = { samples : float Util.Dynarray.t }
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let locked m f =
+  Mutex.lock m.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.lock) f
+
+let incr m ?(by = 1) name =
+  locked m (fun () ->
+      match Hashtbl.find_opt m.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace m.counters name (ref by))
+
+let set m name v =
+  locked m (fun () ->
+      match Hashtbl.find_opt m.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace m.gauges name (ref v))
+
+let observe m name v =
+  locked m (fun () ->
+      match Hashtbl.find_opt m.histograms name with
+      | Some h -> Util.Dynarray.push h.samples v
+      | None ->
+          let h = { samples = Util.Dynarray.create ~capacity:64 0.0 } in
+          Util.Dynarray.push h.samples v;
+          Hashtbl.replace m.histograms name h)
+
+let counter m name =
+  locked m (fun () ->
+      match Hashtbl.find_opt m.counters name with Some r -> !r | None -> 0)
+
+let gauge m name =
+  locked m (fun () -> Option.map ( ! ) (Hashtbl.find_opt m.gauges name))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize (samples : float array) : summary =
+  {
+    count = Array.length samples;
+    sum = Array.fold_left ( +. ) 0.0 samples;
+    min = Util.Stats.min_arr samples;
+    max = Util.Stats.max_arr samples;
+    mean = Util.Stats.mean samples;
+    p50 = Util.Stats.quantile 0.5 samples;
+    p90 = Util.Stats.quantile 0.9 samples;
+    p99 = Util.Stats.quantile 0.99 samples;
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * summary) list;
+}
+
+let sorted_bindings tbl read =
+  Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot m : snapshot =
+  locked m (fun () ->
+      {
+        counters = sorted_bindings m.counters ( ! );
+        gauges = sorted_bindings m.gauges ( ! );
+        histograms =
+          sorted_bindings m.histograms (fun h ->
+              summarize (Util.Dynarray.to_array h.samples));
+      })
+
+let histogram m name =
+  List.assoc_opt name (snapshot m).histograms
+
+(* One aligned table, sections in counter/gauge/histogram order — the
+   `--stats` end-of-run report. *)
+let pp_summary ppf m =
+  let s = snapshot m in
+  let section title = Format.fprintf ppf "%s:@\n" title in
+  if s.counters <> [] then begin
+    section "counters";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %-36s %12d@\n" k v)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    section "gauges";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %-36s %12.6g@\n" k v)
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    section "histograms (seconds unless noted)";
+    Format.fprintf ppf "  %-36s %8s %12s %12s %12s %12s@\n" "" "count"
+      "mean" "p50" "p90" "max";
+    List.iter
+      (fun (k, h) ->
+        Format.fprintf ppf "  %-36s %8d %12.4g %12.4g %12.4g %12.4g@\n" k
+          h.count h.mean h.p50 h.p90 h.max)
+      s.histograms
+  end

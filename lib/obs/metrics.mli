@@ -1,0 +1,54 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    One registry accompanies one optimize run and is written to by every
+    layer — the search loop, the memoization cache, the worker pool.
+    All operations are mutex-guarded, so a registry may be shared across
+    worker domains; each operation is a hashtable probe plus a scalar
+    write, negligible against objective evaluation.
+
+    Histograms keep raw samples and report exact interpolated quantiles
+    ({!Util.Stats.quantile}) in their {!summary}. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (created at first use). *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : t -> string -> float -> unit
+(** Record one histogram sample. *)
+
+val counter : t -> string -> int
+(** Current counter value; [0] if never incremented. *)
+
+val gauge : t -> string -> float option
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val histogram : t -> string -> summary option
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * summary) list;
+}
+
+val snapshot : t -> snapshot
+(** A consistent copy of everything, each section sorted by name. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** The end-of-run report behind the CLI's [--stats]: one aligned table
+    per section (counters, gauges, histogram quantiles). *)

@@ -1,0 +1,30 @@
+(* Wall-clock spans.
+
+   [now] is Unix.gettimeofday: the best clock available without C stubs
+   or external packages.  It is not strictly monotonic under NTP steps;
+   durations are clamped at zero so a step never produces a negative
+   span.  Spans report into both sides of the observability layer: the
+   trace (a {"ev":"span"} event whose [dur_s] is the only
+   non-deterministic field) and the metrics registry (histogram
+   "span.<name>", so --stats can show per-phase time with quantiles
+   across repeated phases). *)
+
+let now = Unix.gettimeofday
+
+let time f =
+  let t0 = now () in
+  let v = f () in
+  (v, Float.max 0.0 (now () -. t0))
+
+let record ?(metrics : Metrics.t option) ?(trace = Trace.null) name dur_s =
+  (match metrics with
+  | Some m -> Metrics.observe m ("span." ^ name) dur_s
+  | None -> ());
+  if Trace.enabled trace then
+    Trace.emit trace "span" (fun () ->
+        [ Trace.str "name" name; Trace.num "dur_s" dur_s ])
+
+let run ?metrics ?trace name f =
+  let t0 = now () in
+  let finally () = record ?metrics ?trace name (Float.max 0.0 (now () -. t0)) in
+  Fun.protect ~finally f

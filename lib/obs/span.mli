@@ -1,0 +1,20 @@
+(** Wall-clock spans feeding both the trace and the metrics registry.
+
+    A span around phase [name] produces a [{"ev":"span","name":name,
+    "dur_s":...}] trace event and a sample in the ["span.<name>"]
+    metrics histogram — so [--stats] reports per-phase times and the
+    trace shows where a run's wall-clock went. *)
+
+val now : unit -> float
+(** Seconds; [Unix.gettimeofday].  Durations derived from it are
+    clamped at zero. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [(f (), duration_in_seconds)]. *)
+
+val record : ?metrics:Metrics.t -> ?trace:Trace.sink -> string -> float -> unit
+(** Report an already-measured duration as span [name]. *)
+
+val run : ?metrics:Metrics.t -> ?trace:Trace.sink -> string -> (unit -> 'a) -> 'a
+(** [run name f] runs [f] inside a span; the span is recorded even when
+    [f] raises. *)

@@ -1,0 +1,74 @@
+(* Structured trace events over the canonical JSON encoding.
+
+   An event is one JSON object per line — `{"ev":"...", ...}` — printed
+   by Util.Json's canonical printer, so a trace file round-trips through
+   parse∘print byte-identically (the property the @smoke lint checks).
+
+   Sinks:
+   - [null]: the disabled sink.  [emit] returns before touching its
+     field thunk, and call sites are expected to guard with [enabled]
+     so that not even the thunk closure is allocated — instrumentation
+     must cost nothing when tracing is off.
+   - [buffer]: in-memory, for tests and for per-slot collection in the
+     parallel search (each worker slot gets its own buffer; the
+     submitting thread folds them back with [append] in slot order, so
+     the merged stream is independent of scheduling — the same
+     discipline as the per-slot RNG streams).
+   - [channel]: JSONL straight to an out_channel, one line per event.
+
+   Determinism: events carry no wall-clock timestamps by default; the
+   only non-deterministic field an instrumented run produces is the
+   [dur_s] of span/eval events.  [strip_timing] removes exactly that,
+   which is what the jobs-invariance tests compare modulo. *)
+
+type sink =
+  | Null
+  | Buffer of Util.Json.t Util.Dynarray.t
+  | Channel of out_channel
+
+let null = Null
+let make_buffer () = Buffer (Util.Dynarray.create ~capacity:64 Util.Json.Null)
+let to_channel oc = Channel oc
+
+let enabled = function Null -> false | Buffer _ | Channel _ -> true
+
+let push sink (event : Util.Json.t) =
+  match sink with
+  | Null -> ()
+  | Buffer buf -> Util.Dynarray.push buf event
+  | Channel oc ->
+      output_string oc (Util.Json.to_string event);
+      output_char oc '\n'
+
+let emit sink name fields =
+  match sink with
+  | Null -> ()
+  | Buffer _ | Channel _ ->
+      push sink (Util.Json.Obj (("ev", Util.Json.Str name) :: fields ()))
+
+let events = function
+  | Buffer buf -> Util.Dynarray.to_array buf |> Array.to_list
+  | Null | Channel _ -> []
+
+let append ~into src =
+  match src with
+  | Buffer buf ->
+      for i = 0 to Util.Dynarray.length buf - 1 do
+        push into (Util.Dynarray.get buf i)
+      done
+  | Null -> ()
+  | Channel _ -> invalid_arg "Trace.append: source must be a buffer sink"
+
+let timing_field = function "dur_s" | "t_s" -> true | _ -> false
+
+let strip_timing (event : Util.Json.t) : Util.Json.t =
+  match event with
+  | Util.Json.Obj members ->
+      Util.Json.Obj (List.filter (fun (k, _) -> not (timing_field k)) members)
+  | v -> v
+
+(* Shorthand field constructors — keep call sites one line. *)
+let str k v = (k, Util.Json.Str v)
+let num k v = (k, Util.Json.Num v)
+let int k v = (k, Util.Json.Num (float_of_int v))
+let bool k v = (k, Util.Json.Bool v)

@@ -1,0 +1,48 @@
+(** Structured trace events: one canonical JSON object per line
+    ([{"ev":...}]), emitted into a sink.
+
+    The disabled sink ({!null}) makes instrumentation free: [emit]
+    returns before evaluating its field thunk, and call sites guard with
+    {!enabled} so the thunk closure itself is never allocated.  Traced
+    runs stay deterministic — events carry no wall-clock timestamps;
+    only span/eval durations ([dur_s]) vary between runs, and
+    {!strip_timing} removes exactly those for invariance comparisons. *)
+
+type sink
+
+val null : sink
+(** The disabled sink; {!emit} on it does nothing. *)
+
+val make_buffer : unit -> sink
+(** In-memory sink; read back with {!events}.  Used per worker slot in
+    the parallel search and folded back with {!append} in slot order. *)
+
+val to_channel : out_channel -> sink
+(** JSONL straight to a channel, one event per line.  The caller owns
+    the channel (open/close). *)
+
+val enabled : sink -> bool
+(** [false] only for {!null}.  Guard instrumentation sites with this so
+    a disabled run allocates nothing. *)
+
+val emit : sink -> string -> (unit -> (string * Util.Json.t) list) -> unit
+(** [emit sink ev fields] appends [{"ev":ev, ...fields ()}].  The thunk
+    is not evaluated when the sink is {!null}. *)
+
+val events : sink -> Util.Json.t list
+(** Events of a buffer sink in emission order; [[]] otherwise. *)
+
+val append : into:sink -> sink -> unit
+(** Fold a buffer sink's events into another sink, preserving order.
+    Raises [Invalid_argument] if the source is a channel sink. *)
+
+val strip_timing : Util.Json.t -> Util.Json.t
+(** Drop the wall-clock fields ([dur_s], [t_s]) from an event — the
+    jobs-invariance tests compare traces modulo exactly these. *)
+
+(** {1 Field shorthands} *)
+
+val str : string -> string -> string * Util.Json.t
+val num : string -> float -> string * Util.Json.t
+val int : string -> int -> string * Util.Json.t
+val bool : string -> bool -> string * Util.Json.t

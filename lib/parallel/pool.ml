@@ -11,10 +11,20 @@
    Exceptions: the task body wrapper catches everything, records the
    first exception (with its backtrace) and flips [cancelled], which
    stops further claims; [map] re-raises once the in-flight tasks have
-   drained.  This is fail-fast but still leaves the pool reusable. *)
+   drained.  This is fail-fast but still leaves the pool reusable.
+
+   Instrumentation: [create ~instrument:true] keeps per-slot busy-time
+   and task counters (slot 0 is the calling domain, slots 1..jobs-1 the
+   workers).  Each slot's record is written only by its own domain, so
+   the accounting is lock-free; [stats] must be read between maps (the
+   pool is quiescent then).  The default is instrument = false, which
+   skips every clock call — a plain pool pays nothing. *)
+
+type slot_stats = { mutable busy_s : float; mutable tasks : int }
 
 type task = {
-  body : int -> unit; (* never raises: map wraps the user function *)
+  body : int -> int -> unit;
+      (* slot -> index -> unit; never raises: map wraps the user function *)
   size : int;
   mutable next : int; (* next unclaimed index *)
   mutable active : int; (* claimed but not yet finished *)
@@ -23,6 +33,11 @@ type task = {
 
 type t = {
   jobs : int;
+  instrument : bool;
+  created_at : float;
+  slots : slot_stats array; (* length jobs; slot 0 = the caller *)
+  mutable batches : int;
+  mutable max_queue : int; (* largest batch submitted *)
   mutex : Mutex.t;
   have_work : Condition.t; (* a task with runnable items (or stop) *)
   work_done : Condition.t; (* a task just completed *)
@@ -37,15 +52,22 @@ let default_jobs () = Domain.recommended_domain_count ()
 let task_exhausted task = task.next >= task.size || !(task.cancelled)
 let task_finished task = task_exhausted task && task.active = 0
 
-(* Claim-and-run loop over one task.  Called and returns with the pool
-   mutex held. *)
-let drain pool task =
+(* Claim-and-run loop over one task, accounting busy time to [slot].
+   Called and returns with the pool mutex held. *)
+let drain pool slot task =
   while not (task_exhausted task) do
     let i = task.next in
     task.next <- i + 1;
     task.active <- task.active + 1;
     Mutex.unlock pool.mutex;
-    task.body i;
+    let t0 = if pool.instrument then Unix.gettimeofday () else 0.0 in
+    task.body slot i;
+    if pool.instrument then begin
+      (* own slot only: no lock needed *)
+      let s = pool.slots.(slot) in
+      s.busy_s <- s.busy_s +. Float.max 0.0 (Unix.gettimeofday () -. t0);
+      s.tasks <- s.tasks + 1
+    end;
     Mutex.lock pool.mutex;
     task.active <- task.active - 1;
     if task_finished task then begin
@@ -54,7 +76,7 @@ let drain pool task =
     end
   done
 
-let rec worker_loop pool =
+let rec worker_loop pool slot =
   Mutex.lock pool.mutex;
   let rec await () =
     if pool.stop then None
@@ -68,15 +90,20 @@ let rec worker_loop pool =
   match await () with
   | None -> Mutex.unlock pool.mutex
   | Some task ->
-      drain pool task;
+      drain pool slot task;
       Mutex.unlock pool.mutex;
-      worker_loop pool
+      worker_loop pool slot
 
-let create ~jobs =
+let create ?(instrument = false) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let pool =
     {
       jobs;
+      instrument;
+      created_at = (if instrument then Unix.gettimeofday () else 0.0);
+      slots = Array.init jobs (fun _ -> { busy_s = 0.0; tasks = 0 });
+      batches = 0;
+      max_queue = 0;
       mutex = Mutex.create ();
       have_work = Condition.create ();
       work_done = Condition.create ();
@@ -86,17 +113,34 @@ let create ~jobs =
     }
   in
   pool.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
+
+let note_batch pool n =
+  pool.batches <- pool.batches + 1;
+  if n > pool.max_queue then pool.max_queue <- n
 
 let map pool (f : 'a -> 'b) (arr : 'a array) : 'b array =
   let n = Array.length arr in
-  if pool.jobs = 1 || n <= 1 then Array.map f arr
+  if pool.jobs = 1 || n <= 1 then
+    if not pool.instrument then Array.map f arr
+    else begin
+      (* sequential path, but keep the books so --stats is meaningful
+         at jobs = 1 too *)
+      let t0 = Unix.gettimeofday () in
+      let out = Array.map f arr in
+      let s = pool.slots.(0) in
+      s.busy_s <- s.busy_s +. Float.max 0.0 (Unix.gettimeofday () -. t0);
+      s.tasks <- s.tasks + n;
+      note_batch pool n;
+      out
+    end
   else begin
     let results : 'b option array = Array.make n None in
     let error = ref None in
     let cancelled = ref false in
-    let body i =
+    let body _slot i =
       match f arr.(i) with
       | v -> results.(i) <- Some v
       | exception e ->
@@ -112,10 +156,11 @@ let map pool (f : 'a -> 'b) (arr : 'a array) : 'b array =
       Mutex.unlock pool.mutex;
       invalid_arg "Pool.map: concurrent map on the same pool"
     end;
+    note_batch pool n;
     pool.current <- Some task;
     Condition.broadcast pool.have_work;
     (* the caller is a worker too *)
-    drain pool task;
+    drain pool 0 task;
     while not (task_finished task) do
       Condition.wait pool.work_done pool.mutex
     done;
@@ -133,6 +178,61 @@ let map pool (f : 'a -> 'b) (arr : 'a array) : 'b array =
           results
   end
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  sjobs : int;
+  busy_s : float array; (* per slot; slot 0 is the calling domain *)
+  tasks : int array;
+  batches : int;
+  max_queue : int;
+  elapsed_s : float; (* wall time since create *)
+  utilization : float; (* sum busy / (elapsed * jobs); 0 uninstrumented *)
+}
+
+let stats pool : stats =
+  let busy_s = Array.map (fun (s : slot_stats) -> s.busy_s) pool.slots in
+  let tasks = Array.map (fun (s : slot_stats) -> s.tasks) pool.slots in
+  let elapsed_s =
+    if pool.instrument then
+      Float.max 1e-12 (Unix.gettimeofday () -. pool.created_at)
+    else 0.0
+  in
+  let total_busy = Array.fold_left ( +. ) 0.0 busy_s in
+  {
+    sjobs = pool.jobs;
+    busy_s;
+    tasks;
+    batches = pool.batches;
+    max_queue = pool.max_queue;
+    elapsed_s;
+    utilization =
+      (if pool.instrument then
+         total_busy /. (elapsed_s *. float_of_int pool.jobs)
+       else 0.0);
+  }
+
+(* Gauges under the "pool." prefix.  [export] writes absolute values, so
+   calling it again (e.g. once per optimize phase) refreshes rather than
+   double-counts. *)
+let export pool (m : Obs.Metrics.t) =
+  let s = stats pool in
+  Obs.Metrics.set m "pool.jobs" (float_of_int s.sjobs);
+  Obs.Metrics.set m "pool.batches" (float_of_int s.batches);
+  Obs.Metrics.set m "pool.max_queue_depth" (float_of_int s.max_queue);
+  Obs.Metrics.set m "pool.utilization" s.utilization;
+  Obs.Metrics.set m "pool.tasks"
+    (float_of_int (Array.fold_left ( + ) 0 s.tasks));
+  Array.iteri
+    (fun i busy ->
+      Obs.Metrics.set m (Printf.sprintf "pool.worker%d.busy_s" i) busy;
+      Obs.Metrics.set m
+        (Printf.sprintf "pool.worker%d.idle_s" i)
+        (Float.max 0.0 (s.elapsed_s -. busy)))
+    s.busy_s
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stop <- true;
@@ -141,6 +241,6 @@ let shutdown pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
-let with_pool ~jobs f =
-  let pool = create ~jobs in
+let with_pool ?instrument ~jobs f =
+  let pool = create ?instrument ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

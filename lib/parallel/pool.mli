@@ -18,9 +18,13 @@
 
 type t
 
-val create : jobs:int -> t
-(** [create ~jobs] builds a pool of [jobs]-way parallelism ([jobs - 1]
-    worker domains).  Raises [Invalid_argument] if [jobs < 1]. *)
+val create : ?instrument:bool -> jobs:int -> unit -> t
+(** [create ~jobs ()] builds a pool of [jobs]-way parallelism ([jobs - 1]
+    worker domains).  Raises [Invalid_argument] if [jobs < 1].
+
+    [~instrument:true] (default false) keeps per-slot busy-time and
+    task counters readable via {!stats}/{!export}; the default pays for
+    no clock calls at all. *)
 
 val jobs : t -> int
 (** The parallelism degree the pool was created with. *)
@@ -42,6 +46,34 @@ val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent; the pool must
     not be used afterwards. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?instrument:bool -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
     {!shutdown} on exit, exceptional or not. *)
+
+(** {1 Instrumentation}
+
+    Available when the pool was created with [~instrument:true]; an
+    uninstrumented pool reports zeros.  Read between maps — the pool is
+    quiescent then, so the lock-free per-slot accounting is consistent. *)
+
+type stats = {
+  sjobs : int;
+  busy_s : float array;
+      (** per-slot busy seconds; slot 0 is the calling domain, slots
+          1..jobs-1 the spawned workers *)
+  tasks : int array;  (** tasks each slot ran *)
+  batches : int;  (** [map] calls submitted *)
+  max_queue : int;  (** largest batch size submitted (queue depth) *)
+  elapsed_s : float;  (** wall time since [create] *)
+  utilization : float;
+      (** total busy time / (elapsed × jobs): 1.0 means every domain was
+          evaluating the whole time *)
+}
+
+val stats : t -> stats
+
+val export : t -> Obs.Metrics.t -> unit
+(** Write the current {!stats} as gauges under the ["pool."] prefix
+    ([pool.utilization], [pool.max_queue_depth], [pool.worker<i>.busy_s]
+    / [.idle_s], ...).  Absolute values: re-exporting refreshes rather
+    than double-counts. *)

@@ -95,6 +95,72 @@ let eval_moves ?filter caps (objective : objective) prog names parent_runtime
   let p, applied = replay_skipping ?filter caps prog names in
   { moves = applied; prog = p; runtime = objective p; parent_runtime }
 
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every emission site is guarded with [Obs.Trace.enabled] so an
+   untraced run allocates neither events nor field-thunk closures.  All
+   traced values (step indices, runtimes, move counts, temperature) are
+   deterministic functions of (seed, batch) — wall-clock only ever
+   enters through [dur_s] fields, which [Obs.Trace.strip_timing]
+   removes; this is what makes --jobs 1 / --jobs N traces comparable. *)
+
+let space_name = function Edges -> "edges" | Heuristic -> "heuristic"
+
+let emit_start obs ~meth ~space ~budget ~seed ~root_time =
+  if Obs.Trace.enabled obs then
+    Obs.Trace.emit obs "search.start" (fun () ->
+        Obs.Trace.
+          [
+            str "method" meth;
+            str "space" (space_name space);
+            int "budget" budget;
+            int "seed" seed;
+            num "root_time" root_time;
+          ])
+
+let emit_step obs ~i ~runtime ~best extra =
+  if Obs.Trace.enabled obs then
+    Obs.Trace.emit obs "search.step" (fun () ->
+        Obs.Trace.int "i" i
+        :: Obs.Trace.num "runtime" runtime
+        :: Obs.Trace.num "best" best
+        :: extra ())
+
+let emit_best obs ~i (c : candidate) =
+  if Obs.Trace.enabled obs then
+    Obs.Trace.emit obs "search.best" (fun () ->
+        Obs.Trace.
+          [
+            int "i" i;
+            num "runtime" c.runtime;
+            int "n_moves" (List.length c.moves);
+          ])
+
+(* Counter/gauge updates per evaluated step.  [accepted = None] for the
+   sampling methods (no acceptance notion): then only the step counter
+   and the runtime histogram move.  The annealing methods pass
+   [Some bool] and additionally maintain [search.accepted],
+   [search.acceptance_rate] and [search.temperature]. *)
+let note_step ?metrics ?accepted ?temp ~runtime () =
+  match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.incr m "search.steps";
+      Obs.Metrics.observe m "search.runtime" runtime;
+      (match accepted with
+      | None -> ()
+      | Some acc ->
+          if acc then Obs.Metrics.incr m "search.accepted";
+          let steps = Obs.Metrics.counter m "search.steps" in
+          Obs.Metrics.set m "search.acceptance_rate"
+            (float_of_int (Obs.Metrics.counter m "search.accepted")
+            /. float_of_int (max steps 1)));
+      match temp with
+      | None -> ()
+      | Some t -> Obs.Metrics.set m "search.temperature" t
+
 (* Produce a child candidate according to the space structure.  In the
    edges-structured space the child program is the parent program plus
    one move, so it is returned directly (no replay from the root). *)
@@ -163,20 +229,22 @@ let pick_parent rng pool weights =
        (Util.Dynarray.unsafe_data weights)
        (Util.Dynarray.length weights))
 
-let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
-    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+let random_sampling ?(seed = 1) ?filter ?(init = [])
+    ?(obs = Obs.Trace.null) ?metrics ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
   let root_time = objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
+  emit_start obs ~meth:"random-sampling" ~space ~budget ~seed ~root_time;
   let pool, weights, push, best0 =
     make_pool ?filter caps objective root root_cand init
   in
   let best = ref best0 in
   let curve =
-    run_curve budget (fun _ ->
+    run_curve budget (fun i ->
         let parent = pick_parent rng pool weights in
         let child_moves, direct = expand ?filter space caps rng root parent in
         let child =
@@ -193,7 +261,13 @@ let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
                 parent.runtime
         in
         push child;
-        if child.runtime < !best.runtime then best := child;
+        if child.runtime < !best.runtime then begin
+          best := child;
+          emit_best obs ~i child
+        end;
+        emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+          (fun () -> []);
+        note_step ?metrics ~runtime:child.runtime ();
         child.runtime)
   in
   {
@@ -225,64 +299,105 @@ let random_sampling ?(seed = 1) ?filter ?(init = []) ~(space : space)
 let default_batch = 8
 
 (* Grow a child from [parent] with the task's own RNG stream and
-   evaluate it — the unit of parallel work. *)
-let child_task ?filter space caps root objective parent task_rng () :
-    candidate =
-  let child_moves, direct = expand ?filter space caps task_rng root parent in
-  match direct with
-  | Some p ->
-      {
-        moves = child_moves;
-        prog = p;
-        runtime = objective p;
-        parent_runtime = parent.runtime;
-      }
-  | None ->
-      eval_moves ?filter caps objective root child_moves parent.runtime
+   evaluate it — the unit of parallel work.  [obs] is the task's
+   private buffer sink (or [null]); the emitted [search.eval] event
+   carries the deterministic batch slot plus a wall-clock [dur_s]. *)
+let child_task ?filter ~obs ~slot space caps root objective parent task_rng
+    () : candidate =
+  let t0 = if Obs.Trace.enabled obs then Obs.Span.now () else 0. in
+  let child =
+    let child_moves, direct =
+      expand ?filter space caps task_rng root parent
+    in
+    match direct with
+    | Some p ->
+        {
+          moves = child_moves;
+          prog = p;
+          runtime = objective p;
+          parent_runtime = parent.runtime;
+        }
+    | None ->
+        eval_moves ?filter caps objective root child_moves parent.runtime
+  in
+  if Obs.Trace.enabled obs then
+    Obs.Trace.emit obs "search.eval" (fun () ->
+        Obs.Trace.
+          [
+            int "slot" slot;
+            int "n_moves" (List.length child.moves);
+            num "runtime" child.runtime;
+            num "dur_s" (Float.max 0. (Obs.Span.now () -. t0));
+          ]);
+  child
 
-let run_batched ~batch ~pool ~budget ~prepare ~fold =
+(* [prepare sink ~slot] builds one task thunk writing its events into
+   [sink]; [fold i child] consumes results in slot order.  When tracing
+   is on, each task gets its own buffer sink and the buffers are folded
+   into [obs] in slot order just before the corresponding [fold] — so
+   the merged event stream is a pure function of (seed, batch),
+   independent of which pool domain ran which task. *)
+let run_batched ~obs ~batch ~pool ~budget ~prepare ~fold =
   if batch < 1 then invalid_arg "Stochastic: batch must be >= 1";
+  let traced = Obs.Trace.enabled obs in
   let curve = Array.make budget infinity in
   let filled = ref 0 in
   while !filled < budget do
     let b = min batch (budget - !filled) in
+    let sinks =
+      if traced then Array.init b (fun _ -> Obs.Trace.make_buffer ())
+      else [||]
+    in
     let tasks = Array.make b (fun () -> assert false) in
     for i = 0 to b - 1 do
       (* explicit loop: slot order fixes the RNG draw order *)
-      tasks.(i) <- prepare ()
+      let sink = if traced then sinks.(i) else Obs.Trace.null in
+      tasks.(i) <- prepare sink ~slot:(!filled + i)
     done;
     let children = Parallel.Pool.map pool (fun task -> task ()) tasks in
     Array.iteri
-      (fun i child -> curve.(!filled + i) <- fold child)
+      (fun i child ->
+        if traced then Obs.Trace.append ~into:obs sinks.(i);
+        curve.(!filled + i) <- fold (!filled + i) child)
       children;
     filled := !filled + b
   done;
   curve
 
 let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
-    ?(batch = default_batch) ~(pool : Parallel.Pool.t) ~(space : space)
-    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+    ?(obs = Obs.Trace.null) ?metrics ?(batch = default_batch)
+    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
   let root_time = objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
+  emit_start obs ~meth:"random-sampling-parallel" ~space ~budget ~seed
+    ~root_time;
   let cands, weights, push, best0 =
     make_pool ?filter caps objective root root_cand init
   in
   let best = ref best0 in
-  let prepare () =
+  let prepare sink ~slot =
     let parent = pick_parent rng cands weights in
     let task_rng = Util.Rng.split rng in
-    child_task ?filter space caps root objective parent task_rng
+    child_task ?filter ~obs:sink ~slot space caps root objective parent
+      task_rng
   in
-  let fold child =
+  let fold i child =
     push child;
-    if child.runtime < !best.runtime then best := child;
+    if child.runtime < !best.runtime then begin
+      best := child;
+      emit_best obs ~i child
+    end;
+    emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime (fun () ->
+        []);
+    note_step ?metrics ~runtime:child.runtime ();
     !best.runtime
   in
-  let curve = run_batched ~batch ~pool ~budget ~prepare ~fold in
+  let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
   {
     best = !best.prog;
     best_time = !best.runtime;
@@ -292,15 +407,17 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
   }
 
 let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
-    ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch)
-    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+    ?(obs = Obs.Trace.null) ?metrics ?(t0 = 0.5) ?(cooling = 0.995)
+    ?(batch = default_batch) ~(pool : Parallel.Pool.t) ~(space : space)
+    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
   let root_time = objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
+  emit_start obs ~meth:"simulated-annealing-parallel" ~space ~budget ~seed
+    ~root_time;
   let current =
     ref
       (match warm_candidate ?filter caps objective root init with
@@ -310,13 +427,14 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
   in
   let best = ref !current in
   let temp = ref t0 in
-  let prepare () =
+  let prepare sink ~slot =
     (* all proposals of a round branch off the round-start state *)
     let parent = !current in
     let task_rng = Util.Rng.split rng in
-    child_task ?filter space caps root objective parent task_rng
+    child_task ?filter ~obs:sink ~slot space caps root objective parent
+      task_rng
   in
-  let fold child =
+  let fold i child =
     let accept =
       child.runtime <= !current.runtime
       ||
@@ -327,11 +445,18 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
       Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
     in
     if accept then current := child;
-    if child.runtime < !best.runtime then best := child;
+    if child.runtime < !best.runtime then begin
+      best := child;
+      emit_best obs ~i child
+    end;
+    emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime (fun () ->
+        [ Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp ]);
+    note_step ?metrics ~accepted:accept ~temp:!temp ~runtime:child.runtime
+      ();
     temp := !temp *. cooling;
     !best.runtime
   in
-  let curve = run_batched ~batch ~pool ~budget ~prepare ~fold in
+  let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
   {
     best = !best.prog;
     best_time = !best.runtime;
@@ -344,15 +469,18 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
 (* Simulated annealing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let simulated_annealing ?(seed = 1) ?filter ?(init = []) ?(t0 = 0.5)
-    ?(cooling = 0.995) ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+let simulated_annealing ?(seed = 1) ?filter ?(init = [])
+    ?(obs = Obs.Trace.null) ?metrics ?(t0 = 0.5) ?(cooling = 0.995)
+    ~(space : space) ~(budget : int) caps (objective : objective)
+    (root : Ir.Prog.t) : result =
   let rng = Util.Rng.create seed in
   let root_time = objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
+  emit_start obs ~meth:"simulated-annealing" ~space ~budget ~seed
+    ~root_time;
   let current =
     ref
       (match warm_candidate ?filter caps objective root init with
@@ -363,7 +491,7 @@ let simulated_annealing ?(seed = 1) ?filter ?(init = []) ?(t0 = 0.5)
   let best = ref !current in
   let temp = ref t0 in
   let curve =
-    run_curve budget (fun _ ->
+    run_curve budget (fun i ->
         let child_moves, direct = expand ?filter space caps rng root !current
         in
         let child =
@@ -389,7 +517,15 @@ let simulated_annealing ?(seed = 1) ?filter ?(init = []) ?(t0 = 0.5)
           Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
         in
         if accept then current := child;
-        if child.runtime < !best.runtime then best := child;
+        if child.runtime < !best.runtime then begin
+          best := child;
+          emit_best obs ~i child
+        end;
+        emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+          (fun () ->
+            [ Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp ]);
+        note_step ?metrics ~accepted:accept ~temp:!temp
+          ~runtime:child.runtime ();
         temp := !temp *. cooling;
         child.runtime)
   in

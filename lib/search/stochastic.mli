@@ -51,6 +51,8 @@ val random_sampling :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
   ?init:string list ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   space:space ->
   budget:int ->
   Transform.Xforms.caps ->
@@ -61,12 +63,19 @@ val random_sampling :
     [filter] restricts the move set (used by the TVM-template baseline).
     [init] warm-starts the pool with a recorded move sequence (replayed
     through {!replay_skipping}), so search resumes from a tuning
-    database's best instead of restarting cold. *)
+    database's best instead of restarting cold.
+
+    [obs] receives [search.start] / [search.step] / [search.best]
+    events; [metrics] accumulates [search.steps] and the
+    [search.runtime] histogram.  Both default to off and then cost
+    nothing (see {!Obs.Trace.enabled}). *)
 
 val simulated_annealing :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
   ?init:string list ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   ?t0:float ->
   ?cooling:float ->
   space:space ->
@@ -77,7 +86,12 @@ val simulated_annealing :
   result
 (** [init] seeds the annealing chain (and best-so-far) with a recorded
     sequence; with [budget = 0] the result is exactly the replayed
-    schedule — replay fidelity the tuning tests rely on. *)
+    schedule — replay fidelity the tuning tests rely on.
+
+    In addition to the sampling events, annealing [search.step] events
+    carry [accepted] and [temp] fields, and [metrics] gains the
+    [search.accepted] counter plus [search.acceptance_rate] /
+    [search.temperature] gauges. *)
 
 (** {1 Batched-synchronous-parallel variants}
 
@@ -102,6 +116,8 @@ val random_sampling_parallel :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
   ?init:string list ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   ?batch:int ->
   pool:Parallel.Pool.t ->
   space:space ->
@@ -111,12 +127,19 @@ val random_sampling_parallel :
   Ir.Prog.t ->
   result
 (** Batched {!random_sampling}: parents for a whole round are drawn
-    from the pool as of the round start.  [batch] defaults to 8. *)
+    from the pool as of the round start.  [batch] defaults to 8.
+
+    Tracing stays jobs-invariant: each task writes [search.eval] events
+    into a private buffer sink, and the buffers are folded into [obs]
+    in slot order — the merged stream is a function of (seed, batch)
+    modulo {!Obs.Trace.strip_timing}. *)
 
 val simulated_annealing_parallel :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
   ?init:string list ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   ?t0:float ->
   ?cooling:float ->
   ?batch:int ->
@@ -129,4 +152,6 @@ val simulated_annealing_parallel :
   result
 (** Batched {!simulated_annealing}: every proposal of a round branches
     off the round-start chain state; acceptance, cooling and best-so-far
-    fold sequentially in slot order.  [batch] defaults to 8. *)
+    fold sequentially in slot order.  [batch] defaults to 8.  Tracing
+    follows the same per-slot-buffer discipline as
+    {!random_sampling_parallel}. *)

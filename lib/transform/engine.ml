@@ -7,15 +7,25 @@
 type session = {
   caps : Xforms.caps;
   initial : Ir.Prog.t;
+  obs : Obs.Trace.sink;
   mutable current : Ir.Prog.t;
   mutable history : (Xforms.instance * Ir.Prog.t) list;
       (* most recent first; the stored program is the state *before* the
          move was applied *)
 }
 
-let start caps prog = { caps; initial = prog; current = prog; history = [] }
+let start ?(obs = Obs.Trace.null) caps prog =
+  { caps; initial = prog; obs; current = prog; history = [] }
 
-let applicable session = Xforms.all session.caps session.current
+let applicable session =
+  let insts = Xforms.all session.caps session.current in
+  if Obs.Trace.enabled session.obs then
+    Obs.Trace.emit session.obs "engine.enumerate" (fun () ->
+        [
+          Obs.Trace.int "count" (List.length insts);
+          Obs.Trace.int "depth" (List.length session.history);
+        ]);
+  insts
 
 let apply session (inst : Xforms.instance) =
   let before = session.current in
@@ -30,15 +40,27 @@ let apply session (inst : Xforms.instance) =
            (Xforms.describe inst) msgs));
   session.history <- (inst, before) :: session.history;
   session.current <- after;
+  if Obs.Trace.enabled session.obs then
+    Obs.Trace.emit session.obs "engine.apply" (fun () ->
+        [
+          Obs.Trace.str "move" (Xforms.describe inst);
+          Obs.Trace.int "depth" (List.length session.history);
+        ]);
   after
 
 (* Undo the most recent move. *)
 let undo session =
   match session.history with
   | [] -> None
-  | (_, before) :: rest ->
+  | ((inst : Xforms.instance), before) :: rest ->
       session.history <- rest;
       session.current <- before;
+      if Obs.Trace.enabled session.obs then
+        Obs.Trace.emit session.obs "engine.undo" (fun () ->
+            [
+              Obs.Trace.str "move" (Xforms.describe inst);
+              Obs.Trace.int "depth" (List.length session.history);
+            ]);
       Some before
 
 (* Undo the move [k] steps back (0 = most recent) while replaying every

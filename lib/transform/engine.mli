@@ -6,13 +6,17 @@
 type session = {
   caps : Xforms.caps;
   initial : Ir.Prog.t;
+  obs : Obs.Trace.sink;
+      (** trace sink for [engine.apply] / [engine.undo] /
+          [engine.enumerate] events; {!Obs.Trace.null} when tracing is
+          off (the default — and then no event is even constructed) *)
   mutable current : Ir.Prog.t;
   mutable history : (Xforms.instance * Ir.Prog.t) list;
       (** most recent first; each entry stores the state {e before} the
           move *)
 }
 
-val start : Xforms.caps -> Ir.Prog.t -> session
+val start : ?obs:Obs.Trace.sink -> Xforms.caps -> Ir.Prog.t -> session
 
 val applicable : session -> Xforms.instance list
 (** All moves offered at the current state. *)

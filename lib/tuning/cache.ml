@@ -15,6 +15,8 @@ type shard = {
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable contended : int;
+      (* lock acquisitions that found the shard lock already held *)
 }
 
 type t = shard array
@@ -28,15 +30,25 @@ let create () : t =
         lock = Mutex.create ();
         hits = 0;
         misses = 0;
+        contended = 0;
       })
 
 let shard_of (cache : t) fp = cache.(Hashtbl.hash fp land (shard_count - 1))
+
+(* Lock the shard, counting contention: a failed try_lock means another
+   domain held this shard at that instant.  The counter is written after
+   the lock is acquired, so it needs no extra synchronization. *)
+let lock_shard (s : shard) =
+  if not (Mutex.try_lock s.lock) then begin
+    Mutex.lock s.lock;
+    s.contended <- s.contended + 1
+  end
 
 let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
     float =
   let fp = Record.fingerprint p in
   let s = shard_of cache fp in
-  Mutex.lock s.lock;
+  lock_shard s;
   match Hashtbl.find_opt s.table fp with
   | Some time ->
       s.hits <- s.hits + 1;
@@ -46,7 +58,7 @@ let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
       s.misses <- s.misses + 1;
       Mutex.unlock s.lock;
       let time = objective p in
-      Mutex.lock s.lock;
+      lock_shard s;
       if not (Hashtbl.mem s.table fp) then Hashtbl.add s.table fp time;
       Mutex.unlock s.lock;
       time
@@ -54,6 +66,7 @@ let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
 let sum (cache : t) f = Array.fold_left (fun acc s -> acc + f s) 0 cache
 let hits (c : t) = sum c (fun s -> s.hits)
 let misses (c : t) = sum c (fun s -> s.misses)
+let contended (c : t) = sum c (fun s -> s.contended)
 
 let hit_rate (c : t) =
   let h = hits c and m = misses c in
@@ -61,3 +74,16 @@ let hit_rate (c : t) =
   if total = 0 then 0. else float_of_int h /. float_of_int total
 
 let entries (c : t) = sum c (fun s -> Hashtbl.length s.table)
+
+(* Counters are written as absolute values (incr by the delta against
+   what the registry already holds), so re-exporting after each phase
+   refreshes rather than double-counts. *)
+let export (c : t) (m : Obs.Metrics.t) =
+  let set_counter name v =
+    Obs.Metrics.incr m ~by:(v - Obs.Metrics.counter m name) name
+  in
+  set_counter "cache.hits" (hits c);
+  set_counter "cache.misses" (misses c);
+  set_counter "cache.contended" (contended c);
+  Obs.Metrics.set m "cache.hit_rate" (hit_rate c);
+  Obs.Metrics.set m "cache.entries" (float_of_int (entries c))

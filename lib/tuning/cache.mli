@@ -35,3 +35,14 @@ val hit_rate : t -> float
 
 val entries : t -> int
 (** Distinct programs cached. *)
+
+val contended : t -> int
+(** Shard-lock acquisitions that found the lock already held by another
+    domain — a direct measure of sharding pressure under parallel
+    search ([0] in any single-domain run). *)
+
+val export : t -> Obs.Metrics.t -> unit
+(** Publish the counters into a metrics registry: [cache.hits],
+    [cache.misses], [cache.contended] (counters), [cache.hit_rate],
+    [cache.entries] (gauges).  Writes absolute values, so re-exporting
+    refreshes rather than double-counts. *)

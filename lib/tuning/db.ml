@@ -53,14 +53,43 @@ let load (path : string) : (t, string) result =
     result
   end
 
+(* Crash-safe, concurrent-writer-safe save.
+
+   Atomicity: the records are written to [path ^ ".tmp"] and renamed
+   over [path] — rename is atomic on POSIX, so a reader (or a crash at
+   any instruction) sees either the complete old file or the complete
+   new one, never a truncated mix.  A stale tmp left by an interrupted
+   earlier save is simply overwritten; on any failure mid-write the tmp
+   is removed and the original is untouched.
+
+   Concurrency: two processes sharing one --db used to clobber each
+   other (last writer wins, the other's records silently dropped).
+   [save] therefore re-reads the file first and folds the on-disk
+   records through the same [add] improve/dedupe rules before writing,
+   so a concurrent writer's deposits survive — each key keeps the
+   fastest record either side knew.  An unreadable (malformed) on-disk
+   file is not merged: save still persists this database's records
+   rather than losing the run's work.  The merge also flows back into
+   [db] itself, keeping the in-memory view consistent with what was
+   written. *)
 let save (db : t) (path : string) : unit =
-  let oc = open_out path in
-  List.iter
-    (fun r ->
-      output_string oc (Record.to_json r);
-      output_char oc '\n')
-    (records db);
-  close_out oc
+  (match load path with
+  | Ok disk -> List.iter (fun r -> ignore (add db r)) (records disk)
+  | Error _ -> ());
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     List.iter
+       (fun r ->
+         output_string oc (Record.to_json r);
+         output_char oc '\n')
+       (records db);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let by_time (a : Record.t) (b : Record.t) =
   let c = compare a.best_time b.best_time in

@@ -17,7 +17,17 @@ val load : string -> (t, string) result
 
 val save : t -> string -> unit
 (** Write all records, one JSON object per line, in the stable
-    {!Record.compare_order}.  save → load → save is byte-identical. *)
+    {!Record.compare_order}.  save → load → save is byte-identical.
+
+    Crash-safe: the file is written to [path ^ ".tmp"] and atomically
+    renamed into place, so an interrupt at any point leaves either the
+    previous complete file or the new one — never a truncated mix — and
+    a stale tmp from an earlier crash is cleaned up by the next save.
+
+    Concurrent-writer-safe: records already on disk are first merged
+    into [db] under the {!add} improve/dedupe rules, so two processes
+    sharing one database file cannot silently drop each other's
+    records; each key keeps the fastest schedule either writer found. *)
 
 val add : t -> Record.t -> [ `Inserted | `Improved | `Duplicate ]
 (** Insert with dedup: a record whose {!Record.key} is already present

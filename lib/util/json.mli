@@ -1,0 +1,38 @@
+(** Minimal JSON reader/writer for the tuning database and the
+    observability trace sink (the package deliberately carries no yojson
+    dependency).
+
+    The printer is canonical: compact one-line output, members in the
+    order given, floats via a round-trip-exact format.  Parsing a
+    printed value and printing it again is byte-identical — the property
+    the JSONL database relies on for stable saves. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering.  Non-finite numbers print as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error.  Accepts the
+    full JSON grammar (escapes, [\uXXXX], exponents, nested values). *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+val num_string : float -> string
+(** The canonical number rendering used by {!to_string}: the shortest
+    of ["%.15g"], ["%.16g"], ["%.17g"] that parses back to the identical
+    float — exact round-trip with stable re-printing. *)

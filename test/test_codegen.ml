@@ -70,6 +70,26 @@ let plain_tests =
         let c = Codegen.program (Ir.Parser.program text) in
         Alcotest.(check bool) "alias t1" true (contains c "#define t1 t");
         Alcotest.(check bool) "alias t2" true (contains c "#define t2 t"));
+    Alcotest.test_case "non-finite constants emit valid C" `Quick (fun () ->
+        (* the textual IR cannot spell nan/inf, so build the program
+           straight from the Types constructors *)
+        let open Ir.Types in
+        let cell array = { array; idx = [ { terms = []; offset = 0 } ] } in
+        let prog const =
+          {
+            buffers = [ buffer "z" F32 [ 1 ] ];
+            inputs = [];
+            outputs = [ "z" ];
+            body = [ Stmt { dst = cell "z"; rhs = Const const } ];
+          }
+        in
+        let c_nan = Codegen.program (prog Float.nan) in
+        Alcotest.(check bool) "NAN macro" true (contains c_nan "NAN");
+        Alcotest.(check bool) "no nanf literal" false (contains c_nan "nanf");
+        let c_inf = Codegen.program (prog Float.infinity) in
+        Alcotest.(check bool) "INFINITY" true (contains c_inf "INFINITY");
+        let c_ninf = Codegen.program (prog Float.neg_infinity) in
+        Alcotest.(check bool) "-INFINITY" true (contains c_ninf "-INFINITY"));
   ]
 
 let cuda_tests =

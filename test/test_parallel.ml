@@ -75,7 +75,7 @@ let pool_tests =
               Alcotest.(check int) "slot 7" (7 * round) out.(7)
             done));
     Alcotest.test_case "create rejects jobs < 1" `Quick (fun () ->
-        match Parallel.Pool.create ~jobs:0 with
+        match Parallel.Pool.create ~jobs:0 () with
         | _ -> Alcotest.fail "accepted jobs = 0"
         | exception Invalid_argument _ -> ());
     Alcotest.test_case "with_pool returns the body's value" `Quick (fun () ->

@@ -253,6 +253,75 @@ let db_tests =
             Alcotest.(check bool) "names line 1" true
               (String.length msg > 0)
         | Ok _ -> Alcotest.fail "accepted malformed file");
+    Alcotest.test_case "save is atomic: no tmp left, result loadable" `Quick
+      (fun () ->
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~best_time:1.0 ~root ()));
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Tuning.Db.save db f;
+        Alcotest.(check bool) "no tmp sibling" false
+          (Sys.file_exists (f ^ ".tmp"));
+        (match Tuning.Db.load f with
+        | Ok db' -> Alcotest.(check int) "loadable" 1 (Tuning.Db.size db')
+        | Error e -> Alcotest.failf "load after save: %s" e);
+        Sys.remove f);
+    Alcotest.test_case "a stale partial tmp never corrupts the db" `Quick
+      (fun () ->
+        (* simulate a writer killed mid-save: garbage sits at path.tmp *)
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~best_time:1.0 ~root ()));
+        Tuning.Db.save db f;
+        let oc = open_out (f ^ ".tmp") in
+        output_string oc "{\"kernel\":\"trunc";
+        close_out oc;
+        (* the real file is untouched by the dead writer's tmp *)
+        (match Tuning.Db.load f with
+        | Ok db' -> Alcotest.(check int) "intact" 1 (Tuning.Db.size db')
+        | Error e -> Alcotest.failf "load with stale tmp: %s" e);
+        (* the next save overwrites the stale tmp and still lands *)
+        ignore
+          (Tuning.Db.add db (mk_record ~kernel:"k2" ~best_time:2.0 ~root ()));
+        Tuning.Db.save db f;
+        Alcotest.(check bool) "stale tmp cleaned" false
+          (Sys.file_exists (f ^ ".tmp"));
+        (match Tuning.Db.load f with
+        | Ok db' -> Alcotest.(check int) "both records" 2 (Tuning.Db.size db')
+        | Error e -> Alcotest.failf "load after recovery: %s" e);
+        Sys.remove f);
+    Alcotest.test_case "concurrent saves merge instead of clobbering" `Quick
+      (fun () ->
+        (* two independent writers sharing --db: the union must survive,
+           and the improve rule must keep the faster of a shared record *)
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Sys.remove f;
+        let root = Kernels.scale ~n:16 in
+        let db1 = Tuning.Db.create () in
+        ignore
+          (Tuning.Db.add db1 (mk_record ~kernel:"a" ~best_time:2.0 ~root ()));
+        ignore
+          (Tuning.Db.add db1
+             (mk_record ~kernel:"shared" ~best_time:5.0 ~root ()));
+        let db2 = Tuning.Db.create () in
+        ignore
+          (Tuning.Db.add db2 (mk_record ~kernel:"b" ~best_time:3.0 ~root ()));
+        ignore
+          (Tuning.Db.add db2
+             (mk_record ~kernel:"shared" ~best_time:4.0 ~root ()));
+        Tuning.Db.save db1 f;
+        Tuning.Db.save db2 f;
+        (match Tuning.Db.load f with
+        | Error e -> Alcotest.failf "load merged: %s" e
+        | Ok merged ->
+            Alcotest.(check int) "union" 3 (Tuning.Db.size merged);
+            (match Tuning.Db.best merged ~kernel:"shared" ~target:"t" with
+            | Some r ->
+                Alcotest.(check (float 0.0)) "improve rule kept fastest" 4.0
+                  r.best_time
+            | None -> Alcotest.fail "shared record lost"));
+        Sys.remove f);
   ]
 
 (* ------------------------------------------------------------------ *)
