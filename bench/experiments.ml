@@ -1046,6 +1046,156 @@ let parallel () =
   print_endline "wrote BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance: guarded search under injected failures             *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by bench/main.ml's --fault-rate flag. *)
+let fault_rate = ref 0.2
+
+(* The degradation story end to end: with a deterministic fraction of
+   evaluations raising, returning NaN or burning fuel, the guarded
+   search must still finish, still produce a numerically correct
+   schedule, account for every quarantined evaluation (outcome.failures
+   = traced search.eval_error events), and stay jobs-invariant — the
+   *same* candidates fail at --jobs 1 and --jobs 4.  The experiment
+   hard-fails (and with it @smoke) if any of that breaks.  It also
+   measures what the guard costs when nothing fails: the overhead of
+   wrapping every evaluation must be noise. *)
+let faults () =
+  Report.header
+    "Fault tolerance: annealing under injected faults (softmax 64x64, x86)";
+  let budget = max 8 (Report.search_budget () / 4) in
+  let rate = !fault_rate in
+  let p = Kernels.softmax ~n:64 ~m:64 in
+  let injected =
+    if rate = 0. then Robust.Faults.none
+    else Robust.Faults.spread ~seed:7 rate
+  in
+  let strat = Perfdojo.Annealing { budget; space = Stoch.Heuristic } in
+  let count_eval_errors obs =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Util.Json.Obj (("ev", Util.Json.Str "search.eval_error") :: _) ->
+            acc + 1
+        | _ -> acc)
+      0 (Obs.Trace.events obs)
+  in
+  let run label jobs strat =
+    let obs = Obs.Trace.make_buffer () in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Perfdojo.optimize ~seed:1 ~jobs ~obs ~faults:injected strat target_x86 p
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (* a degraded run is still a correct run *)
+    (match Interp.equivalent p o.schedule with
+    | Ok () -> ()
+    | Error msg ->
+        failwith
+          (Printf.sprintf "%s: schedule failed verification: %s" label msg));
+    let traced = count_eval_errors obs in
+    if traced <> o.failures then
+      failwith
+        (Printf.sprintf
+           "%s: outcome.failures = %d but %d search.eval_error events traced"
+           label o.failures traced);
+    (label, o, wall, obs)
+  in
+  let runs =
+    [
+      run "annealing jobs=0" 0 strat;
+      run "annealing jobs=1" 1 strat;
+      run "annealing jobs=4" 4 strat;
+      run "portfolio jobs=4" 4 (Perfdojo.Portfolio { budget });
+    ]
+  in
+  Report.table
+    [ "run"; "wall (s)"; "best (s)"; "evals"; "failures" ]
+    (List.map
+       (fun (label, (o : Perfdojo.outcome), wall, _) ->
+         [
+           label;
+           Printf.sprintf "%.3f" wall;
+           Report.e3 o.time_s;
+           string_of_int o.evaluations;
+           string_of_int o.failures;
+         ])
+       runs);
+  (* jobs-invariance extends to the failures: jobs=1 and jobs=4 anneal
+     the same candidates, quarantine the same candidates, and trace the
+     same stream modulo wall-clock fields *)
+  let stripped obs =
+    List.map Obs.Trace.strip_timing (Obs.Trace.events obs)
+  in
+  let _, o1, _, obs1 = List.nth runs 1 in
+  let _, o4, _, obs4 = List.nth runs 2 in
+  let trace_identical =
+    o1.time_s = o4.time_s
+    && o1.failures = o4.failures
+    && stripped obs1 = stripped obs4
+  in
+  if not trace_identical then
+    failwith "faults: jobs=1 and jobs=4 disagree under injected faults";
+  Printf.printf
+    "\ninjected fault rate %.2f: every run verified numerically; failures \
+     accounted exactly;\n\
+     jobs=1 and jobs=4 identical (same quarantined candidates): %b\n"
+    rate trace_identical;
+  (* guard overhead when nothing fails: wrap the same objective in
+     Guard.eval and compare against calling it raw *)
+  let evals = 20_000 in
+  let objective q = time target_x86 q in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to evals do
+    ignore (objective p)
+  done;
+  let raw_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to evals do
+    ignore (Robust.Guard.eval objective p)
+  done;
+  let guarded_s = Unix.gettimeofday () -. t0 in
+  let overhead = if raw_s > 0. then guarded_s /. raw_s else 1. in
+  Printf.printf
+    "guard overhead at fault rate 0: %d evals raw %.4f s, guarded %.4f s \
+     -> %.3fx\n"
+    evals raw_s guarded_s overhead;
+  if overhead > 5. then
+    failwith
+      (Printf.sprintf "faults: guard overhead %.2fx exceeds 5x bound"
+         overhead);
+  let json =
+    Tuning.Json.Obj
+      [
+        ("fault_rate", Tuning.Json.Num rate);
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ("workload", Tuning.Json.Str "annealing/heuristic softmax 64x64 x86");
+        ("trace_identical", Tuning.Json.Str (string_of_bool trace_identical));
+        ("guard_overhead_ratio", Tuning.Json.Num overhead);
+        ("guard_overhead_evals", Tuning.Json.Num (float_of_int evals));
+        ( "runs",
+          Tuning.Json.Arr
+            (List.map
+               (fun (label, (o : Perfdojo.outcome), wall, _) ->
+                 Tuning.Json.Obj
+                   [
+                     ("run", Tuning.Json.Str label);
+                     ("wall_s", Tuning.Json.Num wall);
+                     ("best_s", Tuning.Json.Num o.time_s);
+                     ("evals", Tuning.Json.Num (float_of_int o.evaluations));
+                     ("failures", Tuning.Json.Num (float_of_int o.failures));
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_faults.json"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1071,4 +1221,5 @@ let all : (string * (unit -> unit)) list =
     ("rl-ablation", rl_ablation);
     ("tuning", tuning);
     ("parallel", parallel);
+    ("faults", faults);
   ]

@@ -74,12 +74,19 @@ let run_framework_microbench () =
       | _ -> Printf.printf "  %-36s (no estimate)\n" name)
     results
 
-(* Strip `--db FILE` from the argument list, routing it to the tuning
-   experiment's persistent store. *)
+(* Strip `--db FILE` and `--fault-rate R` from the argument list,
+   routing them to the tuning / fault-tolerance experiments. *)
 let rec extract_db = function
   | [] -> []
   | "--db" :: file :: rest ->
       Experiments.tuning_db_file := Some file;
+      extract_db rest
+  | "--fault-rate" :: rate :: rest ->
+      (match float_of_string_opt rate with
+      | Some r when r >= 0. && r <= 1. -> Experiments.fault_rate := r
+      | _ ->
+          Printf.eprintf "ignoring --fault-rate %S (want a float in [0,1])\n"
+            rate);
       extract_db rest
   | arg :: rest -> arg :: extract_db rest
 

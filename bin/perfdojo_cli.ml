@@ -78,9 +78,17 @@ let strategy_of_string budget s : (strategy, bool * string) result =
   | "portfolio" -> Ok (Portfolio { budget })
   | s -> Error (true, Printf.sprintf "unknown strategy %S" s)
 
+(* Tolerant load: malformed lines (a writer killed mid-append) are
+   skipped by Tuning.Db.load — surface them as a warning, not a
+   failure, so a torn database never blocks tuning. *)
 let load_db path : (Tuning.Db.t, bool * string) result =
   match Tuning.Db.load path with
-  | Ok db -> Ok db
+  | Ok db ->
+      let skipped = Tuning.Db.skipped_lines db in
+      if skipped > 0 then
+        Printf.eprintf "warning: %s: skipped %d malformed line(s)\n%!" path
+          skipped;
+      Ok db
   | Error msg -> Error (false, msg)
 
 (* shared options *)
@@ -120,6 +128,25 @@ let jobs_arg =
 let db_file_arg =
   let doc = "Tuning database file (JSONL, one schedule record per line)." in
   Arg.(value & opt string "tune.jsonl" & info [ "db" ] ~docv:"FILE" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry budget for transient evaluation failures: each failing \
+     evaluation is retried up to N times (with deterministic backoff) \
+     before being quarantined at +inf."
+  in
+  Arg.(
+    value
+    & opt int Robust.Guard.default.max_retries
+    & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let fault_rate_arg =
+  let doc =
+    "Inject deterministic faults (exceptions, NaNs, delays) into this \
+     fraction of evaluations — a testing knob for the degradation \
+     path, never useful in production.  0 disables injection exactly."
+  in
+  Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"R" ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -202,11 +229,23 @@ let moves_cmd =
 
 let optimize_cmd =
   let run kernel target strategy budget seed jobs emit_c check db_file warm
-      trace_file stats =
+      trace_file stats max_retries fault_rate =
     to_ret
     @@ let* e = find_kernel kernel in
        let* tname, t = target_of_string target in
        let* strat = strategy_of_string budget strategy in
+       let* () =
+         if max_retries < 0 then
+           Error (true, "--max-retries must be non-negative")
+         else Ok ()
+       in
+       let* faults =
+         if fault_rate = 0. then Ok Robust.Faults.none
+         else if fault_rate >= 0. && fault_rate <= 1. then
+           Ok (Robust.Faults.spread ~seed fault_rate)
+         else Error (true, "--fault-rate must lie in [0, 1]")
+       in
+       let guard = { Robust.Guard.default with max_retries } in
        let* db =
          match db_file with
          | None ->
@@ -247,7 +286,7 @@ let optimize_cmd =
        let metrics = if stats then Some (Obs.Metrics.create ()) else None in
        let outcome =
          Perfdojo.optimize ~seed ?cache ~warm_start ~jobs ~obs ?metrics
-           strat t p
+           ~guard ~faults strat t p
        in
        Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
        Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
@@ -259,6 +298,11 @@ let optimize_cmd =
        Printf.printf "naive:      %.3e s\n" t_naive;
        Printf.printf "optimized:  %.3e s (%.2fx, %d evaluations)\n"
          outcome.time_s (t_naive /. outcome.time_s) outcome.evaluations;
+       if outcome.failures > 0 then
+         Printf.printf
+           "failures:   %d evaluation(s) quarantined (search degraded \
+            gracefully)\n"
+           outcome.failures;
        (match cache with
        | Some c ->
            Printf.printf
@@ -372,7 +416,7 @@ let optimize_cmd =
       ret
         (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
        $ seed_arg $ jobs_arg $ c_arg $ check_arg $ db_arg $ warm_arg
-       $ trace_arg $ stats_arg))
+       $ trace_arg $ stats_arg $ retries_arg $ fault_rate_arg))
 
 (* ------------------------------------------------------------------ *)
 (* db: inspect the tuning database                                     *)
@@ -872,14 +916,60 @@ let generate_cmd =
         (const run $ target_arg $ strategy_arg $ budget_arg $ seed_arg
        $ jobs_arg $ out_arg $ db_arg))
 
+(* Uncaught exceptions must not dump a raw backtrace at the user: every
+   predictable failure becomes a one-line `perfdojo: error: ...` on
+   stderr and a non-zero exit.  PERFDOJO_DEBUG=1 re-raises instead (with
+   backtrace recording on), for actual debugging. *)
+let describe_exn = function
+  | Sys_error msg -> Some msg
+  | Unix.Unix_error (err, fn, arg) ->
+      Some
+        (Printf.sprintf "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message err))
+  | Ir.Validate.Invalid errs ->
+      Some
+        ("invalid program: "
+        ^ String.concat "; " (List.map Ir.Validate.error_to_string errs))
+  | Ir.Parser.Parse_error msg -> Some ("parse error: " ^ msg)
+  | Perfdojo.Portfolio_failed members ->
+      Some
+        ("every portfolio member failed: "
+        ^ String.concat "; "
+            (List.map (fun (label, e) -> label ^ ": " ^ e) members))
+  | Failure msg -> Some msg
+  | Invalid_argument msg -> Some msg
+  | _ -> None
+
 let () =
   let doc = "PerfDojo: transformation-centric kernel optimization." in
   let info = Cmd.info "perfdojo" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
-            verify_cmd; game_cmd; replay_cmd; generate_cmd; analyze_cmd;
-            db_cmd;
-          ]))
+  let debug = Sys.getenv_opt "PERFDOJO_DEBUG" = Some "1" in
+  if debug then Printexc.record_backtrace true;
+  (* catch:false: Cmdliner would otherwise swallow body exceptions into
+     its own backtrace box; we want the one-line rendering below (or a
+     real backtrace under PERFDOJO_DEBUG=1). *)
+  let eval () =
+    Cmd.eval ~catch:false
+      (Cmd.group info
+         [
+           list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
+           verify_cmd; game_cmd; replay_cmd; generate_cmd; analyze_cmd;
+           db_cmd;
+         ])
+  in
+  let code =
+    if debug then eval ()
+    else
+      match eval () with
+      | code -> code
+      | exception e ->
+          let msg =
+            match describe_exn e with
+            | Some msg -> msg
+            | None -> Printexc.to_string e
+          in
+          Printf.eprintf "perfdojo: error: %s\n" msg;
+          3
+  in
+  exit code

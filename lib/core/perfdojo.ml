@@ -24,8 +24,13 @@ module Codegen = Codegen
 module Util = Util
 module Tuning = Tuning
 module Obs = Obs
+module Robust = Robust
 
 type target = Machine.Desc.target
+
+exception
+  Portfolio_failed of (string * string) list
+    (* every member crashed: (label, error) per member, in member order *)
 
 (* ------------------------------------------------------------------ *)
 (* The performance game                                                *)
@@ -120,6 +125,7 @@ type outcome = {
   evaluations : int;
   cache_hits : int; (* memoized objective lookups answered from cache *)
   cache_misses : int; (* lookups that ran the performance model *)
+  failures : int; (* evaluations quarantined by the guard *)
 }
 
 let heuristic_pass_for (target : target) caps prog =
@@ -161,14 +167,37 @@ let default_portfolio ?(seed = 1) ~budget () : portfolio_member list =
   ]
 
 let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
-    ?(obs = Obs.Trace.null) ?metrics (strategy : strategy) (target : target)
+    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
+    ?(faults = Robust.Faults.none) (strategy : strategy) (target : target)
     (prog : Ir.Prog.t) : outcome =
   let caps = Machine.caps target in
   let raw_objective p = Machine.time target p in
+  (* Evaluation pipeline: model -> fault injection (tests/bench only;
+     [Faults.none] is the identity) -> memoization.  The guard sits
+     outermost, inside the search layer, so a quarantined evaluation's
+     non-finite score never reaches the cache (memoize skips non-finite
+     stores as a second line of defense). *)
+  let faulty = Robust.Faults.wrap faults raw_objective in
   let objective =
     match cache with
-    | None -> raw_objective
-    | Some c -> Tuning.Cache.memoize c raw_objective
+    | None -> faulty
+    | Some c -> Tuning.Cache.memoize c faulty
+  in
+  let guard = Robust.Guard.instrument ?metrics guard in
+  let failures = ref 0 in
+  (* Guarded single evaluation for the pass/RL strategies and the
+     warm-start replay — same quarantine semantics as the search layer:
+     failure scores +inf, is recorded as a [search.eval_error] event
+     (i = -1) plus robust.* counters, and counts into the outcome. *)
+  let guarded_time p =
+    match Robust.Guard.eval ~cfg:guard objective p with
+    | Ok t -> t
+    | Error f ->
+        incr failures;
+        Robust.Guard.note ~obs ?metrics
+          ~fields:[ Obs.Trace.int "i" (-1) ]
+          f;
+        infinity
   in
   let hits0, misses0 =
     match cache with
@@ -193,28 +222,29 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
         match strategy with
         | Naive ->
             let s = Search.Passes.naive caps prog in
-            (s, objective s, [], 1)
+            (s, guarded_time s, [], 1)
         | Greedy ->
             let s = Search.Passes.greedy caps prog in
-            (s, objective s, [], 1)
+            (s, guarded_time s, [], 1)
         | Heuristic ->
             let s = heuristic_pass_for target caps prog in
-            (s, objective s, [], 1)
+            (s, guarded_time s, [], 1)
         | Sampling { budget; space } ->
             let r =
               if jobs >= 1 then
                 Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
                     let r =
                       Search.Stochastic.random_sampling_parallel ~seed
-                        ~init:warm_start ~obs ?metrics ~pool ~space ~budget
-                        caps objective prog
+                        ~init:warm_start ~obs ?metrics ~guard ~pool ~space
+                        ~budget caps objective prog
                     in
                     export_pool pool;
                     r)
               else
                 Search.Stochastic.random_sampling ~seed ~init:warm_start
-                  ~obs ?metrics ~space ~budget caps objective prog
+                  ~obs ?metrics ~guard ~space ~budget caps objective prog
             in
+            failures := !failures + r.failures;
             (r.best, r.best_time, r.best_moves, r.evals)
         | Annealing { budget; space } ->
             let r =
@@ -222,29 +252,34 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
                 Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
                     let r =
                       Search.Stochastic.simulated_annealing_parallel ~seed
-                        ~init:warm_start ~obs ?metrics ~pool ~space ~budget
-                        caps objective prog
+                        ~init:warm_start ~obs ?metrics ~guard ~pool ~space
+                        ~budget caps objective prog
                     in
                     export_pool pool;
                     r)
               else
                 Search.Stochastic.simulated_annealing ~seed
-                  ~init:warm_start ~obs ?metrics ~space ~budget caps
+                  ~init:warm_start ~obs ?metrics ~guard ~space ~budget caps
                   objective prog
             in
+            failures := !failures + r.failures;
             (r.best, r.best_time, r.best_moves, r.evals)
         | Rl_search cfg ->
+            (* The RL loop evaluates through the same guard: a failed
+               episode step scores +inf instead of killing training. *)
             let r, _agent =
-              Rl.Perfllm.optimize ~cfg ~init:warm_start ~seed caps objective
-                prog
+              Rl.Perfllm.optimize ~cfg ~init:warm_start ~seed caps
+                guarded_time prog
             in
             (r.best, r.best_time, r.best_moves, r.evaluations)
         | Portfolio { budget } ->
             let o, _winner =
               optimize_portfolio ?cache ~warm_start ~jobs ~obs ?metrics
+                ~guard ~faults
                 ~members:(default_portfolio ~seed ~budget ())
                 target prog
             in
+            failures := !failures + o.failures;
             (o.schedule, o.time_s, o.moves, o.evaluations))
   in
   (* Pass strategies cannot absorb a warm-start sequence themselves:
@@ -258,7 +293,7 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
           let warm, applied =
             Search.Stochastic.replay_skipping caps prog warm_start
           in
-          let wt = objective warm in
+          let wt = guarded_time warm in
           if wt < t then (warm, wt, applied, e + 1) else (s, t, m, e + 1))
   in
   let cache_hits, cache_misses =
@@ -270,21 +305,49 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
   (match (cache, metrics) with
   | Some c, Some m -> Tuning.Cache.export c m
   | _ -> ());
-  { schedule; time_s; moves; evaluations; cache_hits; cache_misses }
+  {
+    schedule;
+    time_s;
+    moves;
+    evaluations;
+    cache_hits;
+    cache_misses;
+    failures = !failures;
+  }
 
 (* Race portfolio members across domains; each member runs its own
    sequential search (jobs = 0 inside workers), so a member's result is
    independent of how the race is scheduled.  The winner is the fastest
-   schedule, ties resolved by member order — deterministic for any
-   [jobs].  The returned outcome carries the winner's schedule but the
-   total evaluation count of the whole portfolio (that is what the race
-   actually spent); cache counters are the winner's own. *)
+   schedule among the *surviving* members, ties resolved by member
+   order — deterministic for any [jobs].
+
+   Degradation: members run under [Parallel.Pool.map_result], so one
+   member crashing (a strategy bug, a hostile budget) does not cancel
+   the race — it becomes a [portfolio.member_error] event and a
+   [robust.member_failures] count, and the winner is picked among the
+   survivors.  Only when every member dies does the race raise
+   [Portfolio_failed] with the per-member errors.  A dead member's
+   partial trace buffer is dropped (only its error event is folded), so
+   the merged stream's [search.eval_error] count still equals the
+   summed [failures] of the survivors.
+
+   The returned outcome carries the winner's schedule but the total
+   evaluation count of the surviving members (what the race actually
+   spent and can account for); cache counters are the winner's own;
+   [failures] sums the survivors' quarantined evaluations. *)
 and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
-    ?(obs = Obs.Trace.null) ?metrics ~(members : portfolio_member list)
+    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
+    ?(faults = Robust.Faults.none) ~(members : portfolio_member list)
     (target : target) (prog : Ir.Prog.t) : outcome * string =
   let members = Array.of_list members in
   let n = Array.length members in
   if n = 0 then invalid_arg "optimize_portfolio: empty portfolio";
+  Array.iter
+    (fun m ->
+      match m.pstrategy with
+      | Portfolio _ -> invalid_arg "optimize_portfolio: nested portfolio"
+      | _ -> ())
+    members;
   (* Each member traces into its own buffer sink; the buffers are
      folded into [obs] in member order after the race, prefixed with a
      [portfolio.member] header — so the merged stream does not depend
@@ -297,61 +360,98 @@ and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
   in
   let run i =
     let m = members.(i) in
-    match m.pstrategy with
-    | Portfolio _ -> invalid_arg "optimize_portfolio: nested portfolio"
-    | s ->
-        optimize ~seed:m.pseed ?cache ~warm_start ~obs:sinks.(i) ?metrics s
-          target prog
+    optimize ~seed:m.pseed ?cache ~warm_start ~obs:sinks.(i) ?metrics ~guard
+      ~faults m.pstrategy target prog
   in
   let jobs = max 1 (min jobs n) in
   let instrument = metrics <> None in
-  let outcomes =
+  let results =
     Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
-        let outcomes =
-          Parallel.Pool.map pool run (Array.init n (fun i -> i))
+        let results =
+          Parallel.Pool.map_result pool run (Array.init n (fun i -> i))
         in
         (match metrics with
         | Some m -> Parallel.Pool.export pool m
         | None -> ());
-        outcomes)
+        results)
   in
-  let besti = ref 0 in
+  let dead =
+    Array.to_list results
+    |> List.mapi (fun i r -> (i, r))
+    |> List.filter_map (fun (i, r) ->
+           match r with
+           | Ok _ -> None
+           | Error e -> Some (members.(i).plabel, Printexc.to_string e))
+  in
+  (match (metrics, dead) with
+  | Some m, _ :: _ ->
+      Obs.Metrics.incr m ~by:(List.length dead) "robust.member_failures"
+  | _ -> ());
+  if List.length dead = n then raise (Portfolio_failed dead);
+  let besti = ref (-1) in
   Array.iteri
-    (fun i (o : outcome) ->
-      if o.time_s < outcomes.(!besti).time_s then besti := i)
-    outcomes;
+    (fun i r ->
+      match r with
+      | Error _ -> ()
+      | Ok (o : outcome) ->
+          if !besti < 0 then besti := i
+          else begin
+            match results.(!besti) with
+            | Ok b -> if o.time_s < b.time_s then besti := i
+            | Error _ -> assert false
+          end)
+    results;
+  let besti = !besti in
+  let winner =
+    match results.(besti) with Ok o -> o | Error _ -> assert false
+  in
   if traced then
     Array.iteri
-      (fun i sink ->
-        Obs.Trace.emit obs "portfolio.member" (fun () ->
-            Obs.Trace.
-              [
-                str "label" members.(i).plabel;
-                num "time_s" outcomes.(i).time_s;
-                int "evals" outcomes.(i).evaluations;
-              ]);
-        Obs.Trace.append ~into:obs sink)
-      sinks;
+      (fun i r ->
+        match r with
+        | Ok (o : outcome) ->
+            Obs.Trace.emit obs "portfolio.member" (fun () ->
+                Obs.Trace.
+                  [
+                    str "label" members.(i).plabel;
+                    num "time_s" o.time_s;
+                    int "evals" o.evaluations;
+                  ]);
+            Obs.Trace.append ~into:obs sinks.(i)
+        | Error e ->
+            Obs.Trace.emit obs "portfolio.member_error" (fun () ->
+                Obs.Trace.
+                  [
+                    str "label" members.(i).plabel;
+                    str "error" (Printexc.to_string e);
+                  ]))
+      results;
   if traced then
     Obs.Trace.emit obs "portfolio.winner" (fun () ->
         Obs.Trace.
           [
-            str "label" members.(!besti).plabel;
-            num "time_s" outcomes.(!besti).time_s;
+            str "label" members.(besti).plabel; num "time_s" winner.time_s;
           ]);
-  let total_evals =
-    Array.fold_left (fun acc (o : outcome) -> acc + o.evaluations) 0 outcomes
+  let sum_survivors f =
+    Array.fold_left
+      (fun acc r -> match r with Ok o -> acc + f o | Error _ -> acc)
+      0 results
   in
-  ( { (outcomes.(!besti)) with evaluations = total_evals },
-    members.(!besti).plabel )
+  let total_evals = sum_survivors (fun o -> o.evaluations) in
+  let total_failures = sum_survivors (fun o -> o.failures) in
+  ( { winner with evaluations = total_evals; failures = total_failures },
+    members.(besti).plabel )
 
 (* Best-of: run a heuristic pass and a search, keep the winner — the
    usual production setting. *)
 let optimize_best ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
-    ?obs ?metrics ?(budget = 300) target prog =
-  let h = optimize ~seed ?cache ~warm_start ?obs ?metrics Heuristic target prog in
+    ?obs ?metrics ?guard ?faults ?(budget = 300) target prog =
+  let h =
+    optimize ~seed ?cache ~warm_start ?obs ?metrics ?guard ?faults Heuristic
+      target prog
+  in
   let s =
-    optimize ~seed ?cache ~warm_start ~jobs ?obs ?metrics
+    optimize ~seed ?cache ~warm_start ~jobs ?obs ?metrics ?guard ?faults
       (Annealing { budget; space = Search.Stochastic.Heuristic })
       target prog
   in

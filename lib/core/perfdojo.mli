@@ -17,8 +17,14 @@ module Codegen = Codegen
 module Util = Util
 module Tuning = Tuning
 module Obs = Obs
+module Robust = Robust
 
 type target = Machine.Desc.target
+
+exception Portfolio_failed of (string * string) list
+(** Raised by {!optimize_portfolio} only when {e every} member crashed:
+    one [(label, error)] pair per member, in member order.  A partial
+    crash is survived (see {!optimize_portfolio}). *)
 
 (** The performance game (§2): a session over a program where each move
     is a semantics-preserving transformation and the score is the
@@ -90,6 +96,10 @@ type outcome = {
       (** memoized objective lookups answered from the cache (0 without
           a cache) *)
   cache_misses : int;  (** lookups that ran the performance model *)
+  failures : int;
+      (** evaluations quarantined by {!Robust.Guard} — equal to the
+          number of [search.eval_error] events the run traced (for a
+          portfolio: summed over the surviving members) *)
 }
 
 val heuristic_pass_for :
@@ -108,6 +118,8 @@ val optimize :
   ?jobs:int ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
+  ?faults:Robust.Faults.config ->
   strategy ->
   target ->
   Ir.Prog.t ->
@@ -132,7 +144,18 @@ val optimize :
     the search counters, the per-phase span histograms, pool
     utilization ([Parallel.Pool.export]) and — when [cache] is given —
     the cache counters ([Tuning.Cache.export]).  Both default to off
-    and then cost nothing. *)
+    and then cost nothing.
+
+    Fault tolerance: every evaluation runs through {!Robust.Guard.run}
+    under [guard] (default {!Robust.Guard.default}) — a raising, NaN or
+    fuel-exhausted evaluation is quarantined at +∞ instead of aborting
+    the run, traced as a [search.eval_error] event, counted in
+    [robust.*] metrics and in the outcome's [failures].  Which
+    candidates fail is deterministic, so jobs-invariance extends to the
+    failures themselves.  [faults] (default {!Robust.Faults.none}, the
+    identity) injects deterministic faults into the objective — a
+    test/bench knob for proving the degradation story, never for
+    production use. *)
 
 val optimize_portfolio :
   ?cache:Tuning.Cache.t ->
@@ -140,20 +163,29 @@ val optimize_portfolio :
   ?jobs:int ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
+  ?faults:Robust.Faults.config ->
   members:portfolio_member list ->
   target ->
   Ir.Prog.t ->
   outcome * string
 (** Race an explicit member list; returns the winning outcome (its
-    [evaluations] is the whole portfolio's total — what the race spent)
-    and the winner's label.  Ties resolve by member order, so the result
-    is deterministic for any [jobs].  Raises [Invalid_argument] on an
-    empty list or a nested [Portfolio] member.
+    [evaluations] and [failures] are summed over the surviving members —
+    what the race spent) and the winner's label.  Ties resolve by member
+    order, so the result is deterministic for any [jobs].  Raises
+    [Invalid_argument] on an empty list or a nested [Portfolio] member.
 
-    Each member traces into a private buffer; the buffers fold into
-    [obs] in member order behind [portfolio.member] headers, followed
-    by a [portfolio.winner] event — the merged stream is independent of
-    race scheduling (modulo {!Obs.Trace.strip_timing}). *)
+    Degradation: members run under {!Parallel.Pool.map_result}, so a
+    crashing member does not cancel the race — it becomes a
+    [portfolio.member_error] trace event plus a [robust.member_failures]
+    count (its partial trace buffer is dropped), and the winner is
+    picked among the survivors.  Only when every member dies does the
+    race raise {!Portfolio_failed} with the per-member errors.
+
+    Each surviving member traces into a private buffer; the buffers fold
+    into [obs] in member order behind [portfolio.member] headers,
+    followed by a [portfolio.winner] event — the merged stream is
+    independent of race scheduling (modulo {!Obs.Trace.strip_timing}). *)
 
 val optimize_best :
   ?seed:int ->
@@ -162,6 +194,8 @@ val optimize_best :
   ?jobs:int ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
+  ?faults:Robust.Faults.config ->
   ?budget:int ->
   target ->
   Ir.Prog.t ->

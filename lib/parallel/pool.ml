@@ -178,6 +178,14 @@ let map pool (f : 'a -> 'b) (arr : 'a array) : 'b array =
           results
   end
 
+(* Per-task outcomes, no batch cancellation: wrapping the body in
+   [result] means the fail-fast machinery underneath never sees an
+   exception, so every task runs to a verdict.  The search layer uses
+   this where one faulty evaluation must not abort the batch. *)
+let map_result pool (f : 'a -> 'b) (arr : 'a array) :
+    ('b, exn) result array =
+  map pool (fun x -> match f x with v -> Ok v | exception e -> Error e) arr
+
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -42,6 +42,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     unclaimed tasks are cancelled.  [map] may only be called from one
     submitter at a time (the pool is not a reentrant scheduler). *)
 
+val map_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map_result pool f arr] is {!map} with per-task outcomes and {e no}
+    batch cancellation: a raising task yields [Error] in its own slot
+    while every other task still runs to completion.  Use this where
+    graceful degradation matters (portfolio racing, fault-tolerant
+    evaluation); keep {!map} where one failure should abort the batch. *)
+
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent; the pool must
     not be used afterwards. *)

@@ -1,0 +1,69 @@
+(* Deterministic fault injection.
+
+   The fault decision for one evaluation is drawn from a throwaway RNG
+   seeded by (fseed, structural hash of the input, current guard
+   attempt).  [Hashtbl.hash] is a pure structural hash, so the decision
+   is stable across domains and runs — per-site mutable RNG state would
+   make faults depend on evaluation order and break jobs-invariance. *)
+
+exception Injected of string
+
+type config = {
+  fseed : int;
+  raise_rate : float;
+  transient_rate : float;
+  nan_rate : float;
+  delay_rate : float;
+  delay_cost : int;
+}
+
+let none =
+  {
+    fseed = 0;
+    raise_rate = 0.0;
+    transient_rate = 0.0;
+    nan_rate = 0.0;
+    delay_rate = 0.0;
+    delay_cost = 0;
+  }
+
+let spread ?(seed = 0) rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Faults.spread: rate not in [0,1]";
+  {
+    fseed = seed;
+    raise_rate = rate /. 2.0;
+    transient_rate = rate /. 8.0;
+    nan_rate = rate /. 4.0;
+    delay_rate = rate /. 8.0;
+    delay_cost = 1_000;
+  }
+
+let active cfg =
+  cfg.raise_rate > 0.0 || cfg.transient_rate > 0.0 || cfg.nan_rate > 0.0
+  || cfg.delay_rate > 0.0
+
+let total_rate cfg =
+  cfg.raise_rate +. cfg.transient_rate +. cfg.nan_rate +. cfg.delay_rate
+
+(* One uniform draw per (input, attempt).  [Hashtbl.hash] only folds a
+   bounded prefix of the structure by default; widen the meaningful
+   limit so distinct programs land in distinct fault cells. *)
+let draw cfg x =
+  let h = Hashtbl.hash_param 128 256 x in
+  let k = Guard.attempt () in
+  let rng = Util.Rng.create (cfg.fseed lxor (h * 0x9e3779b1) lxor (k * 0x85ebca6b)) in
+  Util.Rng.float rng
+
+let wrap cfg (objective : 'a -> float) : 'a -> float =
+  if not (active cfg) then objective
+  else fun x ->
+    let u = draw cfg x in
+    if u < cfg.raise_rate then raise (Injected "injected fault")
+    else if u < cfg.raise_rate +. cfg.transient_rate then
+      raise (Guard.Transient "injected transient fault")
+    else if u < cfg.raise_rate +. cfg.transient_rate +. cfg.nan_rate then
+      Float.nan
+    else begin
+      if u < total_rate cfg then Guard.tick ~cost:cfg.delay_cost ();
+      objective x
+    end

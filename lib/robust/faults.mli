@@ -1,0 +1,45 @@
+(** Deterministic fault injection for objective evaluations — the test
+    and bench harness behind the degradation story.
+
+    [wrap cfg objective] returns an objective that fails on a
+    configurable fraction of inputs: raising {!Injected}, raising
+    {!Guard.Transient} (so the guard's retry path is exercised), scoring
+    NaN, or burning {!Guard.tick} fuel before answering.
+
+    Whether a given input faults — and how — is a pure function of
+    [(fseed, Hashtbl.hash input, Guard.attempt ())]: no mutable harness
+    state, no call-order dependence.  Two pool workers evaluating the
+    same candidate fault identically, which is what lets the search
+    layer's jobs-invariance extend to {e which candidates failed}; and
+    because the current {!Guard.attempt} index is mixed in, a transient
+    fault on attempt 0 can succeed on the retry, deterministically. *)
+
+exception Injected of string
+(** The permanent injected failure (never retried by the default
+    guard). *)
+
+type config = {
+  fseed : int;  (** fault stream identity, independent of search seed *)
+  raise_rate : float;  (** probability of raising {!Injected} *)
+  transient_rate : float;  (** probability of raising {!Guard.Transient} *)
+  nan_rate : float;  (** probability of returning NaN *)
+  delay_rate : float;  (** probability of burning [delay_cost] fuel *)
+  delay_cost : int;  (** fuel units per delay fault (wall-clock free) *)
+}
+
+val none : config
+(** All rates zero; {!wrap} with this config returns the objective
+    unchanged (physically equal — zero overhead at fault rate 0). *)
+
+val spread : ?seed:int -> float -> config
+(** [spread rate] distributes a total fault [rate] across the classes:
+    half raising, a quarter NaN, an eighth each transient and delay.
+    The shape used by the bench/CLI [--fault-rate] knob. *)
+
+val active : config -> bool
+(** Whether any rate is positive. *)
+
+val total_rate : config -> float
+
+val wrap : config -> ('a -> float) -> 'a -> float
+(** Wrap an objective; identity when the config is not {!active}. *)

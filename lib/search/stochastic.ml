@@ -30,6 +30,7 @@ type result = {
   best_moves : string list;
   curve : float array; (* best-so-far runtime after each evaluation *)
   evals : int;
+  failures : int; (* evaluations quarantined by the guard *)
 }
 
 (* Replay a sequence of move names from [prog], skipping moves that are
@@ -94,6 +95,19 @@ let eval_moves ?filter caps (objective : objective) prog names parent_runtime
     =
   let p, applied = replay_skipping ?filter caps prog names in
   { moves = applied; prog = p; runtime = objective p; parent_runtime }
+
+(* ------------------------------------------------------------------ *)
+(* Guarded evaluation and quarantine                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A failed evaluation is quarantined instead of aborting the run: the
+   candidate keeps its slot in the trajectory with runtime +inf, so it
+   is never the best, never accepted by annealing, and (pushed with
+   weight 0) never selected as a sampling parent.  [prog] is reset to
+   the root so a quarantined entry carries no partially-transformed
+   program. *)
+let quarantined root parent_runtime =
+  { moves = []; prog = root; runtime = infinity; parent_runtime }
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -178,6 +192,45 @@ let expand ?(filter = fun (_ : Xforms.instance) -> true) space caps rng root
             Some (inst.apply parent.prog) ))
   | Heuristic -> (mutate ~filter caps rng root parent.moves, None)
 
+(* Expansion runs outside the guard — it consumes the search RNG, so a
+   transient retry must not re-draw — but is still protected: a
+   transform raising during [expand] quarantines the candidate exactly
+   like an objective raising during evaluation. *)
+let expand_checked ?filter space caps rng root parent =
+  match expand ?filter space caps rng root parent with
+  | v -> Ok v
+  | exception e -> Error (Robust.Guard.rejected_of_exn e)
+
+(* Grow and evaluate one child under the guard, to a
+   (candidate, failure option) pair.  The guard wraps replay and
+   evaluation together, so a transient failure re-runs both — replay
+   draws no randomness, so the retry is deterministic. *)
+let guarded_child ~guard ?filter space caps rng root objective
+    (parent : candidate) : candidate * Robust.Guard.failure option =
+  let outcome =
+    match expand_checked ?filter space caps rng root parent with
+    | Error f -> Error f
+    | Ok (child_moves, direct) ->
+        Robust.Guard.run ~cfg:guard
+          ~cost:(fun c -> c.runtime)
+          (fun () ->
+            match direct with
+            | Some p ->
+                {
+                  moves = child_moves;
+                  prog = p;
+                  runtime = objective p;
+                  parent_runtime = parent.runtime;
+                }
+            | None ->
+                eval_moves ?filter caps objective root child_moves
+                  parent.runtime)
+          ()
+  in
+  match outcome with
+  | Ok c -> (c, None)
+  | Error f -> (quarantined root parent.runtime, Some f)
+
 let run_curve budget f =
   let curve = Array.make budget infinity in
   let best = ref infinity in
@@ -194,34 +247,44 @@ let run_curve budget f =
 
 (* Warm-start: replay a recorded move sequence from the root and return
    it as a candidate to seed the search with — tuning resumes from the
-   database's best instead of restarting cold. *)
-let warm_candidate ?filter caps objective root (init : string list) :
-    candidate option =
-  if init = [] then None
-  else Some (eval_moves ?filter caps objective root init infinity)
+   database's best instead of restarting cold.  Guarded like every
+   other evaluation: a database sequence recorded by an older build may
+   no longer replay, and that must degrade to a cold start, not a
+   crash. *)
+let warm_candidate ~guard ?filter caps objective root (init : string list) :
+    (candidate option, Robust.Guard.failure) Stdlib.result =
+  if init = [] then Ok None
+  else
+    Result.map Option.some
+      (Robust.Guard.run ~cfg:guard
+         ~cost:(fun c -> c.runtime)
+         (fun () -> eval_moves ?filter caps objective root init infinity)
+         ())
 
 (* The candidate pool and its selection weights live in growable buffers
    (amortized O(1) push) — the previous per-evaluation [Array.append]
    made pool growth O(budget^2).  The weight of a candidate depends only
    on its parent's runtime, so it is computed once at push time;
-   [weighted_index_n] samples over the live prefix without copying. *)
-let make_pool ?filter caps objective root root_cand init =
+   [weighted_index_n] samples over the live prefix without copying.
+   Quarantined candidates are pushed with weight 0: they keep their
+   trajectory slot but are never drawn as parents. *)
+let make_pool root_cand warm =
   let pool = Util.Dynarray.create ~capacity:64 root_cand in
   let weights = Util.Dynarray.create ~capacity:64 0.0 in
-  let push c =
+  let push_weighted w c =
     Util.Dynarray.push pool c;
-    Util.Dynarray.push weights (1.0 /. Float.max c.parent_runtime 1e-12)
+    Util.Dynarray.push weights w
   in
+  let push c = push_weighted (1.0 /. Float.max c.parent_runtime 1e-12) c in
+  let push_quarantined c = push_weighted 0.0 c in
   push root_cand;
-  (match warm_candidate ?filter caps objective root init with
-  | None -> ()
-  | Some w -> push { w with parent_runtime = root_cand.runtime });
+  (match warm with None -> () | Some w -> push w);
   let best =
     Util.Dynarray.fold_left
       (fun acc c -> if c.runtime < acc.runtime then c else acc)
       root_cand pool
   in
-  (pool, weights, push, best)
+  (pool, weights, push, push_quarantined, best)
 
 let pick_parent rng pool weights =
   Util.Dynarray.get pool
@@ -229,45 +292,75 @@ let pick_parent rng pool weights =
        (Util.Dynarray.unsafe_data weights)
        (Util.Dynarray.length weights))
 
+(* A failure counter plus its recorder.  Every quarantined evaluation
+   becomes one [search.eval_error] event (the [i] field is -1 for the
+   root evaluation, -2 for the warm-start replay, the step index
+   otherwise) and bumps the robust.* counters — so [result.failures]
+   always equals the number of eval_error events the run traced. *)
+let make_noter ?metrics obs =
+  let failures = ref 0 in
+  let note ~i f =
+    incr failures;
+    Robust.Guard.note ~obs ?metrics ~fields:[ Obs.Trace.int "i" i ] f
+  in
+  (failures, note)
+
+(* Root failure degrades to an infinite root score: search still runs,
+   any finite candidate immediately becomes best. *)
+let guarded_root ~guard ~note objective root =
+  match Robust.Guard.eval ~cfg:guard objective root with
+  | Ok t -> t
+  | Error f ->
+      note ~i:(-1) f;
+      infinity
+
+let guarded_warm ~guard ~note ?filter caps objective root ~root_time init =
+  match warm_candidate ~guard ?filter caps objective root init with
+  | Ok None -> None
+  | Ok (Some w) -> Some { w with parent_runtime = root_time }
+  | Error f ->
+      note ~i:(-2) f;
+      None
+
 let random_sampling ?(seed = 1) ?filter ?(init = [])
-    ?(obs = Obs.Trace.null) ?metrics ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
+    ~(space : space) ~(budget : int) caps (objective : objective)
+    (root : Ir.Prog.t) : result =
+  let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
-  let root_time = objective root in
+  let failures, note = make_noter ?metrics obs in
+  let root_time = guarded_root ~guard ~note objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
   emit_start obs ~meth:"random-sampling" ~space ~budget ~seed ~root_time;
-  let pool, weights, push, best0 =
-    make_pool ?filter caps objective root root_cand init
+  let warm =
+    guarded_warm ~guard ~note ?filter caps objective root ~root_time init
+  in
+  let pool, weights, push, push_quarantined, best0 =
+    make_pool root_cand warm
   in
   let best = ref best0 in
   let curve =
     run_curve budget (fun i ->
         let parent = pick_parent rng pool weights in
-        let child_moves, direct = expand ?filter space caps rng root parent in
-        let child =
-          match direct with
-          | Some p ->
-              {
-                moves = child_moves;
-                prog = p;
-                runtime = objective p;
-                parent_runtime = parent.runtime;
-              }
-          | None ->
-              eval_moves ?filter caps objective root child_moves
-                parent.runtime
+        let child, failed =
+          guarded_child ~guard ?filter space caps rng root objective parent
         in
-        push child;
-        if child.runtime < !best.runtime then begin
-          best := child;
-          emit_best obs ~i child
-        end;
-        emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
-          (fun () -> []);
-        note_step ?metrics ~runtime:child.runtime ();
+        (match failed with
+        | Some f ->
+            note ~i f;
+            push_quarantined child
+        | None ->
+            push child;
+            if child.runtime < !best.runtime then begin
+              best := child;
+              emit_best obs ~i child
+            end;
+            emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+              (fun () -> []);
+            note_step ?metrics ~runtime:child.runtime ());
         child.runtime)
   in
   {
@@ -276,6 +369,7 @@ let random_sampling ?(seed = 1) ?filter ?(init = [])
     best_moves = !best.moves;
     curve;
     evals = budget;
+    failures = !failures;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -299,37 +393,37 @@ let random_sampling ?(seed = 1) ?filter ?(init = [])
 let default_batch = 8
 
 (* Grow a child from [parent] with the task's own RNG stream and
-   evaluate it — the unit of parallel work.  [obs] is the task's
-   private buffer sink (or [null]); the emitted [search.eval] event
-   carries the deterministic batch slot plus a wall-clock [dur_s]. *)
-let child_task ?filter ~obs ~slot space caps root objective parent task_rng
-    () : candidate =
+   evaluate it under the guard — the unit of parallel work.  [obs] is
+   the task's private buffer sink (or [null]); a successful evaluation
+   emits a [search.eval] event carrying the deterministic batch slot
+   plus a wall-clock [dur_s], a quarantined one emits the
+   [search.eval_error] event (and bumps robust.* counters) right here
+   on the worker — the fold only counts it, so each failure is recorded
+   exactly once.  Whether a candidate fails is deterministic (see
+   {!Robust.Faults}), so the merged event stream stays a pure function
+   of (seed, batch). *)
+let child_task ?filter ?metrics ~guard ~obs ~slot space caps root objective
+    parent task_rng () : candidate * Robust.Guard.failure option =
   let t0 = if Obs.Trace.enabled obs then Obs.Span.now () else 0. in
-  let child =
-    let child_moves, direct =
-      expand ?filter space caps task_rng root parent
-    in
-    match direct with
-    | Some p ->
-        {
-          moves = child_moves;
-          prog = p;
-          runtime = objective p;
-          parent_runtime = parent.runtime;
-        }
-    | None ->
-        eval_moves ?filter caps objective root child_moves parent.runtime
+  let child, failed =
+    guarded_child ~guard ?filter space caps task_rng root objective parent
   in
-  if Obs.Trace.enabled obs then
-    Obs.Trace.emit obs "search.eval" (fun () ->
-        Obs.Trace.
-          [
-            int "slot" slot;
-            int "n_moves" (List.length child.moves);
-            num "runtime" child.runtime;
-            num "dur_s" (Float.max 0. (Obs.Span.now () -. t0));
-          ]);
-  child
+  (match failed with
+  | Some f ->
+      Robust.Guard.note ~obs ?metrics
+        ~fields:[ Obs.Trace.int "slot" slot ]
+        f
+  | None ->
+      if Obs.Trace.enabled obs then
+        Obs.Trace.emit obs "search.eval" (fun () ->
+            Obs.Trace.
+              [
+                int "slot" slot;
+                int "n_moves" (List.length child.moves);
+                num "runtime" child.runtime;
+                num "dur_s" (Float.max 0. (Obs.Span.now () -. t0));
+              ]));
+  (child, failed)
 
 (* [prepare sink ~slot] builds one task thunk writing its events into
    [sink]; [fold i child] consumes results in slot order.  When tracing
@@ -365,36 +459,47 @@ let run_batched ~obs ~batch ~pool ~budget ~prepare ~fold =
   curve
 
 let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
-    ?(obs = Obs.Trace.null) ?metrics ?(batch = default_batch)
-    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
+    ?(batch = default_batch) ~(pool : Parallel.Pool.t) ~(space : space)
+    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+  let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
-  let root_time = objective root in
+  let failures, note = make_noter ?metrics obs in
+  let root_time = guarded_root ~guard ~note objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
   in
   emit_start obs ~meth:"random-sampling-parallel" ~space ~budget ~seed
     ~root_time;
-  let cands, weights, push, best0 =
-    make_pool ?filter caps objective root root_cand init
+  let warm =
+    guarded_warm ~guard ~note ?filter caps objective root ~root_time init
+  in
+  let cands, weights, push, push_quarantined, best0 =
+    make_pool root_cand warm
   in
   let best = ref best0 in
   let prepare sink ~slot =
     let parent = pick_parent rng cands weights in
     let task_rng = Util.Rng.split rng in
-    child_task ?filter ~obs:sink ~slot space caps root objective parent
-      task_rng
+    child_task ?filter ?metrics ~guard ~obs:sink ~slot space caps root
+      objective parent task_rng
   in
-  let fold i child =
-    push child;
-    if child.runtime < !best.runtime then begin
-      best := child;
-      emit_best obs ~i child
-    end;
-    emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime (fun () ->
-        []);
-    note_step ?metrics ~runtime:child.runtime ();
+  let fold i (child, failed) =
+    (match failed with
+    | Some _ ->
+        (* the worker already recorded the event and counters *)
+        incr failures;
+        push_quarantined child
+    | None ->
+        push child;
+        if child.runtime < !best.runtime then begin
+          best := child;
+          emit_best obs ~i child
+        end;
+        emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+          (fun () -> []);
+        note_step ?metrics ~runtime:child.runtime ());
     !best.runtime
   in
   let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
@@ -404,14 +509,18 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
     best_moves = !best.moves;
     curve;
     evals = budget;
+    failures = !failures;
   }
 
 let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
-    ?(obs = Obs.Trace.null) ?metrics ?(t0 = 0.5) ?(cooling = 0.995)
-    ?(batch = default_batch) ~(pool : Parallel.Pool.t) ~(space : space)
-    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
+    ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch)
+    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
+  let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
-  let root_time = objective root in
+  let failures, note = make_noter ?metrics obs in
+  let root_time = guarded_root ~guard ~note objective root in
   let root_cand =
     { moves = []; prog = root; runtime = root_time;
       parent_runtime = root_time }
@@ -420,9 +529,11 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
     ~root_time;
   let current =
     ref
-      (match warm_candidate ?filter caps objective root init with
-      | Some w when w.runtime <= root_time ->
-          { w with parent_runtime = root_time }
+      (match
+         guarded_warm ~guard ~note ?filter caps objective root ~root_time
+           init
+       with
+      | Some w when w.runtime <= root_time -> w
       | Some _ | None -> root_cand)
   in
   let best = ref !current in
@@ -431,82 +542,18 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
     (* all proposals of a round branch off the round-start state *)
     let parent = !current in
     let task_rng = Util.Rng.split rng in
-    child_task ?filter ~obs:sink ~slot space caps root objective parent
-      task_rng
+    child_task ?filter ?metrics ~guard ~obs:sink ~slot space caps root
+      objective parent task_rng
   in
-  let fold i child =
-    let accept =
-      child.runtime <= !current.runtime
-      ||
-      let delta =
-        (child.runtime -. !current.runtime)
-        /. Float.max !current.runtime 1e-12
-      in
-      Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
-    in
-    if accept then current := child;
-    if child.runtime < !best.runtime then begin
-      best := child;
-      emit_best obs ~i child
-    end;
-    emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime (fun () ->
-        [ Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp ]);
-    note_step ?metrics ~accepted:accept ~temp:!temp ~runtime:child.runtime
-      ();
-    temp := !temp *. cooling;
-    !best.runtime
-  in
-  let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
-  {
-    best = !best.prog;
-    best_time = !best.runtime;
-    best_moves = !best.moves;
-    curve;
-    evals = budget;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Simulated annealing                                                 *)
-(* ------------------------------------------------------------------ *)
-
-let simulated_annealing ?(seed = 1) ?filter ?(init = [])
-    ?(obs = Obs.Trace.null) ?metrics ?(t0 = 0.5) ?(cooling = 0.995)
-    ~(space : space) ~(budget : int) caps (objective : objective)
-    (root : Ir.Prog.t) : result =
-  let rng = Util.Rng.create seed in
-  let root_time = objective root in
-  let root_cand =
-    { moves = []; prog = root; runtime = root_time;
-      parent_runtime = root_time }
-  in
-  emit_start obs ~meth:"simulated-annealing" ~space ~budget ~seed
-    ~root_time;
-  let current =
-    ref
-      (match warm_candidate ?filter caps objective root init with
-      | Some w when w.runtime <= root_time ->
-          { w with parent_runtime = root_time }
-      | Some _ | None -> root_cand)
-  in
-  let best = ref !current in
-  let temp = ref t0 in
-  let curve =
-    run_curve budget (fun i ->
-        let child_moves, direct = expand ?filter space caps rng root !current
-        in
-        let child =
-          match direct with
-          | Some p ->
-              {
-                moves = child_moves;
-                prog = p;
-                runtime = objective p;
-                parent_runtime = !current.runtime;
-              }
-          | None ->
-              eval_moves ?filter caps objective root child_moves
-                !current.runtime
-        in
+  let fold i (child, failed) =
+    (match failed with
+    | Some _ ->
+        (* quarantined: never accepted, never best; the cooling schedule
+           still advances so temperature stays a function of the step
+           index alone.  No acceptance RNG draw happens — the failure is
+           deterministic, so the draw sequence is too. *)
+        incr failures
+    | None ->
         let accept =
           child.runtime <= !current.runtime
           ||
@@ -525,7 +572,83 @@ let simulated_annealing ?(seed = 1) ?filter ?(init = [])
           (fun () ->
             [ Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp ]);
         note_step ?metrics ~accepted:accept ~temp:!temp
-          ~runtime:child.runtime ();
+          ~runtime:child.runtime ());
+    temp := !temp *. cooling;
+    !best.runtime
+  in
+  let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
+  {
+    best = !best.prog;
+    best_time = !best.runtime;
+    best_moves = !best.moves;
+    curve;
+    evals = budget;
+    failures = !failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Simulated annealing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let simulated_annealing ?(seed = 1) ?filter ?(init = [])
+    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
+    ?(t0 = 0.5) ?(cooling = 0.995) ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
+  let guard = Robust.Guard.instrument ?metrics guard in
+  let rng = Util.Rng.create seed in
+  let failures, note = make_noter ?metrics obs in
+  let root_time = guarded_root ~guard ~note objective root in
+  let root_cand =
+    { moves = []; prog = root; runtime = root_time;
+      parent_runtime = root_time }
+  in
+  emit_start obs ~meth:"simulated-annealing" ~space ~budget ~seed
+    ~root_time;
+  let current =
+    ref
+      (match
+         guarded_warm ~guard ~note ?filter caps objective root ~root_time
+           init
+       with
+      | Some w when w.runtime <= root_time -> w
+      | Some _ | None -> root_cand)
+  in
+  let best = ref !current in
+  let temp = ref t0 in
+  let curve =
+    run_curve budget (fun i ->
+        let child, failed =
+          guarded_child ~guard ?filter space caps rng root objective
+            !current
+        in
+        (match failed with
+        | Some f ->
+            (* quarantined: never accepted, never best; cooling still
+               advances so temperature stays a function of the step
+               index alone *)
+            note ~i f
+        | None ->
+            let accept =
+              child.runtime <= !current.runtime
+              ||
+              let delta =
+                (child.runtime -. !current.runtime)
+                /. Float.max !current.runtime 1e-12
+              in
+              Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
+            in
+            if accept then current := child;
+            if child.runtime < !best.runtime then begin
+              best := child;
+              emit_best obs ~i child
+            end;
+            emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+              (fun () ->
+                [
+                  Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp;
+                ]);
+            note_step ?metrics ~accepted:accept ~temp:!temp
+              ~runtime:child.runtime ());
         temp := !temp *. cooling;
         child.runtime)
   in
@@ -535,4 +658,5 @@ let simulated_annealing ?(seed = 1) ?filter ?(init = [])
     best_moves = !best.moves;
     curve;
     evals = budget;
+    failures = !failures;
   }

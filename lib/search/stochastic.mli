@@ -25,6 +25,9 @@ type result = {
   best_moves : string list;  (** replayable via {!replay_skipping} *)
   curve : float array;  (** best-so-far runtime after each evaluation *)
   evals : int;
+  failures : int;
+      (** evaluations quarantined by the guard — equal to the number of
+          [search.eval_error] events the run traced *)
 }
 
 val replay_skipping :
@@ -47,12 +50,28 @@ val mutate :
 (** One structural mutation of a move sequence (replace / delete /
     insert at a random point). *)
 
+(** {2 Fault tolerance}
+
+    Every evaluation — root, warm-start replay, and each candidate —
+    runs through {!Robust.Guard.run} under [guard] (default
+    {!Robust.Guard.default}).  A failed evaluation is {e quarantined}
+    rather than fatal: its trajectory slot scores +∞, it is never the
+    best, never accepted by annealing, never drawn as a sampling parent,
+    and (being non-finite) never enters a memoization cache.  Each
+    quarantine is one [search.eval_error] trace event plus [robust.*]
+    counter bumps, and [result.failures] counts them.
+
+    Failures are part of the jobs-invariance guarantee: the guard and
+    the {!Robust.Faults} harness are deterministic per candidate, so
+    [jobs = 1] and [jobs = N] agree on {e which} candidates failed. *)
+
 val random_sampling :
   ?seed:int ->
   ?filter:(Transform.Xforms.instance -> bool) ->
   ?init:string list ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
   space:space ->
   budget:int ->
   Transform.Xforms.caps ->
@@ -76,6 +95,7 @@ val simulated_annealing :
   ?init:string list ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
   ?t0:float ->
   ?cooling:float ->
   space:space ->
@@ -118,6 +138,7 @@ val random_sampling_parallel :
   ?init:string list ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
   ?batch:int ->
   pool:Parallel.Pool.t ->
   space:space ->
@@ -140,6 +161,7 @@ val simulated_annealing_parallel :
   ?init:string list ->
   ?obs:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
   ?t0:float ->
   ?cooling:float ->
   ?batch:int ->

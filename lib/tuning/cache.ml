@@ -59,7 +59,12 @@ let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
       Mutex.unlock s.lock;
       let time = objective p in
       lock_shard s;
-      if not (Hashtbl.mem s.table fp) then Hashtbl.add s.table fp time;
+      (* Non-finite scores are never stored: a quarantined (failed)
+         evaluation must not poison warm restarts — a transient fault
+         would otherwise be remembered as "this schedule is infinitely
+         slow" for the lifetime of the cache. *)
+      if Float.is_finite time && not (Hashtbl.mem s.table fp) then
+        Hashtbl.add s.table fp time;
       Mutex.unlock s.lock;
       time
 

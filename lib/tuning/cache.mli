@@ -22,7 +22,12 @@ val create : unit -> t
 val memoize : t -> (Ir.Prog.t -> float) -> Ir.Prog.t -> float
 (** [memoize cache objective] behaves exactly like [objective] but
     evaluates each distinct program at most once per cache (up to
-    concurrent first-evaluation races, see above). *)
+    concurrent first-evaluation races, see above).
+
+    Non-finite results (NaN/∞ — a failed or quarantined evaluation) are
+    returned but never stored, so a transient fault is not remembered
+    for the lifetime of the cache; a raising [objective] stores nothing
+    either (the exception propagates before the store). *)
 
 val hits : t -> int
 (** Evaluations answered from the cache. *)

@@ -5,9 +5,14 @@
    line in Record.compare_order, so save -> load -> save is
    byte-identical and diffs stay reviewable. *)
 
-type t = { table : (string, Record.t) Hashtbl.t }
+type t = {
+  table : (string, Record.t) Hashtbl.t;
+  mutable skipped : int; (* malformed lines tolerated by the last load *)
+}
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { table = Hashtbl.create 64; skipped = 0 }
+
+let skipped_lines (db : t) = db.skipped
 
 let add (db : t) (r : Record.t) : [ `Inserted | `Improved | `Duplicate ] =
   let k = Record.key r in
@@ -28,29 +33,39 @@ let records (db : t) : Record.t list =
   Hashtbl.fold (fun _ r acc -> r :: acc) db.table []
   |> List.sort Record.compare_order
 
-let load (path : string) : (t, string) result =
+(* Tolerant by default: a malformed line — typically the torn final
+   line of a writer killed mid-append — is skipped and counted rather
+   than bricking the whole database (and with it every future warm
+   start).  [~strict:true] restores the old fail-on-first-bad-line
+   contract for callers that want corruption to be loud. *)
+let load ?(strict = false) (path : string) : (t, string) result =
   if not (Sys.file_exists path) then Ok (create ())
   else begin
-    let ic = open_in path in
-    let db = create () in
-    let rec loop lineno =
-      match input_line ic with
-      | exception End_of_file -> Ok db
-      | line ->
-          let line = String.trim line in
-          if line = "" then loop (lineno + 1)
-          else begin
-            match Record.of_json line with
-            | Ok r ->
-                ignore (add db r);
-                loop (lineno + 1)
-            | Error msg ->
-                Error (Printf.sprintf "%s:%d: %s" path lineno msg)
-          end
-    in
-    let result = loop 1 in
-    close_in ic;
-    result
+    match open_in path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+        let db = create () in
+        let rec loop lineno =
+          match input_line ic with
+          | exception End_of_file -> Ok db
+          | line ->
+              let line = String.trim line in
+              if line = "" then loop (lineno + 1)
+              else begin
+                match Record.of_json line with
+                | Ok r ->
+                    ignore (add db r);
+                    loop (lineno + 1)
+                | Error msg when strict ->
+                    Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+                | Error _ ->
+                    db.skipped <- db.skipped + 1;
+                    loop (lineno + 1)
+              end
+        in
+        let result = loop 1 in
+        close_in ic;
+        result
   end
 
 (* Crash-safe, concurrent-writer-safe save.
@@ -67,11 +82,13 @@ let load (path : string) : (t, string) result =
    [save] therefore re-reads the file first and folds the on-disk
    records through the same [add] improve/dedupe rules before writing,
    so a concurrent writer's deposits survive — each key keeps the
-   fastest record either side knew.  An unreadable (malformed) on-disk
-   file is not merged: save still persists this database's records
-   rather than losing the run's work.  The merge also flows back into
-   [db] itself, keeping the in-memory view consistent with what was
-   written. *)
+   fastest record either side knew.  The tolerant [load] means a torn
+   trailing line no longer discards the whole disk-side merge: the
+   intact records still survive, the torn one is dropped and the
+   rewritten file is clean again.  An unreadable file is not merged:
+   save still persists this database's records rather than losing the
+   run's work.  The merge also flows back into [db] itself, keeping the
+   in-memory view consistent with what was written. *)
 let save (db : t) (path : string) : unit =
   (match load path with
   | Ok disk -> List.iter (fun r -> ignore (add db r)) (records disk)

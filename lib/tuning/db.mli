@@ -11,9 +11,20 @@ type t
 val create : unit -> t
 (** An empty in-memory database. *)
 
-val load : string -> (t, string) result
+val load : ?strict:bool -> string -> (t, string) result
 (** Load a JSONL file.  A missing file is an empty database (first run
-    bootstraps it); a malformed line is an [Error] naming the line. *)
+    bootstraps it).
+
+    Malformed lines — typically the torn final line of a writer killed
+    mid-append — are skipped and counted ({!skipped_lines}), so a crash
+    never bricks future warm starts; [~strict:true] restores the old
+    contract where the first malformed line is an [Error] naming it.
+    An unreadable file (permissions, I/O) is an [Error] either way. *)
+
+val skipped_lines : t -> int
+(** Malformed lines tolerated by the {!load} that produced this
+    database; [0] for a strict or clean load.  Callers surface it as a
+    warning (the CLI does). *)
 
 val save : t -> string -> unit
 (** Write all records, one JSON object per line, in the stable

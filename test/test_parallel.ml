@@ -93,4 +93,78 @@ let pool_tests =
           (Parallel.Pool.default_jobs () >= 1));
   ]
 
-let () = Alcotest.run "parallel" [ ("pool", pool_tests) ]
+(* map_result: per-task outcomes, no batch cancellation — the graceful
+   half of the pool API that the portfolio race is built on. *)
+let map_result_tests =
+  [
+    Alcotest.test_case "all-ok preserves order" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            let out =
+              Parallel.Pool.map_result pool
+                (fun x -> x * x)
+                (Array.init 50 (fun i -> i))
+            in
+            Array.iteri
+              (fun i r ->
+                match r with
+                | Ok v -> Alcotest.(check int) "slot" (i * i) v
+                | Error _ -> Alcotest.fail "unexpected error")
+              out));
+    Alcotest.test_case "failures land in their slots, rest completes"
+      `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            let out =
+              Parallel.Pool.map_result pool
+                (fun x -> if x mod 7 = 3 then failwith "boom" else 2 * x)
+                (Array.init 64 (fun i -> i))
+            in
+            Array.iteri
+              (fun i r ->
+                match (r, i mod 7 = 3) with
+                | Ok v, false -> Alcotest.(check int) "value" (2 * i) v
+                | Error (Failure m), true ->
+                    Alcotest.(check string) "msg" "boom" m
+                | Ok _, true -> Alcotest.failf "slot %d should have failed" i
+                | Error _, _ -> Alcotest.failf "slot %d wrong outcome" i)
+              out));
+    Alcotest.test_case "all-fail still returns every slot" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+            let out =
+              Parallel.Pool.map_result pool
+                (fun x -> failwith (string_of_int x))
+                (Array.init 16 (fun i -> i))
+            in
+            Alcotest.(check int) "all slots" 16 (Array.length out);
+            Array.iteri
+              (fun i r ->
+                match r with
+                | Error (Failure m) ->
+                    Alcotest.(check string) "msg" (string_of_int i) m
+                | _ -> Alcotest.fail "expected per-slot error")
+              out));
+    Alcotest.test_case "jobs=1 behaves identically" `Quick (fun () ->
+        Parallel.Pool.with_pool ~jobs:1 (fun pool ->
+            let out =
+              Parallel.Pool.map_result pool
+                (fun x -> if x = 2 then raise Exit else x)
+                [| 0; 1; 2; 3 |]
+            in
+            Alcotest.(check bool) "slot 2 failed" true (out.(2) = Error Exit);
+            Alcotest.(check bool) "slot 3 survived" true (out.(3) = Ok 3)));
+    Alcotest.test_case "pool stays usable after map_result failures" `Quick
+      (fun () ->
+        Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+            ignore
+              (Parallel.Pool.map_result pool
+                 (fun _ -> failwith "x")
+                 (Array.init 8 (fun i -> i)));
+            let out =
+              Parallel.Pool.map pool (fun x -> x + 1)
+                (Array.init 8 (fun i -> i))
+            in
+            Alcotest.(check int) "recovered" 8 out.(7)));
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ("pool", pool_tests); ("map_result", map_result_tests) ]

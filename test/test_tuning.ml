@@ -241,18 +241,72 @@ let db_tests =
         match Tuning.Db.load "/nonexistent/definitely-not-here.jsonl" with
         | Ok db -> Alcotest.(check int) "empty" 0 (Tuning.Db.size db)
         | Error e -> Alcotest.failf "expected empty db, got error %s" e);
-    Alcotest.test_case "load reports the bad line" `Quick (fun () ->
+    Alcotest.test_case "strict load reports the bad line" `Quick (fun () ->
         let f = Filename.temp_file "tunedb" ".jsonl" in
         let oc = open_out f in
         output_string oc "not json at all\n";
         close_out oc;
-        let r = Tuning.Db.load f in
+        let r = Tuning.Db.load ~strict:true f in
         Sys.remove f;
         match r with
         | Error msg ->
             Alcotest.(check bool) "names line 1" true
               (String.length msg > 0)
-        | Ok _ -> Alcotest.fail "accepted malformed file");
+        | Ok _ -> Alcotest.fail "strict load accepted malformed file");
+    Alcotest.test_case "tolerant load skips and counts malformed lines"
+      `Quick (fun () ->
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~kernel:"a" ~best_time:1.0 ~root ()));
+        ignore (Tuning.Db.add db (mk_record ~kernel:"b" ~best_time:2.0 ~root ()));
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Tuning.Db.save db f;
+        (* a second writer killed mid-append leaves a torn final line *)
+        let oc = open_out_gen [ Open_append ] 0o644 f in
+        output_string oc "{\"kernel\":\"torn-rec";
+        close_out oc;
+        let r = Tuning.Db.load f in
+        Sys.remove f;
+        (match r with
+        | Error e -> Alcotest.failf "tolerant load failed: %s" e
+        | Ok db' ->
+            Alcotest.(check int) "intact records survive" 2
+              (Tuning.Db.size db');
+            Alcotest.(check int) "torn line counted" 1
+              (Tuning.Db.skipped_lines db')));
+    Alcotest.test_case "clean load reports zero skipped lines" `Quick
+      (fun () ->
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~best_time:1.0 ~root ()));
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Tuning.Db.save db f;
+        let r = Tuning.Db.load f in
+        Sys.remove f;
+        match r with
+        | Ok db' ->
+            Alcotest.(check int) "no skips" 0 (Tuning.Db.skipped_lines db')
+        | Error e -> Alcotest.failf "clean load: %s" e);
+    Alcotest.test_case "save after tolerant load rewrites a clean file"
+      `Quick (fun () ->
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~best_time:1.0 ~root ()));
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Tuning.Db.save db f;
+        let oc = open_out_gen [ Open_append ] 0o644 f in
+        output_string oc "garbage mid-file\n{\"also\":\"torn";
+        close_out oc;
+        (match Tuning.Db.load f with
+        | Error e -> Alcotest.failf "tolerant load: %s" e
+        | Ok db' ->
+            Alcotest.(check int) "two bad lines" 2
+              (Tuning.Db.skipped_lines db');
+            Tuning.Db.save db' f);
+        (match Tuning.Db.load ~strict:true f with
+        | Ok db' -> Alcotest.(check int) "clean again" 1 (Tuning.Db.size db')
+        | Error e -> Alcotest.failf "rewritten file still dirty: %s" e);
+        Sys.remove f);
     Alcotest.test_case "save is atomic: no tmp left, result loadable" `Quick
       (fun () ->
         let db = Tuning.Db.create () in
