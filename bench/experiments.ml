@@ -820,7 +820,9 @@ let tuning () =
         (* cold run: empty cache, no warm start; deposits its winner *)
         let cold_cache = Tuning.Cache.create () in
         let cold =
-          Perfdojo.optimize ~seed:1 ~cache:cold_cache strat target p
+          Perfdojo.optimize_ctx
+            ~ctx:Perfdojo.Ctx.(default |> with_seed 1 |> with_cache cold_cache)
+            strat target p
         in
         (if cold.moves <> [] then
            match
@@ -837,8 +839,12 @@ let tuning () =
           Tuning.Warmstart.moves_for db ~kernel ~target:tname ~root:p
         in
         let warm =
-          Perfdojo.optimize ~seed:2 ~cache:warm_cache ~warm_start strat
-            target p
+          Perfdojo.optimize_ctx
+            ~ctx:
+              Perfdojo.Ctx.(
+                default |> with_seed 2 |> with_cache warm_cache
+                |> with_warm_start warm_start)
+            strat target p
         in
         (if warm.moves <> [] then
            match
@@ -1085,7 +1091,12 @@ let faults () =
     let obs = Obs.Trace.make_buffer () in
     let t0 = Unix.gettimeofday () in
     let o =
-      Perfdojo.optimize ~seed:1 ~jobs ~obs ~faults:injected strat target_x86 p
+      Perfdojo.optimize_ctx
+        ~ctx:
+          Perfdojo.Ctx.(
+            default |> with_seed 1 |> with_jobs jobs |> with_obs obs
+            |> with_faults injected)
+        strat target_x86 p
     in
     let wall = Unix.gettimeofday () -. t0 in
     (* a degraded run is still a correct run *)
@@ -1196,6 +1207,105 @@ let faults () =
   print_endline "wrote BENCH_faults.json"
 
 (* ------------------------------------------------------------------ *)
+(* Library generation: the whole operator suite in one run             *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch generator end to end: every kernel in the default suite
+   optimized for x86 and Snitch, C sources + umbrella header + manifest
+   emitted, then a second run over the same tuning database that must
+   skip every fingerprint-matched pair.  Hard-fails (and with it
+   @smoke) if the jobs=1 and jobs=4 manifests differ byte-for-byte or
+   if the warm run re-optimizes an up-to-date pair.  The final (warm)
+   library lands in BENCH_libgen/, whose manifest.json @smoke lints
+   with trace_lint --json. *)
+let libgen () =
+  Report.header
+    "Library generation: whole-suite batch optimize + emit (x86 + Snitch)";
+  let budget = max 4 (Report.search_budget () / 8) in
+  let strat = Perfdojo.Annealing { budget; space = Stoch.Heuristic } in
+  let targets = [ "x86"; "snitch" ] in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let run ~db ~jobs out =
+    let t0 = Unix.gettimeofday () in
+    let lib =
+      Libgen.generate ~strategy:strat ~db
+        ~ctx:Perfdojo.Ctx.(default |> with_jobs jobs)
+        ~targets ~out ()
+    in
+    (lib, Unix.gettimeofday () -. t0)
+  in
+  let lib1, w1 = run ~db:(Tuning.Db.create ()) ~jobs:1 "BENCH_libgen_jobs1" in
+  let db = Tuning.Db.create () in
+  let lib4, w4 = run ~db ~jobs:4 "BENCH_libgen_jobs4" in
+  let m1 = read_file "BENCH_libgen_jobs1/manifest.json" in
+  let m4 = read_file "BENCH_libgen_jobs4/manifest.json" in
+  if m1 <> m4 then
+    failwith "libgen: jobs=1 and jobs=4 manifests differ byte-for-byte";
+  (* warm run over the jobs=4 database: every recorded pair must skip *)
+  let warm, ww = run ~db ~jobs:4 "BENCH_libgen" in
+  let pairs = List.length warm.Libgen.entries in
+  if lib4.Libgen.degraded = 0 && warm.Libgen.skipped <> pairs then
+    failwith
+      (Printf.sprintf "libgen: warm run skipped %d of %d up-to-date pairs"
+         warm.Libgen.skipped pairs);
+  let row label (lib : Libgen.library) wall =
+    [
+      label;
+      Printf.sprintf "%.3f" wall;
+      string_of_int lib.Libgen.fresh;
+      string_of_int lib.Libgen.skipped;
+      string_of_int lib.Libgen.degraded;
+    ]
+  in
+  Report.table
+    [ "run"; "wall (s)"; "fresh"; "skipped"; "degraded" ]
+    [
+      row "cold jobs=1" lib1 w1;
+      row "cold jobs=4" lib4 w4;
+      row "warm jobs=4" warm ww;
+    ];
+  let n_kernels = List.length (Libgen.default_kernels ()) in
+  let skip_rate = float_of_int warm.Libgen.skipped /. float_of_int pairs in
+  Printf.printf
+    "\nsuite coverage: %d kernels x %d targets = %d pairs; manifests \
+     byte-identical across jobs\n"
+    n_kernels (List.length targets) pairs;
+  Printf.printf
+    "parallel cold run: %s vs jobs=1; warm run skips %.0f%% in %.3f s\n"
+    (Report.x2 (w1 /. w4))
+    (100. *. skip_rate) ww;
+  let json =
+    Tuning.Json.Obj
+      [
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ("kernels", Tuning.Json.Num (float_of_int n_kernels));
+        ( "targets",
+          Tuning.Json.Arr (List.map (fun t -> Tuning.Json.Str t) targets) );
+        ("pairs", Tuning.Json.Num (float_of_int pairs));
+        ("manifest_identical", Tuning.Json.Str (string_of_bool (m1 = m4)));
+        ("cold_wall_jobs1_s", Tuning.Json.Num w1);
+        ("cold_wall_jobs4_s", Tuning.Json.Num w4);
+        ("parallel_speedup", Tuning.Json.Num (w1 /. w4));
+        ("warm_wall_s", Tuning.Json.Num ww);
+        ("warm_skip_rate", Tuning.Json.Num skip_rate);
+        ("fresh", Tuning.Json.Num (float_of_int lib4.Libgen.fresh));
+        ("skipped", Tuning.Json.Num (float_of_int warm.Libgen.skipped));
+        ("degraded", Tuning.Json.Num (float_of_int warm.Libgen.degraded));
+      ]
+  in
+  let oc = open_out "BENCH_libgen.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_libgen.json (library in BENCH_libgen/)"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1222,4 +1332,5 @@ let all : (string * (unit -> unit)) list =
     ("tuning", tuning);
     ("parallel", parallel);
     ("faults", faults);
+    ("libgen", libgen);
   ]

@@ -5,7 +5,11 @@
    database and the trace sink share), and (3) be an object carrying an
    "ev" string — the trace event envelope.  Exit status 1 on the first
    violation, so the @smoke alias catches a sink regression the moment
-   it produces a malformed or non-canonical line. *)
+   it produces a malformed or non-canonical line.
+
+   With --json, remaining arguments are single-document files instead
+   (e.g. a library manifest.json): the whole file must be one canonical
+   JSON object on one newline-terminated line. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -39,9 +43,42 @@ let lint path =
    with End_of_file -> close_in ic);
   Printf.printf "%s: %d events OK\n" path (!n - 1)
 
+let lint_json path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> fail "cannot open document: %s" msg
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  if n = 0 || s.[n - 1] <> '\n' then
+    fail "%s: document is not newline-terminated" path;
+  let body = String.sub s 0 (n - 1) in
+  if String.contains body '\n' then
+    fail "%s: document spans more than one line" path;
+  match Util.Json.of_string body with
+  | Error msg -> fail "%s: unparseable JSON: %s" path msg
+  | Ok json ->
+      let reprinted = Util.Json.to_string json in
+      if reprinted <> body then
+        fail "%s: not canonical:\n  read:      %s\n  reprinted: %s" path body
+          reprinted;
+      (match json with
+      | Util.Json.Obj _ -> ()
+      | _ -> fail "%s: document is not a JSON object" path);
+      Printf.printf "%s: canonical JSON document OK\n" path
+
 let () =
+  let rec go json_mode = function
+    | [] -> ()
+    | "--json" :: rest -> go true rest
+    | path :: rest ->
+        (if json_mode then lint_json else lint) path;
+        go json_mode rest
+  in
   match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as paths) -> List.iter lint paths
+  | _ :: (_ :: _ as args) -> go false args
   | _ ->
-      prerr_endline "usage: trace_lint FILE.jsonl [FILE.jsonl ...]";
+      prerr_endline
+        "usage: trace_lint [--json] FILE.jsonl [FILE.jsonl ...]";
       exit 2

@@ -1,13 +1,20 @@
 (* perfdojo: command-line driver.
 
-   perfdojo list
-   perfdojo show softmax [--target x86] [--c]
-   perfdojo moves softmax --target snitch
-   perfdojo optimize softmax --target gh200 --strategy annealing --budget 500
-   perfdojo optimize softmax --target snitch --db tune.jsonl --warm-start
-   perfdojo db list | best | export
-   perfdojo verify softmax --target x86 --strategy heuristic
-   perfdojo targets
+   Noun-verb command groups:
+
+     perfdojo kernel list | show | moves
+     perfdojo lib generate
+     perfdojo db list | best | export
+
+   plus the established spellings, kept as aliases of the same terms:
+   list, targets, show, moves, optimize, verify, game, replay, analyze
+   and generate (= lib generate).
+
+   The cross-cutting run options — --db --jobs --trace --stats
+   --max-retries --fault-rate --seed — are one shared Cmdliner term,
+   [common_opts]; [with_common] validates them once, loads the tuning
+   database, opens the trace sink and hands the body a single
+   [Perfdojo.Ctx.t] run context.
 
    Errors follow Cmdliner conventions: unknown kernels, targets and
    strategies are usage errors (printed with usage, non-zero exit), so
@@ -27,33 +34,25 @@ let to_ret = function
   | Error (usage, msg) -> `Error (usage, msg)
 
 let find_kernel name : (Kernels.entry, bool * string) result =
-  match
-    List.find_opt (fun (e : Kernels.entry) -> e.label = name) all_kernels
-  with
-  | Some e -> Ok e
-  | None ->
+  match Kernels.find_entry all_kernels name with
+  | e -> Ok e
+  | exception Invalid_argument _ ->
       Error
         (true, Printf.sprintf "unknown kernel %S; try `perfdojo list`" name)
+
+let known_target_names = List.map fst Machine.Desc.known_targets
 
 (* Returns the canonical short name alongside the descriptor: the short
    name is what tuning-database records are keyed on. *)
 let target_of_string s :
     (string * Machine.Desc.target, bool * string) result =
-  match s with
-  | "x86" | "xeon" -> Ok ("x86", Machine.Desc.Cpu Machine.Desc.xeon_e5_2695v4)
-  | "avx512" -> Ok ("avx512", Machine.Desc.Cpu Machine.Desc.avx512_cpu)
-  | "arm" | "grace" -> Ok ("arm", Machine.Desc.Cpu Machine.Desc.grace_arm)
-  | "riscv" -> Ok ("riscv", Machine.Desc.Cpu Machine.Desc.riscv_scalar)
-  | "snitch" -> Ok ("snitch", Machine.Desc.Snitch Machine.Desc.snitch_cluster)
-  | "gh200" -> Ok ("gh200", Machine.Desc.Gpu Machine.Desc.gh200)
-  | "mi300a" -> Ok ("mi300a", Machine.Desc.Gpu Machine.Desc.mi300a)
-  | s ->
+  match Machine.Desc.resolve_target s with
+  | Some pair -> Ok pair
+  | None ->
       Error
         ( true,
-          Printf.sprintf
-            "unknown target %S (x86, avx512, arm, riscv, snitch, gh200, \
-             mi300a)"
-            s )
+          Printf.sprintf "unknown target %S (%s)" s
+            (String.concat ", " known_target_names) )
 
 let strategy_of_string budget s : (strategy, bool * string) result =
   match s with
@@ -93,7 +92,8 @@ let load_db path : (Tuning.Db.t, bool * string) result =
 
 (* shared options *)
 let target_arg =
-  let doc = "Target machine: x86, avx512, arm, riscv, snitch, gh200, mi300a."
+  let doc =
+    "Target machine: " ^ String.concat ", " known_target_names ^ "."
   in
   Arg.(value & opt string "x86" & info [ "target"; "t" ] ~docv:"TARGET" ~doc)
 
@@ -112,44 +112,151 @@ let strategy_arg =
   Arg.(
     value & opt string "heuristic" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
 
-let seed_arg =
-  let doc = "Random seed." in
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Worker domains for the stochastic searches (and the portfolio \
-     race).  0 (default) is the sequential path; N >= 1 evaluates \
-     candidates in parallel batches — the result is the same for every \
-     N >= 1, so --jobs only changes wall-clock time."
-  in
-  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
 let db_file_arg =
   let doc = "Tuning database file (JSONL, one schedule record per line)." in
   Arg.(value & opt string "tune.jsonl" & info [ "db" ] ~docv:"FILE" ~doc)
 
-let retries_arg =
-  let doc =
-    "Retry budget for transient evaluation failures: each failing \
-     evaluation is retried up to N times (with deterministic backoff) \
-     before being quarantined at +inf."
-  in
-  Arg.(
-    value
-    & opt int Robust.Guard.default.max_retries
-    & info [ "max-retries" ] ~docv:"N" ~doc)
+(* ------------------------------------------------------------------ *)
+(* The shared run options: one term, one validation path, one Ctx      *)
+(* ------------------------------------------------------------------ *)
 
-let fault_rate_arg =
-  let doc =
-    "Inject deterministic faults (exceptions, NaNs, delays) into this \
-     fraction of evaluations — a testing knob for the degradation \
-     path, never useful in production.  0 disables injection exactly."
+type common = {
+  co_db : string option;
+  co_jobs : int;
+  co_trace : string option;
+  co_stats : bool;
+  co_max_retries : int;
+  co_fault_rate : float;
+  co_seed : int;
+}
+
+let common_opts : common Term.t =
+  let db_arg =
+    let doc =
+      "Tuning database (JSONL).  The run is memoized against it and its \
+       winning schedules are recorded into it."
+    in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
   in
-  Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"R" ~doc)
+  let jobs_arg =
+    let doc =
+      "Worker domains for the stochastic searches (and the portfolio \
+       race / library pairs).  0 (default) is the sequential path; N >= \
+       1 evaluates in parallel — the result is the same for every N >= \
+       1, so --jobs only changes wall-clock time."
+    in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Write a structured JSONL trace of the run to $(docv): search \
+       steps, engine moves, phase spans.  The stream is deterministic \
+       for a given seed — identical for --jobs 1 and --jobs N up to the \
+       wall-clock dur_s fields."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print an end-of-run metrics table: search counters, cache \
+             hit rate, pool utilization and per-phase span times.")
+  in
+  let retries_arg =
+    let doc =
+      "Retry budget for transient evaluation failures: each failing \
+       evaluation is retried up to N times (with deterministic backoff) \
+       before being quarantined at +inf."
+    in
+    Arg.(
+      value
+      & opt int Robust.Guard.default.max_retries
+      & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let fault_rate_arg =
+    let doc =
+      "Inject deterministic faults (exceptions, NaNs, delays) into this \
+       fraction of evaluations — a testing knob for the degradation \
+       path, never useful in production.  0 disables injection exactly."
+    in
+    Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"R" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let make co_db co_jobs co_trace co_stats co_max_retries co_fault_rate
+      co_seed =
+    { co_db; co_jobs; co_trace; co_stats; co_max_retries; co_fault_rate;
+      co_seed }
+  in
+  Term.(
+    const make $ db_arg $ jobs_arg $ trace_arg $ stats_arg $ retries_arg
+    $ fault_rate_arg $ seed_arg)
+
+(* Validate the shared options once, load the database, open the trace
+   channel, build the run context and hand everything to [body]; close
+   the trace and print the metrics table afterwards.  A cache rides
+   along whenever a database does, so tuned runs memoize for free. *)
+let with_common (c : common) body =
+  let* () =
+    if c.co_max_retries < 0 then
+      Error (true, "--max-retries must be non-negative")
+    else Ok ()
+  in
+  let* faults =
+    if c.co_fault_rate = 0. then Ok Robust.Faults.none
+    else if c.co_fault_rate >= 0. && c.co_fault_rate <= 1. then
+      Ok (Robust.Faults.spread ~seed:c.co_seed c.co_fault_rate)
+    else Error (true, "--fault-rate must lie in [0, 1]")
+  in
+  let* db =
+    match c.co_db with
+    | None -> Ok None
+    | Some f -> Result.map Option.some (load_db f)
+  in
+  let trace_oc = Option.map open_out c.co_trace in
+  let obs =
+    match trace_oc with
+    | None -> Obs.Trace.null
+    | Some oc -> Obs.Trace.to_channel oc
+  in
+  let metrics = if c.co_stats then Some (Obs.Metrics.create ()) else None in
+  let cache = Option.map (fun _ -> Tuning.Cache.create ()) db in
+  let ctx =
+    Ctx.default |> Ctx.with_seed c.co_seed |> Ctx.with_jobs c.co_jobs
+    |> Ctx.with_obs obs |> Ctx.with_faults faults
+    |> Ctx.with_guard
+         { Robust.Guard.default with max_retries = c.co_max_retries }
+  in
+  let ctx =
+    match cache with Some cch -> Ctx.with_cache cch ctx | None -> ctx
+  in
+  let ctx =
+    match metrics with Some m -> Ctx.with_metrics m ctx | None -> ctx
+  in
+  let close () =
+    match trace_oc with Some oc -> close_out oc | None -> ()
+  in
+  match body ~ctx ~db with
+  | Ok () ->
+      close ();
+      Option.iter (Printf.printf "trace:      %s\n") c.co_trace;
+      (match metrics with
+      | Some m -> Format.printf "%a" Obs.Metrics.pp_summary m
+      | None -> ());
+      Ok ()
+  | Error _ as e ->
+      close ();
+      e
+  | exception exn ->
+      close ();
+      raise exn
 
 (* ------------------------------------------------------------------ *)
-(* list                                                                *)
+(* kernel list                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -170,18 +277,15 @@ let list_cmd =
 let targets_cmd =
   let run () =
     List.iter
-      (fun name ->
-        match target_of_string name with
-        | Ok (short, t) ->
-            Printf.printf "%-8s %s\n" short (Machine.Desc.target_name t)
-        | Error _ -> ())
-      [ "x86"; "avx512"; "arm"; "riscv"; "snitch"; "gh200"; "mi300a" ]
+      (fun (short, t) ->
+        Printf.printf "%-8s %s\n" short (Machine.Desc.target_name t))
+      Machine.Desc.known_targets
   in
   Cmd.v (Cmd.info "targets" ~doc:"List the modelled machines.")
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
-(* show                                                                *)
+(* kernel show                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let show_cmd =
@@ -204,7 +308,7 @@ let show_cmd =
     Term.(ret (const run $ kernel_arg $ c_arg))
 
 (* ------------------------------------------------------------------ *)
-(* moves                                                               *)
+(* kernel moves                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let moves_cmd =
@@ -223,40 +327,31 @@ let moves_cmd =
        ~doc:"List the applicable transformations at the kernel's root state.")
     Term.(ret (const run $ kernel_arg $ target_arg))
 
+(* The kernel noun groups the per-kernel inspection verbs; the bare
+   list/show/moves spellings stay as aliases of the same commands. *)
+let kernel_cmd =
+  Cmd.group
+    (Cmd.info "kernel" ~doc:"Inspect the built-in kernels.")
+    [ list_cmd; show_cmd; moves_cmd ]
+
 (* ------------------------------------------------------------------ *)
 (* optimize                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run kernel target strategy budget seed jobs emit_c check db_file warm
-      trace_file stats max_retries fault_rate =
+  let run kernel target strategy budget common emit_c check warm =
     to_ret
     @@ let* e = find_kernel kernel in
        let* tname, t = target_of_string target in
        let* strat = strategy_of_string budget strategy in
        let* () =
-         if max_retries < 0 then
-           Error (true, "--max-retries must be non-negative")
+         if warm && common.co_db = None then
+           Error (true, "--warm-start needs a tuning database (--db)")
          else Ok ()
        in
-       let* faults =
-         if fault_rate = 0. then Ok Robust.Faults.none
-         else if fault_rate >= 0. && fault_rate <= 1. then
-           Ok (Robust.Faults.spread ~seed fault_rate)
-         else Error (true, "--fault-rate must lie in [0, 1]")
-       in
-       let guard = { Robust.Guard.default with max_retries } in
-       let* db =
-         match db_file with
-         | None ->
-             if warm then
-               Error (true, "--warm-start needs a tuning database (--db)")
-             else Ok None
-         | Some f -> Result.map Option.some (load_db f)
-       in
+       with_common common @@ fun ~ctx ~db ->
        let p = e.build () in
        let t_naive = Machine.time t p in
-       let cache = Option.map (fun _ -> Tuning.Cache.create ()) db in
        let warm_start =
          if not warm then []
          else
@@ -274,20 +369,8 @@ let optimize_cmd =
                    []
                | moves -> moves)
        in
-       (* --trace writes JSONL straight to the file; --stats collects a
-          metrics registry printed after the run.  Both default to off,
-          in which case the instrumented code paths cost nothing. *)
-       let trace_oc = Option.map open_out trace_file in
-       let obs =
-         match trace_oc with
-         | None -> Obs.Trace.null
-         | Some oc -> Obs.Trace.to_channel oc
-       in
-       let metrics = if stats then Some (Obs.Metrics.create ()) else None in
-       let outcome =
-         Perfdojo.optimize ~seed ?cache ~warm_start ~jobs ~obs ?metrics
-           ~guard ~faults strat t p
-       in
+       let ctx = Ctx.with_warm_start warm_start ctx in
+       let outcome = Perfdojo.optimize_ctx ~ctx strat t p in
        Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
        Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
        Printf.printf "strategy:   %s%s\n" strategy
@@ -303,7 +386,7 @@ let optimize_cmd =
            "failures:   %d evaluation(s) quarantined (search degraded \
             gracefully)\n"
            outcome.failures;
-       (match cache with
+       (match ctx.Ctx.cache with
        | Some c ->
            Printf.printf
              "memoization: %d hits / %d misses (%.1f%% hit rate, %d model \
@@ -319,14 +402,15 @@ let optimize_cmd =
        print_endline "schedule:";
        print_endline (Ir.Printer.body outcome.schedule);
        (* deposit the winner into the database *)
-       (match (db, db_file) with
+       (match (db, common.co_db) with
        | Some d, Some f ->
            if outcome.moves = [] then
              Printf.eprintf
                "note: %s produced no move-replayable schedule; not recorded\n"
                strategy
            else
-             Obs.Span.run ?metrics ~trace:obs "db-write" (fun () ->
+             Obs.Span.run ?metrics:ctx.Ctx.metrics ~trace:ctx.Ctx.obs
+               "db-write" (fun () ->
                  match
                    Tuning.Warmstart.record_of
                      ~objective:(fun q -> Machine.time t q)
@@ -345,17 +429,15 @@ let optimize_cmd =
                      Printf.printf "db:         %s (%s, %d records)\n" f
                        verdict (Tuning.Db.size d))
        | _ -> ());
-       (match trace_oc with
-       | Some oc ->
-           close_out oc;
-           Printf.printf "trace:      %s\n" (Option.get trace_file)
-       | None -> ());
-       (match metrics with
-       | Some m -> Format.printf "%a" Obs.Metrics.pp_summary m
-       | None -> ());
        if check then begin
          let small = e.build_small () in
-         let small_outcome = Perfdojo.optimize ~seed ~jobs strat t small in
+         let small_ctx =
+           Ctx.(
+             default |> with_seed common.co_seed |> with_jobs common.co_jobs)
+         in
+         let small_outcome =
+           Perfdojo.optimize_ctx ~ctx:small_ctx strat t small
+         in
          match Interp.equivalent small small_outcome.schedule with
          | Ok () -> print_endline "numerical check (small variant): OK"
          | Error msg -> Printf.printf "numerical check FAILED: %s\n" msg
@@ -377,13 +459,6 @@ let optimize_cmd =
             "Re-run the strategy on a small variant of the kernel and \
              verify numerically against the reference interpreter.")
   in
-  let db_arg =
-    let doc =
-      "Tuning database (JSONL).  The run is memoized against it and its \
-       winning schedule is recorded into it."
-    in
-    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
-  in
   let warm_arg =
     Arg.(
       value & flag
@@ -392,31 +467,12 @@ let optimize_cmd =
             "Seed the search from the database's best recorded schedule \
              for this kernel/target (requires --db).")
   in
-  let trace_arg =
-    let doc =
-      "Write a structured JSONL trace of the run to $(docv): search \
-       steps, engine moves, phase spans.  The stream is deterministic \
-       for a given seed — identical for --jobs 1 and --jobs N up to the \
-       wall-clock dur_s fields."
-    in
-    Arg.(
-      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-  in
-  let stats_arg =
-    Arg.(
-      value & flag
-      & info [ "stats" ]
-          ~doc:
-            "Print an end-of-run metrics table: search counters, cache \
-             hit rate, pool utilization and per-phase span times.")
-  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a kernel for a target machine.")
     Term.(
       ret
         (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
-       $ seed_arg $ jobs_arg $ c_arg $ check_arg $ db_arg $ warm_arg
-       $ trace_arg $ stats_arg $ retries_arg $ fault_rate_arg))
+       $ common_opts $ c_arg $ check_arg $ warm_arg))
 
 (* ------------------------------------------------------------------ *)
 (* db: inspect the tuning database                                     *)
@@ -720,15 +776,19 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run kernel target strategy budget seed =
+  let run kernel target strategy budget common =
     to_ret
     @@ let* e = find_kernel kernel in
        let* _, t = target_of_string target in
-       let* sched =
-         if strategy = "none" then Ok (e.build ())
-         else
-           let* strat = strategy_of_string budget strategy in
-           Ok (Perfdojo.optimize ~seed strat t (e.build ())).schedule
+       let* strat =
+         if strategy = "none" then Ok None
+         else Result.map Option.some (strategy_of_string budget strategy)
+       in
+       with_common common @@ fun ~ctx ~db:_ ->
+       let sched =
+         match strat with
+         | None -> e.build ()
+         | Some strat -> (Perfdojo.optimize_ctx ~ctx strat t (e.build ())).schedule
        in
        Printf.printf "kernel:   %s (%s), schedule: %s\n" e.label e.shape_desc
          strategy;
@@ -792,129 +852,134 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ target_arg $ strategy_arg $ budget_arg
-       $ seed_arg))
+       $ common_opts))
 
 (* ------------------------------------------------------------------ *)
-(* generate: the automated library generation pipeline                 *)
+(* lib generate: the automated library generation pipeline             *)
 (* ------------------------------------------------------------------ *)
 
-(* The paper's end product: for a target architecture, optimize every
-   operator and emit a C library (one translation unit per kernel, a
-   header, and the schedules as replayable IR). *)
-let generate_cmd =
-  let run target strategy budget seed jobs out db_file =
+(* The paper's end product: optimize every (kernel, target) pair of the
+   suite and emit a C library — one translation unit per pair, an
+   umbrella header and a canonical manifest.json.  The heavy lifting
+   (incremental skips, parallel pairs, degradation) is Libgen.generate;
+   this command only parses the selection and prints the summary. *)
+let lib_generate_cmd =
+  let run targets kernel_labels strategy budget out force common =
     to_ret
-    @@ let* tname, t = target_of_string target in
-       let* strat = strategy_of_string budget strategy in
-       let* db =
-         match db_file with
-         | None -> Ok None
-         | Some f -> Result.map Option.some (load_db f)
+    @@ let* resolved =
+         List.fold_left
+           (fun acc name ->
+             let* acc = acc in
+             let* pair = target_of_string name in
+             Ok (pair :: acc))
+           (Ok []) targets
        in
-       (try Unix.mkdir out 0o755
-        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-       let sanitize label =
-         String.map (fun c -> if c = ' ' then '_' else c) label
+       let _ = (resolved : (string * Machine.Desc.target) list) in
+       let* strat =
+         match strategy with
+         | None -> Ok None (* Libgen's default: annealing, budget 300 *)
+         | Some s -> Result.map Option.some (strategy_of_string budget s)
        in
-       let entries =
-         match t with
-         | Machine.Desc.Snitch _ -> Kernels.snitch_micro @ Kernels.table3
-         | _ -> Kernels.table3
+       let kernels =
+         (* Kernels.find_entry raises on an unknown label; describe_exn
+            renders it with the available labels at exit code 3 *)
+         Option.map
+           (List.map (Kernels.find_entry all_kernels))
+           kernel_labels
        in
-       let index = Buffer.create 256 in
-       Buffer.add_string index
-         (Printf.sprintf
-            "/* PerfDojo generated library for %s (strategy %s, budget %d) \
-             */\n"
-            (Machine.Desc.target_name t) strategy budget);
-       let total_speedup = ref [] in
+       with_common common @@ fun ~ctx ~db ->
+       let lib =
+         Libgen.generate ?kernels ?strategy:strat ?db
+           ?db_file:common.co_db ~force ~ctx ~targets ~out ()
+       in
        List.iter
-         (fun (e : Kernels.entry) ->
-           let p = e.build () in
-           let t_naive = Machine.time t p in
-           let cache = Option.map (fun _ -> Tuning.Cache.create ()) db in
-           let warm_start =
-             match db with
-             | None -> []
-             | Some d ->
-                 Tuning.Warmstart.moves_for d ~kernel:e.label ~target:tname
-                   ~root:p
-           in
-           let outcome =
-             Perfdojo.optimize ~seed ?cache ~warm_start ~jobs strat t p
-           in
-           (match db with
-           | Some d when outcome.moves <> [] ->
-               (match
-                  Tuning.Warmstart.record_of
-                    ~objective:(fun q -> Machine.time t q)
-                    ~caps:(Machine.caps t) ~kernel:e.label ~target:tname
-                    ~root:p ~moves:outcome.moves
-                    ~evals:outcome.evaluations
-                with
-               | Ok r -> ignore (Tuning.Db.add d r)
-               | Error _ -> ())
-           | _ -> ());
-           let speedup = t_naive /. outcome.time_s in
-           total_speedup := speedup :: !total_speedup;
-           let base = sanitize e.label in
-           (* the C implementation *)
-           let oc = open_out (Filename.concat out (base ^ ".c")) in
-           Printf.fprintf oc
-             "/* %s (%s): %s\n   modelled %.3e s (%.2fx over naive) */\n%s"
-             e.label e.shape_desc e.description outcome.time_s speedup
-             (Codegen.program outcome.schedule);
-           close_out oc;
-           (* the schedule itself, replayable via `perfdojo replay` /
-              Ir.Parser *)
-           let oc = open_out (Filename.concat out (base ^ ".pdj")) in
-           output_string oc (Ir.Printer.program outcome.schedule);
-           close_out oc;
-           Buffer.add_string index
-             (Printf.sprintf "/* %-14s %-18s %.3e s  %6.2fx */\n" e.label
-                e.shape_desc outcome.time_s speedup);
-           Printf.printf "generated %-14s %.3e s (%.2fx)\n%!" e.label
-             outcome.time_s speedup)
-         entries;
-       (match (db, db_file) with
-       | Some d, Some f ->
-           Tuning.Db.save d f;
-           Printf.printf "tuning database updated: %s (%d records)\n" f
-             (Tuning.Db.size d)
-       | _ -> ());
-       let geo = Util.Stats.geomean (Array.of_list !total_speedup) in
-       Buffer.add_string index
-         (Printf.sprintf "/* geomean speedup over naive: %.2fx */\n" geo);
-       let oc = open_out (Filename.concat out "INDEX.h") in
-       Buffer.output_buffer oc index;
-       close_out oc;
+         (fun (en : Libgen.entry) ->
+           Printf.printf "%-9s %-14s %-8s %.3e s (%6.2fx)%s\n"
+             (Libgen.status_name en.status)
+             en.kernel en.target en.time_s
+             (if en.time_s > 0. then en.naive_s /. en.time_s else 0.)
+             (match en.error with None -> "" | Some msg -> "  [" ^ msg ^ "]"))
+         lib.entries;
        Printf.printf
-         "\nlibrary written to %s/ (%d kernels, geomean %.2fx over naive)\n"
-         out (List.length entries) geo;
-       Ok ()
+         "\nlibrary written to %s/ (%d entries: %d fresh, %d skipped, %d \
+          degraded)\n"
+         lib.out_dir
+         (List.length lib.entries)
+         lib.fresh lib.skipped lib.degraded;
+       Printf.printf "header:     %s\nmanifest:   manifest.json\n" lib.header;
+       (match common.co_db with
+       | Some f ->
+           Option.iter
+             (fun d ->
+               Printf.printf "db:         %s (%d records)\n" f
+                 (Tuning.Db.size d))
+             db
+       | None -> ());
+       if lib.degraded > 0 then
+         Error
+           ( false,
+             Printf.sprintf "%d pair(s) degraded to the naive schedule"
+               lib.degraded )
+       else Ok ()
+  in
+  let targets_arg =
+    let doc =
+      "Target machine(s); repeatable.  "
+      ^ String.concat ", " known_target_names ^ "."
+    in
+    Arg.(
+      value
+      & opt_all string [ "x86" ]
+      & info [ "target"; "t" ] ~docv:"TARGET" ~doc)
+  in
+  let kernels_arg =
+    let doc =
+      "Comma-separated kernel labels to generate (default: the whole \
+       suite)."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kernels"; "k" ] ~docv:"K1,K2,..." ~doc)
+  in
+  let strategy_arg =
+    let doc =
+      "Strategy for fresh pairs (default: annealing — its winners are \
+       move-replayable, so the next run skips them)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "strategy"; "s" ] ~docv:"S" ~doc)
   in
   let out_arg =
     Arg.(
       value & opt string "perfdojo_lib"
       & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let db_arg =
-    let doc =
-      "Tuning database (JSONL): warm-start every kernel from it and \
-       record every winner back into it."
-    in
-    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Re-optimize pairs whose database record is up to date \
+             (records still warm-start the searches).")
   in
   Cmd.v
     (Cmd.info "generate"
        ~doc:
-         "Generate an optimized kernel library for a target: optimize \
-          every built-in operator and emit C sources, replayable \
-          schedules and an index.")
+         "Generate an optimized C library: optimize every (kernel, \
+          target) pair — incrementally against the tuning database, in \
+          parallel under --jobs, degrading failed pairs to their naive \
+          schedules — and emit C sources, an umbrella header and a \
+          canonical manifest.json.")
     Term.(
       ret
-        (const run $ target_arg $ strategy_arg $ budget_arg $ seed_arg
-       $ jobs_arg $ out_arg $ db_arg))
+        (const run $ targets_arg $ kernels_arg $ strategy_arg $ budget_arg
+       $ out_arg $ force_arg $ common_opts))
+
+let lib_cmd =
+  Cmd.group
+    (Cmd.info "lib" ~doc:"Generate optimized kernel libraries.")
+    [ lib_generate_cmd ]
 
 (* Uncaught exceptions must not dump a raw backtrace at the user: every
    predictable failure becomes a one-line `perfdojo: error: ...` on
@@ -938,6 +1003,14 @@ let describe_exn = function
         ^ String.concat "; "
             (List.map (fun (label, e) -> label ^ ": " ^ e) members))
   | Failure msg -> Some msg
+  | Invalid_argument msg
+    when String.length msg >= 14 && String.sub msg 0 14 = "unknown kernel" ->
+      (* Kernels.find_entry's bare error, e.g. from `lib generate
+         --kernels`: append what would have worked *)
+      Some
+        (Printf.sprintf "%s (available: %s)" msg
+           (String.concat ", "
+              (List.map (fun (e : Kernels.entry) -> e.label) all_kernels)))
   | Invalid_argument msg -> Some msg
   | _ -> None
 
@@ -953,9 +1026,10 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [
+           kernel_cmd; lib_cmd; db_cmd;
+           (* the established flat spellings, aliasing the same terms *)
            list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
-           verify_cmd; game_cmd; replay_cmd; generate_cmd; analyze_cmd;
-           db_cmd;
+           verify_cmd; game_cmd; replay_cmd; lib_generate_cmd; analyze_cmd;
          ])
   in
   let code =

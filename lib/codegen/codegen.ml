@@ -10,9 +10,11 @@
    - Snitch SSR scopes emit the stream configuration calls and [:f]
      emits the hardware-loop FREP form.
 
-   The output is illustrative, compilable C in structure; memory
-   allocation of heap buffers and a main() driver are included so the
-   examples can show end-to-end artifacts. *)
+   The output is illustrative, compilable C in structure; heap buffers
+   are file-scope statics filled in by a guarded allocator that the
+   entry point calls first, so a generated translation unit compiles
+   and links standalone (and several of them link into one library
+   without symbol clashes). *)
 
 open Ir.Types
 
@@ -179,7 +181,7 @@ let rec gen_cuda_body prog indent depth grid_depth _block_depth nodes buf =
           gen_node prog Cuda indent depth (Scope sc) buf)
     nodes
 
-let cuda_kernels prog buf =
+let cuda_kernels prog entry buf =
   let kernel_id = ref 0 in
   let rec host indent depth nodes =
     List.iter
@@ -243,7 +245,8 @@ let cuda_kernels prog buf =
       nodes
   in
   defs 0 prog.body;
-  Buffer.add_string buf "void run(/* host entry */) {\n";
+  Buffer.add_string buf (Printf.sprintf "void %s(/* host entry */) {\n" entry);
+  Buffer.add_string buf "  pd_alloc_buffers();\n";
   host 2 0 prog.body;
   Buffer.add_string buf "}\n"
 
@@ -251,7 +254,23 @@ let cuda_kernels prog buf =
 (* Program-level output                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Identifiers math.h/stdlib.h already declare as functions: a buffer
+   with one of these names must not shadow them at file scope. *)
+let c_reserved =
+  [ "gamma"; "y0"; "y1"; "yn"; "j0"; "j1"; "jn"; "exp"; "log"; "sin"; "cos";
+    "tan"; "pow"; "sqrt"; "abs"; "div"; "index"; "remainder"; "signgam" ]
+
 let declarations (prog : Ir.Prog.t) buf =
+  (* the macro renames every later use, declarations included; the
+     headers above were already processed, so they are unaffected *)
+  List.iter
+    (fun b ->
+      if List.mem b.bname c_reserved then
+        Buffer.add_string buf
+          (Printf.sprintf "#define %s pd_%s  /* avoids a libc clash */\n"
+             b.bname b.bname))
+    prog.buffers;
+  let heap = ref [] in
   List.iter
     (fun b ->
       let elems = List.fold_left ( * ) 1 (Ir.Prog.storage_shape b) in
@@ -259,22 +278,35 @@ let declarations (prog : Ir.Prog.t) buf =
       (match b.loc with
       | Stack | Register ->
           Buffer.add_string buf
-            (Printf.sprintf "%s %s[%d];  /* %s */\n" ty b.bname elems
+            (Printf.sprintf "static %s %s[%d];  /* %s */\n" ty b.bname elems
                (location_name b.loc))
       | Shared ->
           Buffer.add_string buf
             (Printf.sprintf "__shared__ %s %s[%d];\n" ty b.bname elems)
       | Heap ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s* %s = malloc(%d * sizeof(%s));\n" ty b.bname
-               elems ty));
+          Buffer.add_string buf (Printf.sprintf "static %s* %s;\n" ty b.bname);
+          heap := (b.bname, elems, ty) :: !heap);
       List.iter
         (fun a ->
           if a <> b.bname then
             Buffer.add_string buf
               (Printf.sprintf "#define %s %s  /* alias */\n" a b.bname))
         b.arrays)
-    prog.buffers
+    prog.buffers;
+  (* malloc at file scope is not constant-initializable; a guarded
+     allocator (static, so translation units never clash in a library)
+     runs once from the entry point instead *)
+  Buffer.add_string buf
+    "\nstatic int pd_buffers_ready;\n\
+     static void pd_alloc_buffers(void) {\n\
+    \  if (pd_buffers_ready) return;\n\
+    \  pd_buffers_ready = 1;\n";
+  List.iter
+    (fun (name, elems, ty) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s = malloc(%d * sizeof(%s));\n" name elems ty))
+    (List.rev !heap);
+  Buffer.add_string buf "}\n"
 
 let contains_gpu prog =
   Ir.Prog.fold_nodes
@@ -294,7 +326,7 @@ let contains_snitch prog =
     false prog
 
 (* Generate C for a program, picking the flavor from its annotations. *)
-let program (prog : Ir.Prog.t) : string =
+let program ?(entry = "run") (prog : Ir.Prog.t) : string =
   let buf = Buffer.create 1024 in
   let flavor =
     if contains_gpu prog then Cuda
@@ -309,9 +341,10 @@ let program (prog : Ir.Prog.t) : string =
   declarations prog buf;
   Buffer.add_string buf "\n/* kernel */\n";
   (match flavor with
-  | Cuda -> cuda_kernels prog buf
+  | Cuda -> cuda_kernels prog entry buf
   | Plain | Snitch_asm ->
-      Buffer.add_string buf "void run(void) {\n";
+      Buffer.add_string buf (Printf.sprintf "void %s(void) {\n" entry);
+      Buffer.add_string buf "  pd_alloc_buffers();\n";
       gen_nodes prog flavor 2 0 prog.body buf;
       Buffer.add_string buf "}\n");
   Buffer.contents buf

@@ -6,8 +6,10 @@
 
 type flavor = Plain | Cuda | Snitch_asm
 
-val program : Ir.Prog.t -> string
-(** Full translation unit: buffer declarations plus the kernel body. *)
+val program : ?entry:string -> Ir.Prog.t -> string
+(** Full translation unit: buffer declarations plus the kernel body.
+    [entry] names the emitted entry-point function (default ["run"]) —
+    libgen gives every library member a distinct symbol. *)
 
 val stmt_c : Ir.Prog.t -> Ir.Types.stmt -> string
 (** One statement as a C assignment (used in documentation output). *)

@@ -166,10 +166,66 @@ let default_portfolio ?(seed = 1) ~budget () : portfolio_member list =
     };
   ]
 
-let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
-    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
-    ?(faults = Robust.Faults.none) (strategy : strategy) (target : target)
+(* ------------------------------------------------------------------ *)
+(* The run context                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every cross-cutting knob of a run in one record.  The optional-
+   argument entry points below are thin wrappers over [of_options]; all
+   internal call sites (portfolio members, optimize_best, libgen, the
+   CLI, the bench harness) thread a [Ctx.t]. *)
+module Ctx = struct
+  type t = {
+    seed : int;
+    cache : Tuning.Cache.t option;
+    warm_start : string list;
+    jobs : int;
+    obs : Obs.Trace.sink;
+    metrics : Obs.Metrics.t option;
+    guard : Robust.Guard.config;
+    faults : Robust.Faults.config;
+  }
+
+  let default =
+    {
+      seed = 1;
+      cache = None;
+      warm_start = [];
+      jobs = 0;
+      obs = Obs.Trace.null;
+      metrics = None;
+      guard = Robust.Guard.default;
+      faults = Robust.Faults.none;
+    }
+
+  let with_seed seed t = { t with seed }
+  let with_cache cache t = { t with cache = Some cache }
+  let with_warm_start warm_start t = { t with warm_start }
+  let with_jobs jobs t = { t with jobs }
+  let with_obs obs t = { t with obs }
+  let with_metrics metrics t = { t with metrics = Some metrics }
+  let with_guard guard t = { t with guard }
+  let with_faults faults t = { t with faults }
+
+  let of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
+      ?faults () =
+    {
+      seed = Option.value seed ~default:default.seed;
+      cache = (match cache with None -> default.cache | some -> some);
+      warm_start = Option.value warm_start ~default:default.warm_start;
+      jobs = Option.value jobs ~default:default.jobs;
+      obs = Option.value obs ~default:default.obs;
+      metrics = (match metrics with None -> default.metrics | some -> some);
+      guard = Option.value guard ~default:default.guard;
+      faults = Option.value faults ~default:default.faults;
+    }
+end
+
+let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
     (prog : Ir.Prog.t) : outcome =
+  let { Ctx.seed; cache; warm_start; jobs; obs; metrics; guard; faults } =
+    ctx
+  in
   let caps = Machine.caps target in
   let raw_objective p = Machine.time target p in
   (* Evaluation pipeline: model -> fault injection (tests/bench only;
@@ -178,10 +234,16 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
      non-finite score never reaches the cache (memoize skips non-finite
      stores as a second line of defense). *)
   let faulty = Robust.Faults.wrap faults raw_objective in
+  (* Cache keys are scoped by target: two targets time the same program
+     differently, and one context (hence one cache) routinely spans
+     several targets in a batch run (Libgen). *)
   let objective =
     match cache with
     | None -> faulty
-    | Some c -> Tuning.Cache.memoize c faulty
+    | Some c ->
+        Tuning.Cache.memoize_scoped c
+          ~scope:(Machine.Desc.target_name target)
+          faulty
   in
   let guard = Robust.Guard.instrument ?metrics guard in
   let failures = ref 0 in
@@ -274,8 +336,8 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
             (r.best, r.best_time, r.best_moves, r.evaluations)
         | Portfolio { budget } ->
             let o, _winner =
-              optimize_portfolio ?cache ~warm_start ~jobs ~obs ?metrics
-                ~guard ~faults
+              optimize_portfolio_ctx
+                ~ctx:{ ctx with Ctx.guard }
                 ~members:(default_portfolio ~seed ~budget ())
                 target prog
             in
@@ -335,10 +397,10 @@ let rec optimize ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
    evaluation count of the surviving members (what the race actually
    spent and can account for); cache counters are the winner's own;
    [failures] sums the survivors' quarantined evaluations. *)
-and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
-    ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
-    ?(faults = Robust.Faults.none) ~(members : portfolio_member list)
-    (target : target) (prog : Ir.Prog.t) : outcome * string =
+and optimize_portfolio_ctx ~(ctx : Ctx.t)
+    ~(members : portfolio_member list) (target : target)
+    (prog : Ir.Prog.t) : outcome * string =
+  let { Ctx.jobs; obs; metrics; _ } = ctx in
   let members = Array.of_list members in
   let n = Array.length members in
   if n = 0 then invalid_arg "optimize_portfolio: empty portfolio";
@@ -358,10 +420,14 @@ and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
     Array.init n (fun _ ->
         if traced then Obs.Trace.make_buffer () else Obs.Trace.null)
   in
+  (* Each member runs its own sequential search (jobs = 0 inside the
+     workers) under its own seed and trace buffer; everything else —
+     cache, warm start, guard, faults, metrics — is the shared ctx. *)
   let run i =
     let m = members.(i) in
-    optimize ~seed:m.pseed ?cache ~warm_start ~obs:sinks.(i) ?metrics ~guard
-      ~faults m.pstrategy target prog
+    optimize_ctx
+      ~ctx:{ ctx with Ctx.seed = m.pseed; obs = sinks.(i); jobs = 0 }
+      m.pstrategy target prog
   in
   let jobs = max 1 (min jobs n) in
   let instrument = metrics <> None in
@@ -442,16 +508,41 @@ and optimize_portfolio ?cache ?(warm_start = []) ?(jobs = 0)
   ( { winner with evaluations = total_evals; failures = total_failures },
     members.(besti).plabel )
 
+(* ------------------------------------------------------------------ *)
+(* Legacy optional-argument wrappers                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Kept for source compatibility (deprecated in the docs): each is
+   exactly its _ctx counterpart over [Ctx.of_options]. *)
+
+let optimize ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard ?faults
+    strategy target prog =
+  optimize_ctx
+    ~ctx:
+      (Ctx.of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
+         ?faults ())
+    strategy target prog
+
+let optimize_portfolio ?cache ?warm_start ?jobs ?obs ?metrics ?guard
+    ?faults ~members target prog =
+  optimize_portfolio_ctx
+    ~ctx:
+      (Ctx.of_options ?cache ?warm_start ?jobs ?obs ?metrics ?guard ?faults
+         ())
+    ~members target prog
+
 (* Best-of: run a heuristic pass and a search, keep the winner — the
-   usual production setting. *)
-let optimize_best ?(seed = 1) ?cache ?(warm_start = []) ?(jobs = 0)
-    ?obs ?metrics ?guard ?faults ?(budget = 300) target prog =
-  let h =
-    optimize ~seed ?cache ~warm_start ?obs ?metrics ?guard ?faults Heuristic
-      target prog
+   usual production setting.  The pass runs sequentially (it is a
+   single construction); only the search uses [jobs]. *)
+let optimize_best ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
+    ?faults ?(budget = 300) target prog =
+  let ctx =
+    Ctx.of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
+      ?faults ()
   in
+  let h = optimize_ctx ~ctx:{ ctx with Ctx.jobs = 0 } Heuristic target prog in
   let s =
-    optimize ~seed ?cache ~warm_start ~jobs ?obs ?metrics ?guard ?faults
+    optimize_ctx ~ctx
       (Annealing { budget; space = Search.Stochastic.Heuristic })
       target prog
   in

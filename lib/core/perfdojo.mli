@@ -111,6 +111,79 @@ val default_portfolio :
     heuristic-space annealing under two seeds, edges-space annealing and
     heuristic-space sampling. *)
 
+(** The run context: every cross-cutting knob of an optimization run —
+    determinism ([seed]), memoization ([cache]), resumption
+    ([warm_start]), parallelism ([jobs]), observability ([obs],
+    [metrics]) and fault tolerance ([guard], [faults]) — in one record,
+    so call sites thread a single value instead of eight optional
+    arguments.  Build one by piping builders over {!Ctx.default}:
+
+    {[
+      let ctx =
+        Perfdojo.Ctx.(default |> with_seed 7 |> with_jobs 4 |> with_cache c)
+      in
+      Perfdojo.optimize_ctx ~ctx strategy target prog
+    ]}
+
+    The per-field semantics are documented on {!optimize}, which is now
+    a thin wrapper over {!optimize_ctx} (as are {!optimize_portfolio}
+    and {!optimize_best}); new code should pass a [Ctx.t]. *)
+module Ctx : sig
+  type t = {
+    seed : int;  (** search determinism; default [1] *)
+    cache : Tuning.Cache.t option;  (** objective memoization *)
+    warm_start : string list;  (** recorded moves to resume from *)
+    jobs : int;  (** [0] sequential, [>= 1] pooled domains *)
+    obs : Obs.Trace.sink;  (** structured trace; default {!Obs.Trace.null} *)
+    metrics : Obs.Metrics.t option;  (** counter/gauge registry *)
+    guard : Robust.Guard.config;  (** evaluation quarantine policy *)
+    faults : Robust.Faults.config;  (** deterministic fault injection *)
+  }
+
+  val default : t
+  (** [seed = 1], no cache, cold start, sequential, untraced, unmetered,
+      {!Robust.Guard.default}, {!Robust.Faults.none} — exactly the
+      defaults the optional-argument entry points always used. *)
+
+  val with_seed : int -> t -> t
+  val with_cache : Tuning.Cache.t -> t -> t
+  val with_warm_start : string list -> t -> t
+  val with_jobs : int -> t -> t
+  val with_obs : Obs.Trace.sink -> t -> t
+  val with_metrics : Obs.Metrics.t -> t -> t
+  val with_guard : Robust.Guard.config -> t -> t
+  val with_faults : Robust.Faults.config -> t -> t
+
+  val of_options :
+    ?seed:int ->
+    ?cache:Tuning.Cache.t ->
+    ?warm_start:string list ->
+    ?jobs:int ->
+    ?obs:Obs.Trace.sink ->
+    ?metrics:Obs.Metrics.t ->
+    ?guard:Robust.Guard.config ->
+    ?faults:Robust.Faults.config ->
+    unit ->
+    t
+  (** {!default} overridden by whichever arguments are given — the
+      bridge the legacy optional-argument wrappers are built on. *)
+end
+
+val optimize_ctx : ctx:Ctx.t -> strategy -> target -> Ir.Prog.t -> outcome
+(** One-call optimization of a kernel for a target under a run context.
+    This is the primary entry point; see {!optimize} for the semantics
+    of each context field (that wrapper is [optimize_ctx] over
+    {!Ctx.of_options}). *)
+
+val optimize_portfolio_ctx :
+  ctx:Ctx.t ->
+  members:portfolio_member list ->
+  target ->
+  Ir.Prog.t ->
+  outcome * string
+(** {!optimize_portfolio} under a run context; the member seeds override
+    [ctx.seed] member-by-member. *)
+
 val optimize :
   ?seed:int ->
   ?cache:Tuning.Cache.t ->
@@ -155,7 +228,12 @@ val optimize :
     failures themselves.  [faults] (default {!Robust.Faults.none}, the
     identity) injects deterministic faults into the objective — a
     test/bench knob for proving the degradation story, never for
-    production use. *)
+    production use.
+
+    {b Deprecated-in-docs:} this optional-argument form is kept for
+    source compatibility and is exactly
+    [optimize_ctx ~ctx:(Ctx.of_options ... ())]; new code should build
+    a {!Ctx.t} and call {!optimize_ctx}. *)
 
 val optimize_portfolio :
   ?cache:Tuning.Cache.t ->
@@ -185,7 +263,10 @@ val optimize_portfolio :
     Each surviving member traces into a private buffer; the buffers fold
     into [obs] in member order behind [portfolio.member] headers,
     followed by a [portfolio.winner] event — the merged stream is
-    independent of race scheduling (modulo {!Obs.Trace.strip_timing}). *)
+    independent of race scheduling (modulo {!Obs.Trace.strip_timing}).
+
+    {b Deprecated-in-docs:} wrapper over {!optimize_portfolio_ctx};
+    prefer passing a {!Ctx.t}. *)
 
 val optimize_best :
   ?seed:int ->

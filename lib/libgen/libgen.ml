@@ -1,0 +1,450 @@
+(* Batch library generation: optimize the whole operator suite in one
+   run and emit a C library.
+
+   The driver turns a kernel selection × target list into (kernel,
+   target) pairs, optimizes every pair through the existing
+   search/portfolio machinery, and emits one C translation unit per
+   pair, an umbrella header and a canonical-JSON manifest.
+
+   Three properties shape the implementation:
+
+   - incremental: a pair whose tuning-database best matches the current
+     program fingerprint is reproduced by replay instead of re-searched
+     (a [libgen.skip] trace event; [Skipped] in the manifest);
+   - fault-tolerant: pairs run under [Parallel.Pool.map_result], so a
+     crashing optimization degrades that pair to the naive schedule —
+     classified through [Robust.Guard]'s failure taxonomy and flagged
+     [Degraded] — instead of aborting the suite;
+   - deterministic: pairs are planned and folded in a fixed order,
+     per-pair traces buffer like portfolio members, and the manifest
+     carries no wall-clock fields, so output is byte-identical for any
+     [ctx.jobs]. *)
+
+module P = Perfdojo
+
+type status = Fresh | Skipped | Degraded
+
+type entry = {
+  kernel : string;
+  shape : string;
+  target : string;
+  fingerprint : string;
+  status : status;
+  strategy : string;
+  moves : string list;
+  naive_s : float;
+  time_s : float;
+  evaluations : int;
+  failures : int;
+  recorded : bool;
+  c_file : string;
+  c_entry : string;
+  error : string option;
+}
+
+type library = {
+  out_dir : string;
+  header : string;
+  entries : entry list;
+  fresh : int;
+  skipped : int;
+  degraded : int;
+}
+
+let status_name = function
+  | Fresh -> "fresh"
+  | Skipped -> "skipped"
+  | Degraded -> "degraded"
+
+let space_label = function
+  | Search.Stochastic.Heuristic -> "heuristic"
+  | Search.Stochastic.Edges -> "edges"
+
+let strategy_label : P.strategy -> string = function
+  | P.Naive -> "naive"
+  | P.Greedy -> "greedy"
+  | P.Heuristic -> "heuristic"
+  | P.Sampling { space; _ } -> "sampling/" ^ space_label space
+  | P.Annealing { space; _ } -> "annealing/" ^ space_label space
+  | P.Rl_search _ -> "rl"
+  | P.Portfolio _ -> "portfolio"
+
+let default_kernels () = Kernels.table3 @ Kernels.snitch_micro
+
+(* C identifier fragment from a kernel label or target name ("layernorm
+   1" -> "layernorm_1"). *)
+let sanitize s =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+    s
+
+let dedupe_by key xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    xs
+
+let resolve_targets names =
+  dedupe_by fst
+    (List.map
+       (fun name ->
+         match Machine.Desc.resolve_target name with
+         | Some pair -> pair
+         | None ->
+             invalid_arg
+               (Printf.sprintf "unknown target %S (known: %s)" name
+                  (String.concat ", "
+                     (List.map fst Machine.Desc.known_targets))))
+       names)
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let entry_json (e : entry) : Util.Json.t =
+  let open Util.Json in
+  let base =
+    [
+      ("kernel", Str e.kernel);
+      ("target", Str e.target);
+      ("shape", Str e.shape);
+      ("fingerprint", Str e.fingerprint);
+      ("status", Str (status_name e.status));
+      ("strategy", Str e.strategy);
+      ("moves", Arr (List.map (fun m -> Str m) e.moves));
+      ("naive_s", Num e.naive_s);
+      ("time_s", Num e.time_s);
+      ("speedup", Num (if e.time_s > 0. then e.naive_s /. e.time_s else 0.));
+      ("evaluations", Num (float_of_int e.evaluations));
+      ("failures", Num (float_of_int e.failures));
+      ("recorded", Bool e.recorded);
+      ("c_file", Str e.c_file);
+      ("entry", Str e.c_entry);
+    ]
+  in
+  Obj
+    (match e.error with
+    | None -> base
+    | Some msg -> base @ [ ("error", Str msg) ])
+
+let manifest_json (lib : library) : Util.Json.t =
+  let open Util.Json in
+  let targets = dedupe_by Fun.id (List.map (fun e -> e.target) lib.entries) in
+  Obj
+    [
+      ("schema", Num 1.);
+      ("header", Str lib.header);
+      ("targets", Arr (List.map (fun t -> Str t) targets));
+      ("entries", Arr (List.map entry_json lib.entries));
+      ("fresh", Num (float_of_int lib.fresh));
+      ("skipped", Num (float_of_int lib.skipped));
+      ("degraded", Num (float_of_int lib.degraded));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* What the plan phase decided for a pair: reproduce a recorded
+   schedule, or optimize (with a warm-start sequence when the database
+   offers a matching record). *)
+type plan_item =
+  | Reproduce of Tuning.Record.t * Ir.Prog.t
+  | Optimize of string list
+
+let generate ?kernels ?strategy ?db ?db_file ?(force = false)
+    ~(ctx : P.Ctx.t) ~targets ~out () : library =
+  let kernels =
+    dedupe_by
+      (fun (e : Kernels.entry) -> e.label)
+      (match kernels with None -> default_kernels () | Some ks -> ks)
+  in
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> P.Annealing { budget = 300; space = Search.Stochastic.Heuristic }
+  in
+  let strat_label = strategy_label strategy in
+  let targets = resolve_targets targets in
+  ensure_dir out;
+  let obs = ctx.P.Ctx.obs in
+  let metrics = ctx.P.Ctx.metrics in
+  let traced = Obs.Trace.enabled obs in
+  let pairs =
+    List.concat_map
+      (fun (tname, t) ->
+        List.map (fun (e : Kernels.entry) -> (tname, t, e)) kernels)
+      targets
+  in
+  if traced then
+    Obs.Trace.emit obs "libgen.start" (fun () ->
+        Obs.Trace.
+          [
+            int "targets" (List.length targets);
+            int "kernels" (List.length kernels);
+            int "pairs" (List.length pairs);
+            str "strategy" strat_label;
+          ]);
+  (* Plan phase (sequential, cheap): build each root, fingerprint it,
+     and decide skip vs optimize against the database.  All database
+     reads happen here, so the parallel phase touches no shared mutable
+     state beyond the ctx cache (which is domain-safe). *)
+  let plan =
+    List.map
+      (fun (tname, t, (e : Kernels.entry)) ->
+        let root = e.build () in
+        let fp = Tuning.Record.fingerprint root in
+        let naive_s = Machine.time t root in
+        let best =
+          match db with
+          | None -> None
+          | Some d -> Tuning.Db.best d ~kernel:e.label ~target:tname
+        in
+        let item =
+          match best with
+          | Some r when r.Tuning.Record.fingerprint = fp ->
+              if force then Optimize r.moves
+              else
+                let sched, applied =
+                  Tuning.Warmstart.replay (Machine.caps t) root r.moves
+                in
+                (* a record some of whose moves no longer apply is
+                   stale: re-optimize, still seeded by what replays *)
+                if applied = r.moves then Reproduce (r, sched)
+                else Optimize r.moves
+          | _ -> Optimize [] (* no record, or a different root program *)
+        in
+        (tname, t, e, root, fp, naive_s, item))
+      pairs
+  in
+  (* Parallel phase: optimize the fresh pairs across ctx.jobs domains.
+     Each pair runs its own sequential search (jobs = 0 inside the
+     workers, like portfolio members) into a private trace buffer;
+     map_result keeps one crashing pair from cancelling the suite. *)
+  let fresh_tasks =
+    Array.of_list
+      (List.filter_map
+         (fun (tname, t, e, root, _, _, item) ->
+           match item with
+           | Optimize warm -> Some (tname, t, e, root, warm)
+           | Reproduce _ -> None)
+         plan)
+  in
+  let task (_, t, _, root, warm) =
+    let sink = if traced then Obs.Trace.make_buffer () else Obs.Trace.null in
+    let pctx =
+      { ctx with P.Ctx.jobs = 0; obs = sink; warm_start = warm }
+    in
+    let o = P.optimize_ctx ~ctx:pctx strategy t root in
+    (o, sink)
+  in
+  let results =
+    if Array.length fresh_tasks = 0 then [||]
+    else
+      let jobs = max 1 (min ctx.P.Ctx.jobs (Array.length fresh_tasks)) in
+      Parallel.Pool.with_pool ~instrument:(metrics <> None) ~jobs
+        (fun pool ->
+          let r = Parallel.Pool.map_result pool task fresh_tasks in
+          (match metrics with
+          | Some m -> Parallel.Pool.export pool m
+          | None -> ());
+          r)
+  in
+  (* Fold phase (sequential, pair order): emit trace events and C
+     sources, deposit winners into the database, checkpoint it. *)
+  let deposit ~kernel ~tname ~t ~root (o : P.outcome) =
+    match db with
+    | None -> false
+    | Some d -> (
+        match
+          Tuning.Warmstart.record_of ~objective:(Machine.time t)
+            ~caps:(Machine.caps t) ~kernel ~target:tname ~root ~moves:o.moves
+            ~evals:o.evaluations
+        with
+        | Error _ -> false
+        | Ok r ->
+            (* Only a replayable winner is worth recording: a pass
+               schedule with no move trace would deposit the naive time
+               and make the next run "skip" to a slower library. *)
+            if r.Tuning.Record.best_time <= o.time_s *. (1. +. 1e-9) then begin
+              ignore (Tuning.Db.add d r);
+              (match db_file with
+              | Some f -> Tuning.Db.save d f
+              | None -> ());
+              true
+            end
+            else false)
+  in
+  let next_fresh = ref 0 in
+  let entries =
+    List.map
+      (fun (tname, t, (e : Kernels.entry), root, fp, naive_s, item) ->
+        let base = sanitize e.label ^ "_" ^ sanitize tname in
+        let c_file = base ^ ".c" in
+        let c_entry = "perfdojo_" ^ base in
+        let finish ~status ~strategy ~moves ~time_s ~evaluations ~failures
+            ~recorded ~error sched =
+          let banner =
+            Printf.sprintf
+              "/* %s (%s) on %s: %s\n\
+              \   status %s via %s; modelled %.3e s (%.2fx over naive)\n\
+              \   fingerprint %s */\n"
+              e.label e.shape_desc tname e.description (status_name status)
+              strategy time_s
+              (if time_s > 0. then naive_s /. time_s else 0.)
+              fp
+          in
+          write_file
+            (Filename.concat out c_file)
+            (banner ^ Codegen.program ~entry:c_entry sched);
+          {
+            kernel = e.label;
+            shape = e.shape_desc;
+            target = tname;
+            fingerprint = fp;
+            status;
+            strategy;
+            moves;
+            naive_s;
+            time_s;
+            evaluations;
+            failures;
+            recorded;
+            c_file;
+            c_entry;
+            error;
+          }
+        in
+        let degrade ~failure ~evaluations ~failures sink =
+          let msg = Robust.Guard.failure_message failure in
+          if traced then begin
+            Obs.Trace.emit obs "libgen.degraded" (fun () ->
+                Obs.Trace.
+                  [
+                    str "kernel" e.label;
+                    str "target" tname;
+                    str "class" (Robust.Guard.failure_class failure);
+                    str "msg" msg;
+                  ]);
+            match sink with
+            | Some s -> Obs.Trace.append ~into:obs s
+            | None -> ()
+          end;
+          finish ~status:Degraded ~strategy:"naive" ~moves:[]
+            ~time_s:naive_s ~evaluations ~failures ~recorded:false
+            ~error:(Some msg) root
+        in
+        match item with
+        | Reproduce (r, sched) ->
+            let time_s = Machine.time t sched in
+            if traced then
+              Obs.Trace.emit obs "libgen.skip" (fun () ->
+                  Obs.Trace.
+                    [
+                      str "kernel" e.label;
+                      str "target" tname;
+                      num "time_s" time_s;
+                    ]);
+            finish ~status:Skipped ~strategy:"db" ~moves:r.moves ~time_s
+              ~evaluations:0 ~failures:0 ~recorded:true ~error:None sched
+        | Optimize _ -> (
+            let i = !next_fresh in
+            incr next_fresh;
+            match results.(i) with
+            | Ok ((o : P.outcome), _sink) when not (Float.is_finite o.time_s)
+              ->
+                (* the search survived but found nothing finite — the
+                   same taxonomy a guarded evaluation would use *)
+                degrade
+                  ~failure:(Robust.Guard.Non_finite o.time_s)
+                  ~evaluations:o.evaluations ~failures:o.failures None
+            | Ok (o, sink) ->
+                let recorded =
+                  deposit ~kernel:e.label ~tname ~t ~root o
+                in
+                if traced then begin
+                  Obs.Trace.emit obs "libgen.entry" (fun () ->
+                      Obs.Trace.
+                        [
+                          str "kernel" e.label;
+                          str "target" tname;
+                          num "time_s" o.time_s;
+                          int "evals" o.evaluations;
+                          int "failures" o.failures;
+                          bool "recorded" recorded;
+                        ]);
+                  Obs.Trace.append ~into:obs sink
+                end;
+                finish ~status:Fresh ~strategy:strat_label ~moves:o.moves
+                  ~time_s:o.time_s ~evaluations:o.evaluations
+                  ~failures:o.failures ~recorded ~error:None o.schedule
+            | Error exn ->
+                (* the pair's whole optimization crashed; its partial
+                   trace buffer is lost with the task *)
+                degrade
+                  ~failure:(Robust.Guard.rejected_of_exn exn)
+                  ~evaluations:0 ~failures:0 None))
+      plan
+  in
+  let count st = List.length (List.filter (fun e -> e.status = st) entries) in
+  let fresh = count Fresh
+  and skipped = count Skipped
+  and degraded = count Degraded in
+  (* umbrella header: one entry-point declaration per pair *)
+  let header = "perfdojo.h" in
+  let hbuf = Buffer.create 1024 in
+  Buffer.add_string hbuf
+    (Printf.sprintf
+       "/* PerfDojo generated library: %d entries (%s).  Do not edit. */\n\
+        #ifndef PERFDOJO_LIB_H\n\
+        #define PERFDOJO_LIB_H\n\n"
+       (List.length entries)
+       (String.concat ", " (List.map fst targets)));
+  List.iter
+    (fun en ->
+      Buffer.add_string hbuf
+        (Printf.sprintf "/* %s (%s) on %s: %.3e s modelled, %s */\nvoid %s(void);\n"
+           en.kernel en.shape en.target en.time_s (status_name en.status)
+           en.c_entry))
+    entries;
+  Buffer.add_string hbuf "\n#endif /* PERFDOJO_LIB_H */\n";
+  write_file (Filename.concat out header) (Buffer.contents hbuf);
+  let lib = { out_dir = out; header; entries; fresh; skipped; degraded } in
+  write_file
+    (Filename.concat out "manifest.json")
+    (Util.Json.to_string (manifest_json lib) ^ "\n");
+  (* a final save even without deposits keeps db_file in sync with db *)
+  (match (db, db_file) with
+  | Some d, Some f -> Tuning.Db.save d f
+  | _ -> ());
+  (match metrics with
+  | Some m ->
+      Obs.Metrics.incr m ~by:(List.length entries) "libgen.pairs";
+      Obs.Metrics.incr m ~by:fresh "libgen.fresh";
+      Obs.Metrics.incr m ~by:skipped "libgen.skipped";
+      Obs.Metrics.incr m ~by:degraded "libgen.degraded"
+  | None -> ());
+  if traced then
+    Obs.Trace.emit obs "libgen.done" (fun () ->
+        Obs.Trace.
+          [
+            int "fresh" fresh;
+            int "skipped" skipped;
+            int "degraded" degraded;
+          ]);
+  lib

@@ -165,6 +165,31 @@ let riscv_scalar : cpu =
     mem_par_scale = 1.0;
   }
 
+(* The canonical short-name registry shared by the tuning database, the
+   libgen manifest and the CLI's --target flag.  Record keys and
+   manifest entries use exactly these names, so they live here rather
+   than in the CLI. *)
+let known_targets : (string * target) list =
+  [
+    ("x86", Cpu xeon_e5_2695v4);
+    ("avx512", Cpu avx512_cpu);
+    ("arm", Cpu grace_arm);
+    ("riscv", Cpu riscv_scalar);
+    ("snitch", Snitch snitch_cluster);
+    ("gh200", Gpu gh200);
+    ("mi300a", Gpu mi300a);
+  ]
+
+let resolve_target s : (string * target) option =
+  let canonical =
+    match s with "xeon" | "host" -> "x86" | "grace" -> "arm" | s -> s
+  in
+  List.assoc_opt canonical known_targets
+  |> Option.map (fun t -> (canonical, t))
+
+let short_name (t : target) : string option =
+  List.find_opt (fun (_, t') -> t' = t) known_targets |> Option.map fst
+
 (* The transformation capabilities each target exposes — the paper's
    "hardware-aware transformations" interface (§1): vendors ship
    capabilities, not tuned libraries. *)

@@ -48,6 +48,21 @@ type target = Cpu of cpu | Gpu of gpu | Snitch of snitch
 
 val target_name : target -> string
 
+val known_targets : (string * target) list
+(** Every modelled machine under its canonical short name — the
+    namespace tuning-database records, libgen manifests and the CLI's
+    [--target] flag share ([x86], [avx512], [arm], [riscv], [snitch],
+    [gh200], [mi300a]). *)
+
+val resolve_target : string -> (string * target) option
+(** Short name (or an accepted alias: [xeon]/[host] for [x86], [grace]
+    for [arm]) to the canonical name and descriptor; [None] when
+    unknown. *)
+
+val short_name : target -> string option
+(** Reverse lookup into {!known_targets} (structural equality); [None]
+    for a hand-built descriptor. *)
+
 val xeon_e5_2695v4 : cpu
 (** The paper's §4.2 x86 machine (18 cores, AVX2). *)
 

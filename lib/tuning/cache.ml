@@ -44,9 +44,8 @@ let lock_shard (s : shard) =
     s.contended <- s.contended + 1
   end
 
-let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
-    float =
-  let fp = Record.fingerprint p in
+let memoize_key (cache : t) (fp : string) (objective : Ir.Prog.t -> float)
+    (p : Ir.Prog.t) : float =
   let s = shard_of cache fp in
   lock_shard s;
   match Hashtbl.find_opt s.table fp with
@@ -67,6 +66,14 @@ let memoize (cache : t) (objective : Ir.Prog.t -> float) (p : Ir.Prog.t) :
         Hashtbl.add s.table fp time;
       Mutex.unlock s.lock;
       time
+
+let memoize (cache : t) objective p =
+  memoize_key cache (Record.fingerprint p) objective p
+
+(* The scope joins the key with a byte no fingerprint (hex) or scope
+   name contains, so distinct (scope, program) pairs never collide. *)
+let memoize_scoped (cache : t) ~scope objective p =
+  memoize_key cache (scope ^ "\x00" ^ Record.fingerprint p) objective p
 
 let sum (cache : t) f = Array.fold_left (fun acc s -> acc + f s) 0 cache
 let hits (c : t) = sum c (fun s -> s.hits)

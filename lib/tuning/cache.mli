@@ -29,6 +29,16 @@ val memoize : t -> (Ir.Prog.t -> float) -> Ir.Prog.t -> float
     for the lifetime of the cache; a raising [objective] stores nothing
     either (the exception propagates before the store). *)
 
+val memoize_scoped :
+  t -> scope:string -> (Ir.Prog.t -> float) -> Ir.Prog.t -> float
+(** Like {!memoize}, but keyed on [scope] alongside the program
+    fingerprint.  Use it whenever one cache backs objectives that can
+    disagree on the same program — above all different targets, whose
+    performance models return different times for identical IR.  The
+    facade scopes by target name, so a single cache shared across a
+    batch run (e.g. {!Libgen.generate} over several targets) stays
+    correct. *)
+
 val hits : t -> int
 (** Evaluations answered from the cache. *)
 

@@ -180,10 +180,96 @@ let parallel_facade_tests =
         | exception Invalid_argument _ -> ());
   ]
 
+(* The run-context record must be a faithful repackaging of the legacy
+   optional arguments: same defaults, same results. *)
+let check_outcome label (a : outcome) (b : outcome) =
+  Alcotest.(check (float 0.0)) (label ^ " time") a.time_s b.time_s;
+  Alcotest.(check (list string)) (label ^ " moves") a.moves b.moves;
+  Alcotest.(check int) (label ^ " evals") a.evaluations b.evaluations;
+  Alcotest.(check int) (label ^ " failures") a.failures b.failures
+
+let ctx_tests =
+  [
+    Alcotest.test_case "Ctx.default equals the wrapper defaults" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:32 ~m:32 in
+        List.iter
+          (fun strat ->
+            check_outcome "default"
+              (Perfdojo.optimize strat target_cpu p)
+              (Perfdojo.optimize_ctx ~ctx:Ctx.default strat target_cpu p))
+          [
+            Heuristic;
+            Annealing { budget = 40; space = Search.Stochastic.Heuristic };
+            Sampling { budget = 40; space = Search.Stochastic.Edges };
+          ]);
+    Alcotest.test_case "builders agree with the optional arguments" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let strat =
+          Annealing { budget = 40; space = Search.Stochastic.Heuristic }
+        in
+        let cache = Tuning.Cache.create () in
+        let old_style =
+          Perfdojo.optimize ~seed:7 ~cache ~jobs:2 strat target_snitch p
+        in
+        let ctx =
+          Ctx.(
+            default |> with_seed 7
+            |> with_cache (Tuning.Cache.create ())
+            |> with_jobs 2)
+        in
+        check_outcome "builders" old_style
+          (Perfdojo.optimize_ctx ~ctx strat target_snitch p));
+    Alcotest.test_case "of_options defaults match Ctx.default" `Quick
+      (fun () ->
+        let a = Ctx.of_options () in
+        let b = Ctx.default in
+        Alcotest.(check int) "seed" b.Ctx.seed a.Ctx.seed;
+        Alcotest.(check int) "jobs" b.Ctx.jobs a.Ctx.jobs;
+        Alcotest.(check (list string)) "warm" b.Ctx.warm_start
+          a.Ctx.warm_start;
+        Alcotest.(check bool) "cache" true (a.Ctx.cache = None);
+        Alcotest.(check bool) "metrics" true (a.Ctx.metrics = None));
+    Alcotest.test_case "portfolio wrapper equals optimize_portfolio_ctx"
+      `Quick (fun () ->
+        let p = Kernels.softmax ~n:16 ~m:16 in
+        let members = Perfdojo.default_portfolio ~seed:3 ~budget:25 () in
+        let a, wa =
+          Perfdojo.optimize_portfolio ~jobs:2 ~members target_cpu p
+        in
+        let b, wb =
+          Perfdojo.optimize_portfolio_ctx
+            ~ctx:Ctx.(default |> with_jobs 2)
+            ~members target_cpu p
+        in
+        Alcotest.(check string) "winner" wa wb;
+        check_outcome "portfolio" a b);
+    Alcotest.test_case "warm start through the context resumes the search"
+      `Quick (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let strat =
+          Annealing { budget = 30; space = Search.Stochastic.Heuristic }
+        in
+        let first = Perfdojo.optimize_ctx ~ctx:Ctx.default strat target_cpu p in
+        let warm =
+          Perfdojo.optimize_ctx
+            ~ctx:(Ctx.with_warm_start first.moves Ctx.default)
+            strat target_cpu p
+        in
+        let legacy =
+          Perfdojo.optimize ~warm_start:first.moves strat target_cpu p
+        in
+        check_outcome "warm" legacy warm;
+        Alcotest.(check bool) "no regression" true
+          (warm.time_s <= first.time_s +. 1e-12));
+  ]
+
 let () =
   Alcotest.run "core"
     [
       ("game", game_tests);
       ("optimize", optimize_tests);
       ("parallel-facade", parallel_facade_tests);
+      ("ctx", ctx_tests);
     ]

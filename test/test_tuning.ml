@@ -419,6 +419,30 @@ let cache_tests =
         Alcotest.(check (float 0.0)) "identical result" plain memo;
         Alcotest.(check bool) "cache was useful" true
           (Tuning.Cache.hits cache > 0));
+    Alcotest.test_case "scoped keys keep targets apart in one cache" `Quick
+      (fun () ->
+        (* the same program timed for two targets through one shared
+           cache: unscoped keys would return the first target's time
+           for the second (cross-target pollution) *)
+        let cache = Tuning.Cache.create () in
+        let p = Kernels.scale ~n:64 in
+        let time_for target =
+          Tuning.Cache.memoize_scoped cache
+            ~scope:(Machine.Desc.target_name target)
+            (objective target) p
+        in
+        let sn = time_for target_sn in
+        let cpu = time_for target_cpu in
+        Alcotest.(check (float 0.0)) "snitch unpolluted"
+          (objective target_sn p) sn;
+        Alcotest.(check (float 0.0)) "cpu unpolluted"
+          (objective target_cpu p) cpu;
+        Alcotest.(check int) "both evaluated" 2 (Tuning.Cache.misses cache);
+        Alcotest.(check int) "two entries" 2 (Tuning.Cache.entries cache);
+        (* revisits still hit within each scope *)
+        ignore (time_for target_sn);
+        ignore (time_for target_cpu);
+        Alcotest.(check int) "scoped hits" 2 (Tuning.Cache.hits cache));
   ]
 
 (* The cache backs the objective of the parallel search, so several
