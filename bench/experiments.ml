@@ -1306,6 +1306,170 @@ let libgen () =
   print_endline "wrote BENCH_libgen.json (library in BENCH_libgen/)"
 
 (* ------------------------------------------------------------------ *)
+(* The tuning service: warm-query fast path vs cold search latency     *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process server under a mixed workload: one cold pass that
+   searches and deposits every pair, then rounds of optimize + query
+   over the same pairs that must all hit the warm path.  Hard-fails
+   (and with it @smoke) unless the post-cold pass is 100% warm, the
+   warm p50 sits at least 100x below the cold p50, and shutdown
+   acknowledges exactly one database record per pair.  The server's
+   trace lands in BENCH_serve_trace.jsonl for trace_lint. *)
+let serve () =
+  Report.header "Tuning service: warm-query fast path vs cold search";
+  let module S = Serve.Server in
+  let module P = Serve.Protocol in
+  let budget = max 16 (Report.search_budget () / 2) in
+  let target = "snitch" in
+  let kernels = [ "scale"; "axpy"; "dot"; "vecsum" ] in
+  let oc = open_out "BENCH_serve_trace.jsonl" in
+  let metrics = Obs.Metrics.create () in
+  let cfg =
+    {
+      S.default_config with
+      queue_depth = 32;
+      workers = 2;
+      default_budget = budget;
+      obs = Obs.Trace.to_channel oc;
+      metrics = Some metrics;
+    }
+  in
+  let server = S.create cfg in
+  let next_id = ref 0 in
+  let fresh () =
+    incr next_id;
+    !next_id
+  in
+  let optimize k =
+    P.Optimize
+      {
+        id = fresh ();
+        kernel = k;
+        target;
+        strategy = "annealing";
+        budget;
+        deadline_ms = 0;
+        force = false;
+      }
+  in
+  let query k = P.Query { id = fresh (); kernel = k; target } in
+  (* cold pass: every pair searches and deposits *)
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun k ->
+      match S.submit server (optimize k) with
+      | P.Optimized { warm = false; _ } -> ()
+      | P.Optimized { warm = true; _ } ->
+          failwith ("serve: first request for " ^ k ^ " answered warm")
+      | r ->
+          failwith
+            ("serve: cold optimize of " ^ k ^ " answered "
+           ^ P.response_kind r))
+    kernels;
+  let cold_wall = Unix.gettimeofday () -. t0 in
+  (* warm pass: optimize + query rounds, every one must hit warm *)
+  let rounds = 50 in
+  let warm_total = ref 0 in
+  let warm_misses = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    List.iter
+      (fun k ->
+        incr warm_total;
+        (match S.submit server (optimize k) with
+        | P.Optimized { warm = true; _ } -> ()
+        | _ -> incr warm_misses);
+        incr warm_total;
+        match S.submit server (query k) with
+        | P.Queried { found = true; _ } -> ()
+        | _ -> incr warm_misses)
+      kernels
+  done;
+  let warm_wall = Unix.gettimeofday () -. t0 in
+  if !warm_misses > 0 then
+    failwith
+      (Printf.sprintf "serve: %d of %d post-cold requests missed the warm path"
+         !warm_misses !warm_total);
+  let summary name : Obs.Metrics.summary =
+    match Obs.Metrics.histogram metrics name with
+    | Some s -> s
+    | None -> failwith ("serve: no samples in histogram " ^ name)
+  in
+  let w = summary "serve.latency_warm_s" in
+  let c = summary "serve.latency_cold_s" in
+  let ratio = c.p50 /. w.p50 in
+  if ratio < 100. then
+    failwith
+      (Printf.sprintf
+         "serve: warm p50 only %.0fx below cold p50 (%.3e vs %.3e)" ratio
+         w.p50 c.p50);
+  let requests =
+    match S.submit server (P.Stats { id = fresh () }) with
+    | P.Stats_reply { counters; _ } -> (
+        match List.assoc_opt "serve.requests" counters with
+        | Some n -> n
+        | None -> failwith "serve: stats reply lacks serve.requests")
+    | r -> failwith ("serve: stats answered " ^ P.response_kind r)
+  in
+  let records =
+    match S.submit server (P.Shutdown { id = fresh () }) with
+    | P.Shutdown_ack { records; _ } -> records
+    | r -> failwith ("serve: shutdown answered " ^ P.response_kind r)
+  in
+  close_out oc;
+  if records <> List.length kernels then
+    failwith
+      (Printf.sprintf "serve: %d records at shutdown, expected %d" records
+         (List.length kernels));
+  let req_s = float_of_int !warm_total /. warm_wall in
+  Report.table
+    [ "path"; "requests"; "wall (s)"; "p50 (s)"; "p99 (s)" ]
+    [
+      [
+        "cold"; string_of_int c.count; Printf.sprintf "%.3f" cold_wall;
+        Report.e3 c.p50; Report.e3 c.p99;
+      ];
+      [
+        "warm"; string_of_int w.count; Printf.sprintf "%.3f" warm_wall;
+        Report.e3 w.p50; Report.e3 w.p99;
+      ];
+    ];
+  Printf.printf
+    "\nwarm pass: 100%% hit (%d/%d), %.0f req/s; warm p50 %s below cold \
+     p50\n"
+    (!warm_total - !warm_misses)
+    !warm_total req_s (Report.x2 ratio);
+  let json =
+    Tuning.Json.Obj
+      [
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ("target", Tuning.Json.Str target);
+        ( "kernels",
+          Tuning.Json.Arr (List.map (fun k -> Tuning.Json.Str k) kernels) );
+        ("requests", Tuning.Json.Num (float_of_int requests));
+        ("cold_wall_s", Tuning.Json.Num cold_wall);
+        ("warm_wall_s", Tuning.Json.Num warm_wall);
+        ("warm_req_per_s", Tuning.Json.Num req_s);
+        ("cold_p50_s", Tuning.Json.Num c.p50);
+        ("cold_p99_s", Tuning.Json.Num c.p99);
+        ("warm_p50_s", Tuning.Json.Num w.p50);
+        ("warm_p99_s", Tuning.Json.Num w.p99);
+        ("warm_to_cold_p50", Tuning.Json.Num ratio);
+        ( "warm_hit_rate",
+          Tuning.Json.Num
+            (float_of_int (!warm_total - !warm_misses)
+            /. float_of_int !warm_total) );
+        ("records", Tuning.Json.Num (float_of_int records));
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_serve.json"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1333,4 +1497,5 @@ let all : (string * (unit -> unit)) list =
     ("parallel", parallel);
     ("faults", faults);
     ("libgen", libgen);
+    ("serve", serve);
   ]

@@ -5,6 +5,7 @@
      perfdojo kernel list | show | moves
      perfdojo lib generate
      perfdojo db list | best | export
+     perfdojo serve | client
 
    plus the established spellings, kept as aliases of the same terms:
    list, targets, show, moves, optimize, verify, game, replay, analyze
@@ -79,9 +80,10 @@ let strategy_of_string budget s : (strategy, bool * string) result =
 
 (* Tolerant load: malformed lines (a writer killed mid-append) are
    skipped by Tuning.Db.load — surface them as a warning, not a
-   failure, so a torn database never blocks tuning. *)
-let load_db path : (Tuning.Db.t, bool * string) result =
-  match Tuning.Db.load path with
+   failure, so a torn database never blocks tuning.  With a trace sink
+   open they also land as a [db.skipped_lines] event. *)
+let load_db ?obs path : (Tuning.Db.t, bool * string) result =
+  match Tuning.Db.load ?obs path with
   | Ok db ->
       let skipped = Tuning.Db.skipped_lines db in
       if skipped > 0 then
@@ -212,16 +214,18 @@ let with_common (c : common) body =
       Ok (Robust.Faults.spread ~seed:c.co_seed c.co_fault_rate)
     else Error (true, "--fault-rate must lie in [0, 1]")
   in
-  let* db =
-    match c.co_db with
-    | None -> Ok None
-    | Some f -> Result.map Option.some (load_db f)
-  in
+  (* the trace sink opens before the database loads so skipped lines
+     surface as db.skipped_lines events in the run's trace *)
   let trace_oc = Option.map open_out c.co_trace in
   let obs =
     match trace_oc with
     | None -> Obs.Trace.null
     | Some oc -> Obs.Trace.to_channel oc
+  in
+  let* db =
+    match c.co_db with
+    | None -> Ok None
+    | Some f -> Result.map Option.some (load_db ~obs f)
   in
   let metrics = if c.co_stats then Some (Obs.Metrics.create ()) else None in
   let cache = Option.map (fun _ -> Tuning.Cache.create ()) db in
@@ -981,6 +985,253 @@ let lib_cmd =
     (Cmd.info "lib" ~doc:"Generate optimized kernel libraries.")
     [ lib_generate_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve: the tuning service                                           *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the tuning service." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-request queueing deadline in milliseconds; a request still \
+     pending past it is answered with a typed deadline error.  0 \
+     disables the deadline."
+  in
+  Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let serve_cmd =
+  let run socket pipe queue_depth deadline_ms fuel budget (c : common) =
+    to_ret
+    @@ let* () =
+         if c.co_max_retries < 0 then
+           Error (true, "--max-retries must be non-negative")
+         else Ok ()
+       in
+       let* faults =
+         if c.co_fault_rate = 0. then Ok Robust.Faults.none
+         else if c.co_fault_rate >= 0. && c.co_fault_rate <= 1. then
+           Ok (Robust.Faults.spread ~seed:c.co_seed c.co_fault_rate)
+         else Error (true, "--fault-rate must lie in [0, 1]")
+       in
+       let* () =
+         if queue_depth < 1 then Error (true, "--queue-depth must be >= 1")
+         else Ok ()
+       in
+       let* transport =
+         match (socket, pipe) with
+         | Some path, false -> Ok (`Socket path)
+         | None, true -> Ok `Pipe
+         | Some _, true ->
+             Error (true, "--socket and --pipe are mutually exclusive")
+         | None, false -> Error (true, "serve needs --socket PATH or --pipe")
+       in
+       let trace_oc = Option.map open_out c.co_trace in
+       let obs =
+         match trace_oc with
+         | None -> Obs.Trace.null
+         | Some oc -> Obs.Trace.to_channel oc
+       in
+       let metrics =
+         if c.co_stats then Some (Obs.Metrics.create ()) else None
+       in
+       let cfg =
+         {
+           Serve.Server.default_config with
+           queue_depth;
+           workers = max 1 c.co_jobs;
+           default_budget = budget;
+           deadline_ms;
+           fuel;
+           seed = c.co_seed;
+           db_file = c.co_db;
+           guard =
+             { Robust.Guard.default with max_retries = c.co_max_retries };
+           faults;
+           obs;
+           metrics;
+         }
+       in
+       (* create raises Failure on an unreadable database and run_socket
+          raises Unix_error on an unbindable path — both reach the
+          top-level one-line error handler (exit 3) *)
+       let server = Serve.Server.create cfg in
+       (match transport with
+       | `Pipe -> Serve.Server.run_pipe server stdin stdout
+       | `Socket path ->
+           let stop_flag = ref false in
+           Sys.set_signal Sys.sigint
+             (Sys.Signal_handle (fun _ -> stop_flag := true));
+           Serve.Server.run_socket
+             ~should_stop:(fun () -> !stop_flag)
+             ~on_ready:(fun () ->
+               Printf.eprintf "perfdojo: serving on %s\n%!" path)
+             server path);
+       (match trace_oc with Some oc -> close_out oc | None -> ());
+       Option.iter (Printf.eprintf "trace:      %s\n") c.co_trace;
+       (match metrics with
+       | Some m -> Format.printf "%a" Obs.Metrics.pp_summary m
+       | None -> ());
+       Ok ()
+  in
+  let pipe_arg =
+    Arg.(
+      value & flag
+      & info [ "pipe" ]
+          ~doc:
+            "Serve framed requests on stdin/stdout instead of a socket \
+             (one request per frame, answered in order) — the transport \
+             tests and CI drive.")
+  in
+  let queue_arg =
+    let doc =
+      "Admission-control bound on the pending cold-request queue; \
+       requests arriving beyond it are rejected immediately with a \
+       typed overloaded response."
+    in
+    Arg.(value & opt int 16 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let fuel_arg =
+    let doc =
+      "Per-request evaluation fuel; a request that exhausts it degrades \
+       to a typed faulted.exhausted error."
+    in
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning service: warm queries answered from the \
+          database in microseconds, cold requests searched on a worker \
+          pool under admission control.")
+    Term.(
+      ret
+        (const run $ socket_arg $ pipe_arg $ queue_arg $ deadline_arg
+       $ fuel_arg $ budget_arg $ common_opts))
+
+(* ------------------------------------------------------------------ *)
+(* client: one request against a running service                       *)
+(* ------------------------------------------------------------------ *)
+
+let client_cmd =
+  let run socket req kernel target strategy budget deadline_ms force =
+    to_ret
+    @@ let* socket =
+         match socket with
+         | Some s -> Ok s
+         | None -> Error (true, "client needs --socket PATH")
+       in
+       let module P = Serve.Protocol in
+       let* request =
+         let need_kernel of_kernel =
+           match kernel with
+           | Some k -> Ok (of_kernel k)
+           | None ->
+               Error
+                 (true, Printf.sprintf "request %S needs a KERNEL argument" req)
+         in
+         match req with
+         | "stats" -> Ok (P.Stats { id = 1 })
+         | "shutdown" -> Ok (P.Shutdown { id = 1 })
+         | "query" ->
+             need_kernel (fun kernel -> P.Query { id = 1; kernel; target })
+         | "optimize" ->
+             need_kernel (fun kernel ->
+                 P.Optimize
+                   { id = 1; kernel; target; strategy; budget; deadline_ms;
+                     force })
+         | "generate" ->
+             need_kernel (fun kernel ->
+                 P.Generate
+                   { id = 1; kernel; target; strategy; budget; deadline_ms })
+         | r ->
+             Error
+               ( true,
+                 Printf.sprintf
+                   "unknown request %S (optimize, query, generate, stats, \
+                    shutdown)"
+                   r )
+       in
+       (* connect errors (no server, missing socket) raise Unix_error
+          into the one-line error handler: exit 3 *)
+       let response =
+         Serve.Client.with_connection socket (fun conn ->
+             Serve.Client.request conn request)
+       in
+       let* resp =
+         match response with
+         | Error msg -> Error (false, "unreadable response: " ^ msg)
+         | Ok r -> Ok r
+       in
+       match resp with
+       | P.Optimized { kernel; target; warm; time_s; moves; evaluations;
+                       failures; _ } ->
+           Printf.printf "optimized:  %s @ %s (%s)\n" kernel target
+             (if warm then "warm hit" else "cold search");
+           Printf.printf "time:       %.3e s (%d evaluations, %d failures)\n"
+             time_s evaluations failures;
+           if moves <> [] then begin
+             print_endline "moves:";
+             List.iter (Printf.printf "  %s\n") moves
+           end;
+           Ok ()
+       | P.Queried { kernel; target; found; time_s; moves; _ } ->
+           if not found then begin
+             Printf.printf "no record for %s @ %s\n" kernel target;
+             Ok ()
+           end
+           else begin
+             Printf.printf "recorded:   %s @ %s at %.3e s\n" kernel target
+               time_s;
+             List.iter (Printf.printf "  %s\n") moves;
+             Ok ()
+           end
+       | P.Generated { kernel; target; warm; time_s; c_entry; c; _ } ->
+           (* C on stdout, metadata on stderr, so the output pipes
+              straight into a file or a compiler *)
+           Printf.eprintf "generated:  %s @ %s -> %s at %.3e s (%s)\n" kernel
+             target c_entry time_s
+             (if warm then "warm hit" else "cold search");
+           print_string c;
+           Ok ()
+       | P.Stats_reply { counters; gauges; _ } ->
+           List.iter (fun (k, v) -> Printf.printf "%-32s %d\n" k v) counters;
+           List.iter (fun (k, v) -> Printf.printf "%-32s %g\n" k v) gauges;
+           Ok ()
+       | P.Shutdown_ack { records; _ } ->
+           Printf.printf "server stopped; %d records checkpointed\n" records;
+           Ok ()
+       | P.Error { code; msg; _ } ->
+           Error
+             ( false,
+               Printf.sprintf "server: %s: %s" (P.error_code_name code) msg )
+  in
+  let req_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:"One of optimize, query, generate, stats, shutdown.")
+  in
+  let client_kernel_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"KERNEL")
+  in
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:"Search even when a warm database record exists.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running tuning service and print the \
+             response.")
+    Term.(
+      ret
+        (const run $ socket_arg $ req_arg $ client_kernel_arg $ target_arg
+       $ strategy_arg $ budget_arg $ deadline_arg $ force_arg))
+
 (* Uncaught exceptions must not dump a raw backtrace at the user: every
    predictable failure becomes a one-line `perfdojo: error: ...` on
    stderr and a non-zero exit.  PERFDOJO_DEBUG=1 re-raises instead (with
@@ -1026,7 +1277,7 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [
-           kernel_cmd; lib_cmd; db_cmd;
+           kernel_cmd; lib_cmd; db_cmd; serve_cmd; client_cmd;
            (* the established flat spellings, aliasing the same terms *)
            list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
            verify_cmd; game_cmd; replay_cmd; lib_generate_cmd; analyze_cmd;

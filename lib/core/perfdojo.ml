@@ -508,6 +508,36 @@ and optimize_portfolio_ctx ~(ctx : Ctx.t)
   ( { winner with evaluations = total_evals; failures = total_failures },
     members.(besti).plabel )
 
+(* One tuned request, ready to deposit: optimize under the context and
+   build the replayed-and-retimed database record of the winner in the
+   same call — the entry a long-running consumer (the serve daemon, the
+   CLI's optimize verb) needs, so each does not reimplement the
+   "optimize, then Warmstart.record_of, then decide recordability"
+   dance.  The record is [None] when the winner carries no move trace
+   (pass strategies), when some move no longer replays, or when the
+   replayed schedule would record a *slower* time than the outcome —
+   depositing that would make a future warm start worse than cold. *)
+let optimize_recorded ~(ctx : Ctx.t) ~kernel ~target_name strategy
+    (target : target) (prog : Ir.Prog.t) : outcome * Tuning.Record.t option
+    =
+  let o = optimize_ctx ~ctx strategy target prog in
+  (* an empty move list is still recordable: it replays to the root, so
+     a kernel whose naive form is already optimal warms up like any
+     other instead of re-searching forever *)
+  let record =
+    match
+      Tuning.Warmstart.record_of
+        ~objective:(fun q -> Machine.time target q)
+        ~caps:(Machine.caps target) ~kernel ~target:target_name ~root:prog
+        ~moves:o.moves ~evals:o.evaluations
+    with
+    | Error _ -> None
+    | Ok r ->
+        if r.Tuning.Record.best_time <= o.time_s *. (1. +. 1e-9) then Some r
+        else None
+  in
+  (o, record)
+
 (* ------------------------------------------------------------------ *)
 (* Legacy optional-argument wrappers                                   *)
 (* ------------------------------------------------------------------ *)

@@ -175,6 +175,25 @@ val optimize_ctx : ctx:Ctx.t -> strategy -> target -> Ir.Prog.t -> outcome
     of each context field (that wrapper is [optimize_ctx] over
     {!Ctx.of_options}). *)
 
+val optimize_recorded :
+  ctx:Ctx.t ->
+  kernel:string ->
+  target_name:string ->
+  strategy ->
+  target ->
+  Ir.Prog.t ->
+  outcome * Tuning.Record.t option
+(** {!optimize_ctx} plus the tuning-database record of the winner in one
+    call — the entry long-running consumers (the serve daemon, the CLI's
+    optimize verb) deposit from.  The record is built by {e replaying}
+    the winning move sequence and re-timing it
+    ({!Tuning.Warmstart.record_of}), so everything deposited is
+    reproducible; an empty move sequence records the root itself (a
+    kernel already optimal in naive form still warms up).  The record is
+    [None] when a move no longer replays or the replayed time would be
+    slower than the outcome's (recording that would make warm starts
+    regress). *)
+
 val optimize_portfolio_ctx :
   ctx:Ctx.t ->
   members:portfolio_member list ->

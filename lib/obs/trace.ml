@@ -25,38 +25,59 @@ type sink =
   | Null
   | Buffer of Util.Json.t Util.Dynarray.t
   | Channel of out_channel
+  | Sync of Mutex.t * sink
 
 let null = Null
 let make_buffer () = Buffer (Util.Dynarray.create ~capacity:64 Util.Json.Null)
 let to_channel oc = Channel oc
 
-let enabled = function Null -> false | Buffer _ | Channel _ -> true
+(* A synchronized sink serializes whole events under a mutex — the
+   buffer Dynarray and channel writes are not atomic on their own, so
+   any sink shared by concurrently-running writers (the serve daemon's
+   connection threads and dispatcher workers) must be wrapped.  The
+   single-writer paths (search, portfolio, libgen) fold per-slot
+   buffers instead and stay lock-free. *)
+let synchronized = function
+  | Null -> Null (* disabled stays free *)
+  | Sync _ as s -> s
+  | s -> Sync (Mutex.create (), s)
 
-let push sink (event : Util.Json.t) =
+let rec enabled = function
+  | Null -> false
+  | Buffer _ | Channel _ -> true
+  | Sync (_, inner) -> enabled inner
+
+let rec push sink (event : Util.Json.t) =
   match sink with
   | Null -> ()
   | Buffer buf -> Util.Dynarray.push buf event
   | Channel oc ->
       output_string oc (Util.Json.to_string event);
       output_char oc '\n'
+  | Sync (m, inner) ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () ->
+          push inner event)
 
 let emit sink name fields =
   match sink with
   | Null -> ()
-  | Buffer _ | Channel _ ->
+  | Buffer _ | Channel _ | Sync _ ->
       push sink (Util.Json.Obj (("ev", Util.Json.Str name) :: fields ()))
 
-let events = function
+let rec events = function
   | Buffer buf -> Util.Dynarray.to_array buf |> Array.to_list
+  | Sync (_, inner) -> events inner
   | Null | Channel _ -> []
 
-let append ~into src =
+let rec append ~into src =
   match src with
   | Buffer buf ->
       for i = 0 to Util.Dynarray.length buf - 1 do
         push into (Util.Dynarray.get buf i)
       done
   | Null -> ()
+  | Sync (_, inner) -> append ~into inner
   | Channel _ -> invalid_arg "Trace.append: source must be a buffer sink"
 
 let timing_field = function "dur_s" | "t_s" -> true | _ -> false

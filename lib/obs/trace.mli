@@ -21,6 +21,13 @@ val to_channel : out_channel -> sink
 (** JSONL straight to a channel, one event per line.  The caller owns
     the channel (open/close). *)
 
+val synchronized : sink -> sink
+(** A sink that serializes whole events under a mutex, for sinks shared
+    by concurrently-running writers (e.g. the serve daemon's connection
+    threads emitting into one channel).  {!null} stays {!null} (a
+    disabled sink needs no lock), and wrapping is idempotent.  {!events}
+    and {!append} see through to the underlying sink. *)
+
 val enabled : sink -> bool
 (** [false] only for {!null}.  Guard instrumentation sites with this so
     a disabled run allocates nothing. *)

@@ -1,0 +1,35 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  max_frame : int;
+}
+
+let connect ?(max_frame = Frame.max_payload_default) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+      Unix.close fd;
+      raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    max_frame;
+  }
+
+let request t req =
+  Frame.write t.oc (Protocol.encode_request req);
+  match Frame.read ~max:t.max_frame t.ic with
+  | Error e -> Error (Frame.error_message e)
+  | Ok payload -> Protocol.decode_response payload
+
+let close t =
+  (* the channels share [fd]; closing it once is enough, flushing first *)
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?max_frame path f =
+  let t = connect ?max_frame path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

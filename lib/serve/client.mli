@@ -1,0 +1,22 @@
+(** Client side of the tuning service: connect to a server's
+    Unix-domain socket, exchange framed {!Protocol} messages, close.
+
+    One connection carries any number of request/response exchanges in
+    order.  Connection failures propagate as [Unix.Unix_error] (the CLI
+    renders them as its one-line error); a response the server framed
+    but this library cannot parse is an [Error _] from {!request}. *)
+
+type t
+
+val connect : ?max_frame:int -> string -> t
+(** Connect to the socket at the given path.  Raises [Unix.Unix_error]
+    (e.g. [ENOENT], [ECONNREFUSED]) when no server is listening. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response. *)
+
+val close : t -> unit
+
+val with_connection :
+  ?max_frame:int -> string -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exceptions). *)

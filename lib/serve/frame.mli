@@ -1,0 +1,56 @@
+(** Length-prefixed framing for protocol messages.
+
+    Wire format of one frame: the payload byte count as ASCII decimal,
+    a ['\n'], the payload bytes, a closing ['\n'] — self-describing,
+    printable for JSON payloads, and trivially parseable from any
+    language.  The closing newline doubles as a checksum against length
+    desynchronization: a frame whose payload is not followed by ['\n']
+    is {!Malformed}.
+
+    Failure handling is typed so a server can distinguish a clean
+    disconnect ({!Eof}) from a half-written frame ({!Torn}) and keep a
+    connection alive across an {!Oversized} frame — the oversized
+    payload is consumed and discarded, leaving the stream positioned at
+    the next frame. *)
+
+type error =
+  | Eof  (** clean end of stream before any byte of a frame *)
+  | Torn of string  (** the stream ended mid-frame; payload lost *)
+  | Oversized of { len : int; max : int }
+      (** the declared length exceeds [max]; the payload was consumed
+          and discarded, so the stream is still framed *)
+  | Malformed of string  (** unparseable length header or bad trailer *)
+
+val error_message : error -> string
+
+val max_payload_default : int
+(** 4 MiB — far above any protocol message (generated C included) but
+    small enough to bound a hostile allocation. *)
+
+(** {1 Pure string transport (tests, QCheck properties)} *)
+
+val encode : string -> string
+(** The exact bytes {!write} would send. *)
+
+val decode : ?max:int -> string -> (string * string, error) result
+(** [decode s] splits the first frame off [s]: [(payload, rest)].  An
+    incomplete trailing frame is {!Torn}; an {!Oversized} frame is an
+    error but the returned exception carries enough to skip it (use
+    {!decode_skip} to resume). *)
+
+val decode_skip : ?max:int -> string -> (string * string, error) result * string
+(** Like {!decode} but also returns the stream remainder {e after} the
+    offending frame on {!Oversized} — what a surviving connection reads
+    next.  On success and on other errors the remainder equals
+    {!decode}'s. *)
+
+(** {1 Channel transport} *)
+
+val write : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read : ?max:int -> in_channel -> (string, error) result
+(** Read one frame.  On {!Oversized} the payload has been consumed, so
+    the next {!read} starts at the following frame; on {!Torn} /
+    {!Malformed} the stream position is unspecified and the connection
+    should close. *)

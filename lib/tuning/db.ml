@@ -37,8 +37,14 @@ let records (db : t) : Record.t list =
    line of a writer killed mid-append — is skipped and counted rather
    than bricking the whole database (and with it every future warm
    start).  [~strict:true] restores the old fail-on-first-bad-line
-   contract for callers that want corruption to be loud. *)
-let load ?(strict = false) (path : string) : (t, string) result =
+   contract for callers that want corruption to be loud.
+
+   Skipped lines are also surfaced as one [db.skipped_lines] trace
+   event on [obs], so every tolerant load — the CLI's, the serve
+   daemon's, a bench harness's — reports corruption the same way
+   instead of each caller inventing its own stderr warning. *)
+let load ?(strict = false) ?(obs = Obs.Trace.null) (path : string) :
+    (t, string) result =
   if not (Sys.file_exists path) then Ok (create ())
   else begin
     match open_in path with
@@ -65,6 +71,11 @@ let load ?(strict = false) (path : string) : (t, string) result =
         in
         let result = loop 1 in
         close_in ic;
+        (match result with
+        | Ok db when db.skipped > 0 ->
+            Obs.Trace.emit obs "db.skipped_lines" (fun () ->
+                Obs.Trace.[ str "path" path; int "skipped" db.skipped ])
+        | _ -> ());
         result
   end
 

@@ -11,7 +11,7 @@ type t
 val create : unit -> t
 (** An empty in-memory database. *)
 
-val load : ?strict:bool -> string -> (t, string) result
+val load : ?strict:bool -> ?obs:Obs.Trace.sink -> string -> (t, string) result
 (** Load a JSONL file.  A missing file is an empty database (first run
     bootstraps it).
 
@@ -19,7 +19,12 @@ val load : ?strict:bool -> string -> (t, string) result
     mid-append — are skipped and counted ({!skipped_lines}), so a crash
     never bricks future warm starts; [~strict:true] restores the old
     contract where the first malformed line is an [Error] naming it.
-    An unreadable file (permissions, I/O) is an [Error] either way. *)
+    An unreadable file (permissions, I/O) is an [Error] either way.
+
+    A tolerant load that skipped anything emits one [db.skipped_lines]
+    trace event ([path], [skipped]) on [obs] — the uniform signal every
+    caller (CLI, serve daemon, bench) observes corruption through;
+    the CLI additionally prints its stderr warning. *)
 
 val skipped_lines : t -> int
 (** Malformed lines tolerated by the {!load} that produced this

@@ -274,6 +274,51 @@ let db_tests =
               (Tuning.Db.size db');
             Alcotest.(check int) "torn line counted" 1
               (Tuning.Db.skipped_lines db')));
+    Alcotest.test_case "tolerant load traces a db.skipped_lines event"
+      `Quick (fun () ->
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~best_time:1.0 ~root ()));
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Tuning.Db.save db f;
+        let oc = open_out_gen [ Open_append ] 0o644 f in
+        output_string oc "garbage\n{\"torn";
+        close_out oc;
+        let obs = Obs.Trace.make_buffer () in
+        (match Tuning.Db.load ~obs f with
+        | Error e -> Alcotest.failf "tolerant load: %s" e
+        | Ok _ -> ());
+        Sys.remove f;
+        let skipped_events =
+          List.filter
+            (fun e ->
+              Option.bind (Util.Json.member "ev" e) Util.Json.to_str
+              = Some "db.skipped_lines")
+            (Obs.Trace.events obs)
+        in
+        match skipped_events with
+        | [ e ] ->
+            Alcotest.(check (option int))
+              "skip count in the event" (Some 2)
+              (Option.bind (Util.Json.member "skipped" e) Util.Json.to_int);
+            Alcotest.(check (option string))
+              "path in the event" (Some f)
+              (Option.bind (Util.Json.member "path" e) Util.Json.to_str)
+        | es -> Alcotest.failf "%d db.skipped_lines events" (List.length es));
+    Alcotest.test_case "clean load emits no db.skipped_lines event" `Quick
+      (fun () ->
+        let db = Tuning.Db.create () in
+        let root = Kernels.scale ~n:16 in
+        ignore (Tuning.Db.add db (mk_record ~best_time:1.0 ~root ()));
+        let f = Filename.temp_file "tunedb" ".jsonl" in
+        Tuning.Db.save db f;
+        let obs = Obs.Trace.make_buffer () in
+        (match Tuning.Db.load ~obs f with
+        | Error e -> Alcotest.failf "clean load: %s" e
+        | Ok _ -> ());
+        Sys.remove f;
+        Alcotest.(check int) "no events" 0
+          (List.length (Obs.Trace.events obs)));
     Alcotest.test_case "clean load reports zero skipped lines" `Quick
       (fun () ->
         let db = Tuning.Db.create () in
