@@ -1470,6 +1470,180 @@ let serve () =
   print_endline "wrote BENCH_serve.json"
 
 (* ------------------------------------------------------------------ *)
+(* Surrogate pre-ranking: evaluations saved at equal quality           *)
+(* ------------------------------------------------------------------ *)
+
+(* Train the linear ranking model on the Table-3 kernels, then search a
+   held-out softmax shape twice under the same seed and budget: once
+   plain, once with the model pre-ranking every candidate batch at
+   filter-ratio 0.25 plus intra-batch dedup.  The claim under test: the
+   filtered search stays within 5% of the unfiltered best time while
+   paying for at most 40% of its simulator evaluations.  The budget is
+   pinned (not PERFDOJO_BUDGET) so the assertions are deterministic. *)
+let surrogate () =
+  Report.header "Surrogate cost model: pre-ranked search vs full search";
+  let budget = 96 in
+  let target = target_x86 in
+  let strat = Perfdojo.Sampling { budget; space = Stoch.Heuristic } in
+  let oc = open_out "BENCH_surrogate_trace.jsonl" in
+  let obs = Obs.Trace.to_channel oc in
+  let metrics = Obs.Metrics.create () in
+  (* phase 1: online training on the Table-3 kernels.  filter_ratio
+     stays 1.0, so the model scores and learns from every real
+     evaluation but never filters. *)
+  let model = Surrogate.Model.create () in
+  let train_outcomes =
+    List.map
+      (fun (e : Kernels.entry) ->
+        let ctx =
+          Ctx.(
+            default |> with_seed 3 |> with_surrogate model |> with_obs obs
+            |> with_metrics metrics)
+        in
+        (e, optimize_ctx ~ctx strat target (e.build ())))
+      Kernels.table3
+  in
+  let online_updates = Surrogate.Model.updates model in
+  if online_updates = 0 then
+    failwith "surrogate: online training made no model updates";
+  (* the offline path (perfdojo model train): every training run's
+     winner plus its root becomes a database record, each
+     (kernel, target) group a ranking constraint *)
+  let records =
+    List.concat_map
+      (fun ((e : Kernels.entry), (o : outcome)) ->
+        let root = e.build () in
+        [
+          Tuning.Record.make ~kernel:e.label ~target:"x86" ~moves:[]
+            ~best_time:(time target root) ~evals:1 ~root;
+          Tuning.Record.make ~kernel:e.label ~target:"x86" ~moves:o.moves
+            ~best_time:o.time_s ~evals:o.evaluations ~root;
+        ])
+      train_outcomes
+  in
+  let offline = Surrogate.Model.create () in
+  let stats : Surrogate.Model.offline_stats =
+    Surrogate.Model.train_offline offline
+      ~root_of:(fun ~kernel ~target:_ ->
+        match Kernels.find_entry Kernels.table3 kernel with
+        | e -> Some (e.build (), caps_x86)
+        | exception Invalid_argument _ -> None)
+      records
+  in
+  if stats.pairs = 0 then
+    failwith "surrogate: offline training produced no ranking pairs";
+  let canon m = Util.Json.to_string (Surrogate.Model.to_json m) in
+  let clone m =
+    match Surrogate.Model.of_json (Surrogate.Model.to_json m) with
+    | Ok c -> c
+    | Error e -> failwith ("surrogate: model round-trip failed: " ^ e)
+  in
+  if canon (clone offline) <> canon offline then
+    failwith "surrogate: model serialization is not byte-stable";
+  (* phase 2: held-out shape (not among the Table-3 shapes).  The
+     baseline runs the same batched engine with the same seed, so the
+     only difference is the pre-ranking filter. *)
+  let held_out () = Kernels.softmax ~n:48 ~m:96 in
+  let baseline =
+    let ctx =
+      Ctx.(
+        default |> with_seed 11 |> with_jobs 1 |> with_obs obs
+        |> with_metrics metrics)
+    in
+    optimize_ctx ~ctx strat target (held_out ())
+  in
+  let filtered_run jobs =
+    let ctx =
+      Ctx.(
+        default |> with_seed 11 |> with_jobs jobs
+        |> with_surrogate (clone model)
+        |> with_filter_ratio 0.25 |> with_dedup true |> with_obs obs
+        |> with_metrics metrics)
+    in
+    optimize_ctx ~ctx strat target (held_out ())
+  in
+  let filt = filtered_run 1 in
+  let filt4 = filtered_run 4 in
+  close_out oc;
+  if filt.time_s <> filt4.time_s || filt.evaluations <> filt4.evaluations
+  then
+    failwith
+      (Printf.sprintf
+         "surrogate: filtered search is not jobs-invariant (%.3e/%d vs \
+          %.3e/%d)"
+         filt.time_s filt.evaluations filt4.time_s filt4.evaluations);
+  let regression = filt.time_s /. baseline.time_s in
+  let reduction =
+    float_of_int baseline.evaluations /. float_of_int (max 1 filt.evaluations)
+  in
+  if regression > 1.05 then
+    failwith
+      (Printf.sprintf
+         "surrogate: filtered best %.3e is %.1f%% over baseline %.3e"
+         filt.time_s
+         ((regression -. 1.) *. 100.)
+         baseline.time_s);
+  if float_of_int filt.evaluations > 0.4 *. float_of_int baseline.evaluations
+  then
+    failwith
+      (Printf.sprintf
+         "surrogate: filtered search used %d of %d evaluations (> 40%%)"
+         filt.evaluations baseline.evaluations);
+  if reduction < 2.5 then
+    failwith
+      (Printf.sprintf "surrogate: only %.2fx evaluation reduction" reduction);
+  Report.table
+    [ "path"; "best (s)"; "sim evals"; "vs baseline" ]
+    [
+      [
+        "full search"; Report.e3 baseline.time_s;
+        string_of_int baseline.evaluations; "1.00x";
+      ];
+      [
+        "filtered (r=0.25)"; Report.e3 filt.time_s;
+        string_of_int filt.evaluations;
+        Printf.sprintf "%.2fx best, %.1fx fewer evals" regression reduction;
+      ];
+    ];
+  Printf.printf
+    "\nonline updates %d; offline: %d records -> %d pairs, %d updates\n"
+    online_updates stats.records stats.pairs
+    (Surrogate.Model.updates offline);
+  Printf.printf "scored %d, kept %d, filtered out %d, dedup saved %d\n"
+    (Obs.Metrics.counter metrics "surrogate.scored")
+    (Obs.Metrics.counter metrics "surrogate.kept")
+    (Obs.Metrics.counter metrics "surrogate.filtered")
+    (Obs.Metrics.counter metrics "surrogate.dedup_saved");
+  let json =
+    Tuning.Json.Obj
+      [
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ( "train_kernels",
+          Tuning.Json.Arr
+            (List.map
+               (fun (e : Kernels.entry) -> Tuning.Json.Str e.label)
+               Kernels.table3) );
+        ("held_out", Tuning.Json.Str "softmax n=48 m=96");
+        ("filter_ratio", Tuning.Json.Num 0.25);
+        ("baseline_best_s", Tuning.Json.Num baseline.time_s);
+        ( "baseline_evals",
+          Tuning.Json.Num (float_of_int baseline.evaluations) );
+        ("filtered_best_s", Tuning.Json.Num filt.time_s);
+        ("filtered_evals", Tuning.Json.Num (float_of_int filt.evaluations));
+        ("best_time_ratio", Tuning.Json.Num regression);
+        ("eval_reduction", Tuning.Json.Num reduction);
+        ("online_updates", Tuning.Json.Num (float_of_int online_updates));
+        ("offline_records", Tuning.Json.Num (float_of_int stats.records));
+        ("offline_pairs", Tuning.Json.Num (float_of_int stats.pairs));
+      ]
+  in
+  let oc = open_out "BENCH_surrogate.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_surrogate.json"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1498,4 +1672,5 @@ let all : (string * (unit -> unit)) list =
     ("faults", faults);
     ("libgen", libgen);
     ("serve", serve);
+    ("surrogate", surrogate);
   ]

@@ -130,6 +130,10 @@ type common = {
   co_max_retries : int;
   co_fault_rate : float;
   co_seed : int;
+  co_surrogate : string option;
+      (* None = off; Some "" = fresh model; Some path = load *)
+  co_filter_ratio : float;
+  co_dedup : bool;
 }
 
 let common_opts : common Term.t =
@@ -189,14 +193,47 @@ let common_opts : common Term.t =
     let doc = "Random seed." in
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
+  let surrogate_arg =
+    let doc =
+      "Learn a surrogate cost model online during the search (every \
+       real evaluation becomes a training pair).  With $(docv), start \
+       from a model file saved by $(b,perfdojo model train) instead of \
+       from scratch.  Pair with $(b,--filter-ratio) to spend the model: \
+       pre-rank each candidate batch and only send the top fraction to \
+       the simulator."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "surrogate" ] ~docv:"FILE" ~doc)
+  in
+  let filter_ratio_arg =
+    let doc =
+      "Fraction of each candidate batch that reaches the simulator \
+       after surrogate pre-ranking, in (0, 1].  1.0 (default) scores \
+       and trains but never filters; requires $(b,--surrogate) when \
+       below 1."
+    in
+    Arg.(value & opt float 1.0 & info [ "filter-ratio" ] ~docv:"R" ~doc)
+  in
+  let dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:
+            "Deduplicate identical candidates within each search batch: \
+             structurally equal programs are simulated once and share \
+             the measurement (traced as search.batch_dedup).")
+  in
   let make co_db co_jobs co_trace co_stats co_max_retries co_fault_rate
-      co_seed =
+      co_seed co_surrogate co_filter_ratio co_dedup =
     { co_db; co_jobs; co_trace; co_stats; co_max_retries; co_fault_rate;
-      co_seed }
+      co_seed; co_surrogate; co_filter_ratio; co_dedup }
   in
   Term.(
     const make $ db_arg $ jobs_arg $ trace_arg $ stats_arg $ retries_arg
-    $ fault_rate_arg $ seed_arg)
+    $ fault_rate_arg $ seed_arg $ surrogate_arg $ filter_ratio_arg
+    $ dedup_arg)
 
 (* Validate the shared options once, load the database, open the trace
    channel, build the run context and hand everything to [body]; close
@@ -213,6 +250,23 @@ let with_common (c : common) body =
     else if c.co_fault_rate >= 0. && c.co_fault_rate <= 1. then
       Ok (Robust.Faults.spread ~seed:c.co_seed c.co_fault_rate)
     else Error (true, "--fault-rate must lie in [0, 1]")
+  in
+  let* () =
+    if c.co_filter_ratio <= 0. || c.co_filter_ratio > 1. then
+      Error (true, "--filter-ratio must lie in (0, 1]")
+    else if c.co_filter_ratio < 1. && c.co_surrogate = None then
+      Error (true, "--filter-ratio below 1 requires --surrogate")
+    else Ok ()
+  in
+  let* surrogate =
+    match c.co_surrogate with
+    | None -> Ok None
+    | Some "" -> Ok (Some (Surrogate.Model.create ()))
+    | Some file -> (
+        match Surrogate.Model.load file with
+        | Ok m -> Ok (Some m)
+        | Error e ->
+            Error (false, Printf.sprintf "--surrogate %s: %s" file e))
   in
   (* the trace sink opens before the database loads so skipped lines
      surface as db.skipped_lines events in the run's trace *)
@@ -234,6 +288,13 @@ let with_common (c : common) body =
     |> Ctx.with_obs obs |> Ctx.with_faults faults
     |> Ctx.with_guard
          { Robust.Guard.default with max_retries = c.co_max_retries }
+    |> Ctx.with_filter_ratio c.co_filter_ratio
+    |> Ctx.with_dedup c.co_dedup
+  in
+  let ctx =
+    match surrogate with
+    | Some m -> Ctx.with_surrogate m ctx
+    | None -> ctx
   in
   let ctx =
     match cache with Some cch -> Ctx.with_cache cch ctx | None -> ctx
@@ -531,8 +592,21 @@ let db_best_cmd =
           move per line on stdout; replayable with `perfdojo replay`).")
     Term.(ret (const run $ db_file_arg $ kernel_arg $ target_arg))
 
+(* Resolve a database record's (kernel, target) pair back to a root
+   program and capability set — the replay context for feature
+   extraction and offline surrogate training.  Records naming kernels
+   or targets this build doesn't know are skipped, not errors: tuning
+   databases outlive binaries. *)
+let record_root ~kernel ~target =
+  match Kernels.find_entry all_kernels kernel with
+  | exception Invalid_argument _ -> None
+  | e -> (
+      match Machine.Desc.resolve_target target with
+      | None -> None
+      | Some (_, t) -> Some (e.build (), Machine.caps t))
+
 let db_export_cmd =
-  let run db_file kernel target k =
+  let run db_file kernel target k features =
     to_ret
     @@ let* db = load_db db_file in
        let* target =
@@ -552,9 +626,39 @@ let db_export_cmd =
          | None -> records
          | Some k -> List.filteri (fun i _ -> i < k) records
        in
-       List.iter
-         (fun r -> print_endline (Tuning.Record.to_json r))
-         records;
+       if not features then
+         List.iter
+           (fun r -> print_endline (Tuning.Record.to_json r))
+           records
+       else begin
+         (* one (feature-vector, measured-time) training row per
+            replayable record, as canonical JSONL *)
+         let skipped = ref 0 in
+         List.iter
+           (fun (r : Tuning.Record.t) ->
+             match record_root ~kernel:r.kernel ~target:r.target with
+             | Some (root, caps)
+               when Tuning.Record.fingerprint root = r.fingerprint
+                    && Float.is_finite r.best_time ->
+                 let prog, _ =
+                   Search.Stochastic.replay_skipping caps root r.moves
+                 in
+                 print_endline
+                   (Util.Json.to_string
+                      (Util.Json.Obj
+                         [
+                           ("kernel", Util.Json.Str r.kernel);
+                           ("target", Util.Json.Str r.target);
+                           ("time_s", Util.Json.Num r.best_time);
+                           ( "features",
+                             Surrogate.Features.to_json
+                               (Surrogate.Features.extract prog) );
+                         ]))
+             | _ -> incr skipped)
+           records;
+         if !skipped > 0 then
+           Printf.eprintf "# skipped %d unreplayable record(s)\n" !skipped
+       end;
        Ok ()
   in
   let kernel_opt =
@@ -576,12 +680,26 @@ let db_export_cmd =
       & info [ "top" ] ~docv:"N"
           ~doc:"Keep only the N fastest matching records.")
   in
+  let features_opt =
+    Arg.(
+      value & flag
+      & info [ "features" ]
+          ~doc:
+            "Instead of raw records, emit surrogate training rows: one \
+             canonical-JSON object per replayable record with the \
+             schedule's feature vector and its measured time.")
+  in
   Cmd.v
     (Cmd.info "export"
        ~doc:
          "Re-emit records as canonical JSONL on stdout, optionally \
-          filtered by kernel/target and truncated to the top N.")
-    Term.(ret (const run $ db_file_arg $ kernel_opt $ target_opt $ top_opt))
+          filtered by kernel/target and truncated to the top N.  With \
+          $(b,--features), emit (feature-vector, time) training rows \
+          instead.")
+    Term.(
+      ret
+        (const run $ db_file_arg $ kernel_opt $ target_opt $ top_opt
+       $ features_opt))
 
 let db_cmd =
   Cmd.group
@@ -590,6 +708,90 @@ let db_cmd =
          "Inspect the persistent tuning database (schedule records, one \
           JSON object per line).")
     [ db_list_cmd; db_best_cmd; db_export_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* model: the learned surrogate cost model                             *)
+(* ------------------------------------------------------------------ *)
+
+let model_train_cmd =
+  let run db_file out lr margin =
+    to_ret
+    @@ let* db = load_db db_file in
+       let cfg = { Surrogate.Model.default_config with lr; margin } in
+       let m = Surrogate.Model.create ~cfg () in
+       let stats =
+         Surrogate.Model.train_offline m
+           ~root_of:(fun ~kernel ~target -> record_root ~kernel ~target)
+           (Tuning.Db.records db)
+       in
+       Surrogate.Model.save m out;
+       Printf.printf "model:      %s\n" out;
+       Printf.printf "records:    %d (%d replayable)\n"
+         stats.Surrogate.Model.records stats.used;
+       Printf.printf "groups:     %d with comparable pairs\n" stats.groups;
+       Printf.printf "pairs:      %d\n" stats.pairs;
+       Printf.printf "updates:    %d\n" (Surrogate.Model.updates m);
+       Ok ()
+  in
+  let out_arg =
+    let doc = "Where to write the trained model (canonical JSON)." in
+    Arg.(
+      value & opt string "surrogate.json" & info [ "out"; "o" ] ~docv:"FILE"
+      ~doc)
+  in
+  let lr_arg =
+    let doc = "Learning rate for the pairwise hinge updates." in
+    Arg.(
+      value
+      & opt float Surrogate.Model.default_config.lr
+      & info [ "lr" ] ~docv:"R" ~doc)
+  in
+  let margin_arg =
+    let doc = "Required score margin between a faster and slower pair." in
+    Arg.(
+      value
+      & opt float Surrogate.Model.default_config.margin
+      & info [ "margin" ] ~docv:"M" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Train a surrogate cost model offline from a tuning database: \
+          every replayable record becomes a (features, time) point, \
+          every same-kernel/target pair a ranking constraint.  The \
+          output is byte-stable: same database, same flags, same file.")
+    Term.(ret (const run $ db_file_arg $ out_arg $ lr_arg $ margin_arg))
+
+let model_show_cmd =
+  let run file =
+    to_ret
+    @@
+    match Surrogate.Model.load file with
+    | Error e -> Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok m ->
+        let cfg = Surrogate.Model.config m in
+        Printf.printf "dim:        %d\n" Surrogate.Features.dim;
+        Printf.printf "lr:         %g\n" cfg.Surrogate.Model.lr;
+        Printf.printf "margin:     %g\n" cfg.margin;
+        Printf.printf "history:    %d\n" cfg.history;
+        Printf.printf "updates:    %d\n" (Surrogate.Model.updates m);
+        Ok ()
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Summarize a saved surrogate model file.")
+    Term.(ret (const run $ file_arg))
+
+let model_cmd =
+  Cmd.group
+    (Cmd.info "model"
+       ~doc:
+         "Train and inspect the learned surrogate cost model that \
+          pre-ranks search candidates (see --surrogate / \
+          --filter-ratio).")
+    [ model_train_cmd; model_show_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -1019,6 +1221,20 @@ let serve_cmd =
          if queue_depth < 1 then Error (true, "--queue-depth must be >= 1")
          else Ok ()
        in
+       let* () =
+         if c.co_filter_ratio <= 0. || c.co_filter_ratio > 1. then
+           Error (true, "--filter-ratio must lie in (0, 1]")
+         else if c.co_filter_ratio < 1. && c.co_surrogate = None then
+           Error (true, "--filter-ratio below 1 requires --surrogate")
+         else
+           match c.co_surrogate with
+           | Some f when f <> "" ->
+               Error
+                 ( true,
+                   "serve shares one fresh model across requests; \
+                    --surrogate takes no FILE here" )
+           | _ -> Ok ()
+       in
        let* transport =
          match (socket, pipe) with
          | Some path, false -> Ok (`Socket path)
@@ -1051,6 +1267,9 @@ let serve_cmd =
            faults;
            obs;
            metrics;
+           surrogate = c.co_surrogate <> None;
+           filter_ratio = c.co_filter_ratio;
+           dedup = c.co_dedup;
          }
        in
        (* create raises Failure on an unreadable database and run_socket
@@ -1277,7 +1496,7 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [
-           kernel_cmd; lib_cmd; db_cmd; serve_cmd; client_cmd;
+           kernel_cmd; lib_cmd; db_cmd; model_cmd; serve_cmd; client_cmd;
            (* the established flat spellings, aliasing the same terms *)
            list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
            verify_cmd; game_cmd; replay_cmd; lib_generate_cmd; analyze_cmd;

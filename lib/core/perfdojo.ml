@@ -25,6 +25,7 @@ module Util = Util
 module Tuning = Tuning
 module Obs = Obs
 module Robust = Robust
+module Surrogate = Surrogate
 
 type target = Machine.Desc.target
 
@@ -184,6 +185,9 @@ module Ctx = struct
     metrics : Obs.Metrics.t option;
     guard : Robust.Guard.config;
     faults : Robust.Faults.config;
+    surrogate : Surrogate.Model.t option;
+    filter_ratio : float;
+    dedup : bool;
   }
 
   let default =
@@ -196,6 +200,9 @@ module Ctx = struct
       metrics = None;
       guard = Robust.Guard.default;
       faults = Robust.Faults.none;
+      surrogate = None;
+      filter_ratio = 1.0;
+      dedup = false;
     }
 
   let with_seed seed t = { t with seed }
@@ -206,9 +213,12 @@ module Ctx = struct
   let with_metrics metrics t = { t with metrics = Some metrics }
   let with_guard guard t = { t with guard }
   let with_faults faults t = { t with faults }
+  let with_surrogate surrogate t = { t with surrogate = Some surrogate }
+  let with_filter_ratio filter_ratio t = { t with filter_ratio }
+  let with_dedup dedup t = { t with dedup }
 
   let of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
-      ?faults () =
+      ?faults ?surrogate ?filter_ratio ?dedup () =
     {
       seed = Option.value seed ~default:default.seed;
       cache = (match cache with None -> default.cache | some -> some);
@@ -218,12 +228,29 @@ module Ctx = struct
       metrics = (match metrics with None -> default.metrics | some -> some);
       guard = Option.value guard ~default:default.guard;
       faults = Option.value faults ~default:default.faults;
+      surrogate =
+        (match surrogate with None -> default.surrogate | some -> some);
+      filter_ratio =
+        Option.value filter_ratio ~default:default.filter_ratio;
+      dedup = Option.value dedup ~default:default.dedup;
     }
 end
 
 let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
     (prog : Ir.Prog.t) : outcome =
-  let { Ctx.seed; cache; warm_start; jobs; obs; metrics; guard; faults } =
+  let {
+    Ctx.seed;
+    cache;
+    warm_start;
+    jobs;
+    obs;
+    metrics;
+    guard;
+    faults;
+    surrogate;
+    filter_ratio;
+    dedup;
+  } =
     ctx
   in
   let caps = Machine.caps target in
@@ -279,6 +306,25 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
      pre-parallel code; jobs >= 1 runs the batched-synchronous-parallel
      search variants, whose trajectory depends on the batch size but not
      on jobs (jobs = 1 and jobs = N give identical results). *)
+  (* Surrogate wiring: candidates are only batched — hence rankable and
+     dedupable — on the parallel path, so enabling either knob promotes
+     a sequential run to a jobs = 1 pool (the caller-participating pool:
+     no nested domains, safe inside portfolio/libgen workers).  The
+     training group tag scopes ranking pairs to this (target, root):
+     runtimes are only comparable within one such group. *)
+  let prerank =
+    match surrogate with
+    | None -> None
+    | Some m ->
+        let group =
+          Machine.Desc.target_name target
+          ^ "|"
+          ^ Tuning.Record.fingerprint prog
+        in
+        Some (Surrogate.Model.prerank ~filter_ratio ~group m)
+  in
+  let batched = jobs >= 1 || Option.is_some prerank || dedup in
+  let pool_jobs = max jobs 1 in
   let base =
     Obs.Span.run ?metrics ~trace:obs "search" (fun () ->
         match strategy with
@@ -293,12 +339,13 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
             (s, guarded_time s, [], 1)
         | Sampling { budget; space } ->
             let r =
-              if jobs >= 1 then
-                Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
+              if batched then
+                Parallel.Pool.with_pool ~instrument ~jobs:pool_jobs
+                  (fun pool ->
                     let r =
                       Search.Stochastic.random_sampling_parallel ~seed
-                        ~init:warm_start ~obs ?metrics ~guard ~pool ~space
-                        ~budget caps objective prog
+                        ~init:warm_start ~obs ?metrics ~guard ?prerank
+                        ~dedup ~pool ~space ~budget caps objective prog
                     in
                     export_pool pool;
                     r)
@@ -310,12 +357,13 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
             (r.best, r.best_time, r.best_moves, r.evals)
         | Annealing { budget; space } ->
             let r =
-              if jobs >= 1 then
-                Parallel.Pool.with_pool ~instrument ~jobs (fun pool ->
+              if batched then
+                Parallel.Pool.with_pool ~instrument ~jobs:pool_jobs
+                  (fun pool ->
                     let r =
                       Search.Stochastic.simulated_annealing_parallel ~seed
-                        ~init:warm_start ~obs ?metrics ~guard ~pool ~space
-                        ~budget caps objective prog
+                        ~init:warm_start ~obs ?metrics ~guard ?prerank
+                        ~dedup ~pool ~space ~budget caps objective prog
                     in
                     export_pool pool;
                     r)

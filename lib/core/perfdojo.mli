@@ -18,6 +18,7 @@ module Util = Util
 module Tuning = Tuning
 module Obs = Obs
 module Robust = Robust
+module Surrogate = Surrogate
 
 type target = Machine.Desc.target
 
@@ -138,12 +139,24 @@ module Ctx : sig
     metrics : Obs.Metrics.t option;  (** counter/gauge registry *)
     guard : Robust.Guard.config;  (** evaluation quarantine policy *)
     faults : Robust.Faults.config;  (** deterministic fault injection *)
+    surrogate : Surrogate.Model.t option;
+        (** learned cost model: trained online by every real evaluation
+            and (when [filter_ratio < 1]) used to pre-rank candidate
+            batches so only the top fraction hits the simulator *)
+    filter_ratio : float;
+        (** fraction of each batch's distinct candidates sent to the
+            simulator, in (0, 1]; default [1.0] (keep all — the
+            surrogate then only trains). Ignored without [surrogate]. *)
+    dedup : bool;
+        (** evaluate each distinct candidate program once per batch;
+            duplicates share the measurement (default [false]) *)
   }
 
   val default : t
   (** [seed = 1], no cache, cold start, sequential, untraced, unmetered,
-      {!Robust.Guard.default}, {!Robust.Faults.none} — exactly the
-      defaults the optional-argument entry points always used. *)
+      {!Robust.Guard.default}, {!Robust.Faults.none}, no surrogate,
+      [filter_ratio = 1.0], no dedup — exactly the defaults the
+      optional-argument entry points always used. *)
 
   val with_seed : int -> t -> t
   val with_cache : Tuning.Cache.t -> t -> t
@@ -153,6 +166,9 @@ module Ctx : sig
   val with_metrics : Obs.Metrics.t -> t -> t
   val with_guard : Robust.Guard.config -> t -> t
   val with_faults : Robust.Faults.config -> t -> t
+  val with_surrogate : Surrogate.Model.t -> t -> t
+  val with_filter_ratio : float -> t -> t
+  val with_dedup : bool -> t -> t
 
   val of_options :
     ?seed:int ->
@@ -163,6 +179,9 @@ module Ctx : sig
     ?metrics:Obs.Metrics.t ->
     ?guard:Robust.Guard.config ->
     ?faults:Robust.Faults.config ->
+    ?surrogate:Surrogate.Model.t ->
+    ?filter_ratio:float ->
+    ?dedup:bool ->
     unit ->
     t
   (** {!default} overridden by whichever arguments are given — the

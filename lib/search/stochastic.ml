@@ -24,12 +24,28 @@ type objective = Ir.Prog.t -> float
 
 type space = Edges | Heuristic
 
+(* A surrogate pre-ranking stage for the batched variants: [score] is a
+   cheap learned predictor (higher = predicted faster) used to rank the
+   distinct candidates of a round so only the top [filter_ratio]
+   fraction pays for a real (simulator) evaluation; [observe] feeds
+   every real measurement back as online training signal.  The search
+   layer treats both as abstract closures — the concrete model lives in
+   [lib/surrogate], which depends on this library, not the reverse. *)
+type prerank = {
+  score : Ir.Prog.t -> float;  (** higher = predicted faster *)
+  observe : Ir.Prog.t -> float -> unit;
+      (** called with every real measurement, in slot order *)
+  filter_ratio : float;  (** fraction of distinct candidates kept, (0, 1] *)
+}
+
 type result = {
   best : Ir.Prog.t;
   best_time : float;
   best_moves : string list;
   curve : float array; (* best-so-far runtime after each evaluation *)
-  evals : int;
+  evals : int; (* simulator evaluations actually performed *)
+  skipped : int; (* slots filtered out by the surrogate (no evaluation) *)
+  deduped : int; (* duplicate slots answered by a shared evaluation *)
   failures : int; (* evaluations quarantined by the guard *)
 }
 
@@ -369,6 +385,8 @@ let random_sampling ?(seed = 1) ?filter ?(init = [])
     best_moves = !best.moves;
     curve;
     evals = budget;
+    skipped = 0;
+    deduped = 0;
     failures = !failures;
   }
 
@@ -458,10 +476,245 @@ let run_batched ~obs ~batch ~pool ~budget ~prepare ~fold =
   done;
   curve
 
+(* ------------------------------------------------------------------ *)
+(* Surrogate pre-ranking and intra-batch dedup                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [run_batched_filtered] is the opt-in sibling of [run_batched]: the
+   same batched-synchronous discipline (deterministic preparation and
+   folding on the submitting thread, expensive work on the pool), but
+   each round is split into a build phase and an evaluation phase so two
+   evaluation-saving stages can sit between them:
+
+     1. intra-batch dedup ([dedup]): candidates are hashed by their
+        printed program; each distinct program is evaluated once per
+        round and duplicates share the measurement
+        ([search.batch_dedup] carries unique/total counts);
+     2. surrogate pre-ranking ([prerank]): a cheap learned score ranks
+        the distinct candidates and only the top-k
+        ([prerank.filter_ratio]) reach the guarded simulator; the rest
+        are skipped outright ([search.prerank]).
+
+   Everything that consumes randomness (parent selection, RNG splits,
+   acceptance draws) still happens on the submitting thread in slot
+   order, and which slots are skipped / deduplicated is a deterministic
+   function of (seed, batch, model state) — the model itself is only
+   ever scored and trained from the submitting thread, in slot order —
+   so jobs-invariance holds exactly as for [run_batched].  The default
+   path never comes here: [run_batched] is untouched when neither
+   feature is enabled.
+
+   Moving replay out of the guard (the build phase) preserves the guard
+   semantics: replay is pure and draws no randomness, so an exception
+   during build is classified with the same [rejected_of_exn] a guarded
+   replay would have produced, and {!Robust.Faults} only ever wraps the
+   objective, whose attempt counter is untouched by the split. *)
+
+(* What one budget slot amounted to, folded in slot order. *)
+type slot_outcome =
+  | Evaluated of candidate  (** fresh measurement or shared duplicate *)
+  | Failed of Robust.Guard.failure
+      (** build or evaluation failure — quarantine *)
+  | Skipped  (** surrogate-filtered: no measurement, not a failure *)
+
+(* Grow one child without measuring it: the (moves, program) pair ready
+   for dedup/ranking.  Exceptions from a transform or replay classify
+   exactly like they did under the guard. *)
+let build_child ?filter space caps root (parent : candidate) task_rng :
+    (string list * Ir.Prog.t, Robust.Guard.failure) Stdlib.result =
+  match
+    match expand ?filter space caps task_rng root parent with
+    | moves, Some p -> (moves, p)
+    | moves, None ->
+        let p, applied = replay_skipping ?filter caps root moves in
+        (applied, p)
+  with
+  | v -> Ok v
+  | exception e -> Error (Robust.Guard.rejected_of_exn e)
+
+let check_prerank = function
+  | Some p when not (p.filter_ratio > 0. && p.filter_ratio <= 1.) ->
+      invalid_arg "Stochastic: prerank filter_ratio must be in (0, 1]"
+  | _ -> ()
+
+(* Seed the online model with the measurements the prelude already
+   paid for (root, warm-start replay). *)
+let observe_seed prerank root ~root_time warm =
+  match prerank with
+  | None -> ()
+  | Some p ->
+      if Float.is_finite root_time then p.observe root root_time;
+      (match warm with
+      | Some w when Float.is_finite w.runtime -> p.observe w.prog w.runtime
+      | _ -> ())
+
+(* [prepare_parent ~slot] picks the parent and splits the task RNG on
+   the submitting thread; [fold slot parent outcome] consumes one slot.
+   Returns the curve plus (evals, skipped, deduped) accounting:
+   budget = evals + skipped + deduped + build-failures. *)
+let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
+    ~dedup ~prerank ~space ~caps ~root ~objective ~prepare_parent ~fold () =
+  if batch < 1 then invalid_arg "Stochastic: batch must be >= 1";
+  let traced = Obs.Trace.enabled obs in
+  let bump ?(by = 1) name =
+    if by > 0 then
+      match metrics with None -> () | Some m -> Obs.Metrics.incr m ~by name
+  in
+  let ratio = match prerank with None -> 1.0 | Some p -> p.filter_ratio in
+  let curve = Array.make budget infinity in
+  let n_evals = ref 0 and n_skipped = ref 0 and n_deduped = ref 0 in
+  let filled = ref 0 in
+  while !filled < budget do
+    let b = min batch (budget - !filled) in
+    (* 1. prepare: parent selection + RNG splits, submit thread, slot
+       order — the only draws from the main search stream *)
+    let prepared =
+      Array.init b (fun i -> prepare_parent ~slot:(!filled + i))
+    in
+    (* 2. build phase on the pool: grow children, no measurement yet *)
+    let built =
+      Parallel.Pool.map pool
+        (fun (parent, task_rng) ->
+          build_child ?filter space caps root parent task_rng)
+        prepared
+    in
+    let n_ok =
+      Array.fold_left
+        (fun acc r -> match r with Ok _ -> acc + 1 | Error _ -> acc)
+        0 built
+    in
+    (* 3. dedup: group slots by printed program; the first slot of a
+       group is its representative *)
+    let rep_of = Array.init b (fun i -> i) in
+    if dedup then begin
+      let tbl = Hashtbl.create (2 * b) in
+      for i = 0 to b - 1 do
+        match built.(i) with
+        | Error _ -> ()
+        | Ok (_, p) -> (
+            let key = Digest.string (Ir.Printer.program p) in
+            match Hashtbl.find_opt tbl key with
+            | None -> Hashtbl.add tbl key i
+            | Some r -> rep_of.(i) <- r)
+      done
+    end;
+    let reps =
+      List.filter
+        (fun i -> rep_of.(i) = i && Result.is_ok built.(i))
+        (List.init b Fun.id)
+    in
+    let n_reps = List.length reps in
+    if dedup then begin
+      bump ~by:(n_ok - n_reps) "surrogate.dedup_saved";
+      if traced then
+        Obs.Trace.emit obs "search.batch_dedup" (fun () ->
+            Obs.Trace.
+              [ int "i" !filled; int "unique" n_reps; int "total" n_ok ])
+    end;
+    (* 4. surrogate pre-rank: keep the top-k distinct candidates; ties
+       and equal scores resolve by slot order, so selection is
+       deterministic *)
+    let selected =
+      if ratio >= 1.0 then reps
+      else begin
+        let p = Option.get prerank in
+        let scored =
+          List.map
+            (fun i ->
+              match built.(i) with
+              | Ok (_, prog) -> (i, p.score prog)
+              | Error _ -> assert false)
+            reps
+        in
+        let k = min n_reps (max 1 (int_of_float (ceil (ratio *. float_of_int n_reps)))) in
+        let order =
+          List.stable_sort
+            (fun (i1, s1) (i2, s2) ->
+              match compare (s2 : float) s1 with
+              | 0 -> compare (i1 : int) i2
+              | c -> c)
+            scored
+        in
+        let kept =
+          List.filteri (fun idx _ -> idx < k) order
+          |> List.map fst
+          |> List.sort compare
+        in
+        bump ~by:n_reps "surrogate.scored";
+        bump ~by:k "surrogate.kept";
+        bump ~by:(n_reps - k) "surrogate.filtered";
+        if traced then
+          Obs.Trace.emit obs "search.prerank" (fun () ->
+              Obs.Trace.[ int "i" !filled; int "scored" n_reps; int "kept" k ]);
+        kept
+      end
+    in
+    (* 5. evaluation phase on the pool: only the selected
+       representatives hit the guarded simulator *)
+    let selected_arr = Array.of_list selected in
+    let measured =
+      Parallel.Pool.map pool
+        (fun i ->
+          match built.(i) with
+          | Error _ -> assert false
+          | Ok (_, prog) ->
+              let t0 = Obs.Span.now () in
+              let r = Robust.Guard.eval ~cfg:guard objective prog in
+              (r, Float.max 0. (Obs.Span.now () -. t0)))
+        selected_arr
+    in
+    n_evals := !n_evals + Array.length selected_arr;
+    bump ~by:(Array.length selected_arr) "surrogate.evals";
+    let eval_of = Hashtbl.create (2 * b) in
+    Array.iteri (fun j i -> Hashtbl.add eval_of i measured.(j)) selected_arr;
+    (* 6. fold in slot order on the submitting thread; all trace events
+       of the round are emitted here, so the stream is a pure function
+       of (seed, batch, model state) *)
+    for i = 0 to b - 1 do
+      let slot = !filled + i in
+      let parent, _ = prepared.(i) in
+      let outcome =
+        match built.(i) with
+        | Error f -> Failed f
+        | Ok (moves, prog) -> (
+            match Hashtbl.find_opt eval_of rep_of.(i) with
+            | None ->
+                incr n_skipped;
+                Skipped
+            | Some (Error f, _) ->
+                if i <> rep_of.(i) then incr n_deduped;
+                Failed f
+            | Some (Ok runtime, dur) ->
+                if i = rep_of.(i) then begin
+                  (match prerank with
+                  | Some p -> p.observe prog runtime
+                  | None -> ());
+                  if traced then
+                    Obs.Trace.emit obs "search.eval" (fun () ->
+                        Obs.Trace.
+                          [
+                            int "slot" slot;
+                            int "n_moves" (List.length moves);
+                            num "runtime" runtime;
+                            num "dur_s" dur;
+                          ])
+                end
+                else incr n_deduped;
+                Evaluated
+                  { moves; prog; runtime; parent_runtime = parent.runtime })
+      in
+      curve.(slot) <- fold slot parent outcome
+    done;
+    filled := !filled + b
+  done;
+  (curve, !n_evals, !n_skipped, !n_deduped)
+
 let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
     ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
-    ?(batch = default_batch) ~(pool : Parallel.Pool.t) ~(space : space)
-    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+    ?(batch = default_batch) ?prerank ?(dedup = false)
+    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
+    (objective : objective) (root : Ir.Prog.t) : result =
+  check_prerank prerank;
   let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
   let failures, note = make_noter ?metrics obs in
@@ -475,48 +728,98 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
   let warm =
     guarded_warm ~guard ~note ?filter caps objective root ~root_time init
   in
+  observe_seed prerank root ~root_time warm;
   let cands, weights, push, push_quarantined, best0 =
     make_pool root_cand warm
   in
   let best = ref best0 in
-  let prepare sink ~slot =
-    let parent = pick_parent rng cands weights in
-    let task_rng = Util.Rng.split rng in
-    child_task ?filter ?metrics ~guard ~obs:sink ~slot space caps root
-      objective parent task_rng
-  in
-  let fold i (child, failed) =
-    (match failed with
-    | Some _ ->
-        (* the worker already recorded the event and counters *)
+  match (prerank, dedup) with
+  | None, false ->
+      (* the default engine, byte-identical to earlier releases *)
+      let prepare sink ~slot =
+        let parent = pick_parent rng cands weights in
+        let task_rng = Util.Rng.split rng in
+        child_task ?filter ?metrics ~guard ~obs:sink ~slot space caps root
+          objective parent task_rng
+      in
+      let fold i (child, failed) =
+        (match failed with
+        | Some _ ->
+            (* the worker already recorded the event and counters *)
+            incr failures;
+            push_quarantined child
+        | None ->
+            push child;
+            if child.runtime < !best.runtime then begin
+              best := child;
+              emit_best obs ~i child
+            end;
+            emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+              (fun () -> []);
+            note_step ?metrics ~runtime:child.runtime ());
+        !best.runtime
+      in
+      let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
+      {
+        best = !best.prog;
+        best_time = !best.runtime;
+        best_moves = !best.moves;
+        curve;
+        evals = budget;
+        skipped = 0;
+        deduped = 0;
+        failures = !failures;
+      }
+  | _ ->
+      let note_slot ~slot f =
         incr failures;
-        push_quarantined child
-    | None ->
-        push child;
-        if child.runtime < !best.runtime then begin
-          best := child;
-          emit_best obs ~i child
-        end;
-        emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
-          (fun () -> []);
-        note_step ?metrics ~runtime:child.runtime ());
-    !best.runtime
-  in
-  let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
-  {
-    best = !best.prog;
-    best_time = !best.runtime;
-    best_moves = !best.moves;
-    curve;
-    evals = budget;
-    failures = !failures;
-  }
+        Robust.Guard.note ~obs ?metrics
+          ~fields:[ Obs.Trace.int "slot" slot ]
+          f
+      in
+      let prepare_parent ~slot:_ =
+        let parent = pick_parent rng cands weights in
+        (parent, Util.Rng.split rng)
+      in
+      let fold slot parent = function
+        | Failed f ->
+            note_slot ~slot f;
+            push_quarantined (quarantined root parent.runtime);
+            !best.runtime
+        | Skipped -> !best.runtime
+        | Evaluated child ->
+            push child;
+            if child.runtime < !best.runtime then begin
+              best := child;
+              emit_best obs ~i:slot child
+            end;
+            emit_step obs ~i:slot ~runtime:child.runtime ~best:!best.runtime
+              (fun () -> []);
+            note_step ?metrics ~runtime:child.runtime ();
+            !best.runtime
+      in
+      let curve, evals, skipped, deduped =
+        run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget
+          ~guard ~dedup ~prerank ~space ~caps ~root ~objective
+          ~prepare_parent ~fold ()
+      in
+      {
+        best = !best.prog;
+        best_time = !best.runtime;
+        best_moves = !best.moves;
+        curve;
+        evals;
+        skipped;
+        deduped;
+        failures = !failures;
+      }
 
 let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
     ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
-    ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch)
-    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+    ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch) ?prerank
+    ?(dedup = false) ~(pool : Parallel.Pool.t) ~(space : space)
+    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+  check_prerank prerank;
   let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
   let failures, note = make_noter ?metrics obs in
@@ -527,64 +830,135 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
   in
   emit_start obs ~meth:"simulated-annealing-parallel" ~space ~budget ~seed
     ~root_time;
+  let warm =
+    guarded_warm ~guard ~note ?filter caps objective root ~root_time init
+  in
+  observe_seed prerank root ~root_time warm;
   let current =
     ref
-      (match
-         guarded_warm ~guard ~note ?filter caps objective root ~root_time
-           init
-       with
+      (match warm with
       | Some w when w.runtime <= root_time -> w
       | Some _ | None -> root_cand)
   in
   let best = ref !current in
   let temp = ref t0 in
-  let prepare sink ~slot =
-    (* all proposals of a round branch off the round-start state *)
-    let parent = !current in
-    let task_rng = Util.Rng.split rng in
-    child_task ?filter ?metrics ~guard ~obs:sink ~slot space caps root
-      objective parent task_rng
-  in
-  let fold i (child, failed) =
-    (match failed with
-    | Some _ ->
-        (* quarantined: never accepted, never best; the cooling schedule
-           still advances so temperature stays a function of the step
-           index alone.  No acceptance RNG draw happens — the failure is
-           deterministic, so the draw sequence is too. *)
-        incr failures
-    | None ->
-        let accept =
-          child.runtime <= !current.runtime
-          ||
-          let delta =
-            (child.runtime -. !current.runtime)
-            /. Float.max !current.runtime 1e-12
-          in
-          Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
-        in
-        if accept then current := child;
-        if child.runtime < !best.runtime then begin
-          best := child;
-          emit_best obs ~i child
-        end;
-        emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
-          (fun () ->
-            [ Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp ]);
-        note_step ?metrics ~accepted:accept ~temp:!temp
-          ~runtime:child.runtime ());
-    temp := !temp *. cooling;
-    !best.runtime
-  in
-  let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
-  {
-    best = !best.prog;
-    best_time = !best.runtime;
-    best_moves = !best.moves;
-    curve;
-    evals = budget;
-    failures = !failures;
-  }
+  match (prerank, dedup) with
+  | None, false ->
+      (* the default engine, byte-identical to earlier releases *)
+      let prepare sink ~slot =
+        (* all proposals of a round branch off the round-start state *)
+        let parent = !current in
+        let task_rng = Util.Rng.split rng in
+        child_task ?filter ?metrics ~guard ~obs:sink ~slot space caps root
+          objective parent task_rng
+      in
+      let fold i (child, failed) =
+        (match failed with
+        | Some _ ->
+            (* quarantined: never accepted, never best; the cooling
+               schedule still advances so temperature stays a function
+               of the step index alone.  No acceptance RNG draw happens
+               — the failure is deterministic, so the draw sequence is
+               too. *)
+            incr failures
+        | None ->
+            let accept =
+              child.runtime <= !current.runtime
+              ||
+              let delta =
+                (child.runtime -. !current.runtime)
+                /. Float.max !current.runtime 1e-12
+              in
+              Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
+            in
+            if accept then current := child;
+            if child.runtime < !best.runtime then begin
+              best := child;
+              emit_best obs ~i child
+            end;
+            emit_step obs ~i ~runtime:child.runtime ~best:!best.runtime
+              (fun () ->
+                [
+                  Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp;
+                ]);
+            note_step ?metrics ~accepted:accept ~temp:!temp
+              ~runtime:child.runtime ());
+        temp := !temp *. cooling;
+        !best.runtime
+      in
+      let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
+      {
+        best = !best.prog;
+        best_time = !best.runtime;
+        best_moves = !best.moves;
+        curve;
+        evals = budget;
+        skipped = 0;
+        deduped = 0;
+        failures = !failures;
+      }
+  | _ ->
+      let note_slot ~slot f =
+        incr failures;
+        Robust.Guard.note ~obs ?metrics
+          ~fields:[ Obs.Trace.int "slot" slot ]
+          f
+      in
+      let prepare_parent ~slot:_ =
+        (* all proposals of a round branch off the round-start state *)
+        (!current, Util.Rng.split rng)
+      in
+      let fold slot _parent outcome =
+        (match outcome with
+        | Failed f ->
+            (* quarantined: never accepted, never best; cooling still
+               advances so temperature stays a function of the step
+               index alone *)
+            note_slot ~slot f
+        | Skipped ->
+            (* filtered out before measurement: no acceptance draw (the
+               skip is deterministic), cooling still advances *)
+            ()
+        | Evaluated child ->
+            let accept =
+              child.runtime <= !current.runtime
+              ||
+              let delta =
+                (child.runtime -. !current.runtime)
+                /. Float.max !current.runtime 1e-12
+              in
+              Util.Rng.float rng < exp (-.delta /. Float.max !temp 1e-6)
+            in
+            if accept then current := child;
+            if child.runtime < !best.runtime then begin
+              best := child;
+              emit_best obs ~i:slot child
+            end;
+            emit_step obs ~i:slot ~runtime:child.runtime ~best:!best.runtime
+              (fun () ->
+                [
+                  Obs.Trace.bool "accepted" accept; Obs.Trace.num "temp" !temp;
+                ]);
+            note_step ?metrics ~accepted:accept ~temp:!temp
+              ~runtime:child.runtime ());
+        temp := !temp *. cooling;
+        !best.runtime
+      in
+      let curve, evals, skipped, deduped =
+        run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget
+          ~guard ~dedup ~prerank ~space ~caps ~root ~objective
+          ~prepare_parent ~fold ()
+      in
+      {
+        best = !best.prog;
+        best_time = !best.runtime;
+        best_moves = !best.moves;
+        curve;
+        evals;
+        skipped;
+        deduped;
+        failures = !failures;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Simulated annealing                                                 *)
@@ -658,5 +1032,7 @@ let simulated_annealing ?(seed = 1) ?filter ?(init = [])
     best_moves = !best.moves;
     curve;
     evals = budget;
+    skipped = 0;
+    deduped = 0;
     failures = !failures;
   }

@@ -19,12 +19,38 @@ type objective = Ir.Prog.t -> float
 
 type space = Edges | Heuristic
 
+type prerank = {
+  score : Ir.Prog.t -> float;  (** higher = predicted faster *)
+  observe : Ir.Prog.t -> float -> unit;
+      (** fed every real measurement, in slot order *)
+  filter_ratio : float;
+      (** fraction of distinct candidates per round sent to the real
+          objective, in (0, 1]; [1.0] keeps all (training only) *)
+}
+(** A surrogate pre-ranking stage for the batched variants (see
+    {!random_sampling_parallel}): [score] cheaply ranks the distinct
+    candidates of a round and only the top [filter_ratio] fraction pays
+    for a real evaluation; [observe] receives every real measurement as
+    online training signal.  Both are abstract closures — the concrete
+    learned model lives in [lib/surrogate], which depends on this
+    library, not the reverse.  Scoring and observation happen only on
+    the submitting thread, in slot order, so a deterministic model keeps
+    the search jobs-invariant. *)
+
 type result = {
   best : Ir.Prog.t;
   best_time : float;
   best_moves : string list;  (** replayable via {!replay_skipping} *)
   curve : float array;  (** best-so-far runtime after each evaluation *)
   evals : int;
+      (** objective (simulator) evaluations actually performed: equal to
+          the budget on the default paths; with [prerank]/[dedup]
+          enabled, the budget minus the skipped, deduplicated and
+          build-failed slots *)
+  skipped : int;
+      (** budget slots filtered out by the surrogate — never measured *)
+  deduped : int;
+      (** budget slots answered by a round-mate's shared measurement *)
   failures : int;
       (** evaluations quarantined by the guard — equal to the number of
           [search.eval_error] events the run traced *)
@@ -140,6 +166,8 @@ val random_sampling_parallel :
   ?metrics:Obs.Metrics.t ->
   ?guard:Robust.Guard.config ->
   ?batch:int ->
+  ?prerank:prerank ->
+  ?dedup:bool ->
   pool:Parallel.Pool.t ->
   space:space ->
   budget:int ->
@@ -153,7 +181,23 @@ val random_sampling_parallel :
     Tracing stays jobs-invariant: each task writes [search.eval] events
     into a private buffer sink, and the buffers are folded into [obs]
     in slot order — the merged stream is a function of (seed, batch)
-    modulo {!Obs.Trace.strip_timing}. *)
+    modulo {!Obs.Trace.strip_timing}.
+
+    {b Evaluation saving} (opt-in; the default path is byte-identical to
+    earlier releases when both are off):
+    - [dedup] (default [false]) hashes each round's candidates by their
+      printed program and evaluates each distinct program once; the
+      duplicates share the measurement.  Traced per round as
+      [search.batch_dedup] with unique/total counts, and counted in
+      [result.deduped] / the [surrogate.dedup_saved] metric.
+    - [prerank] scores the distinct candidates with a cheap learned
+      model and sends only the top [filter_ratio] fraction to the real
+      objective; the rest are skipped (not failures — [result.skipped],
+      [search.prerank] events, [surrogate.scored/kept/filtered]
+      metrics).  Every real measurement is fed back through
+      [prerank.observe] in slot order, so search and online training
+      stay jobs-invariant.  Raises [Invalid_argument] unless
+      [filter_ratio] is in (0, 1]. *)
 
 val simulated_annealing_parallel :
   ?seed:int ->
@@ -165,6 +209,8 @@ val simulated_annealing_parallel :
   ?t0:float ->
   ?cooling:float ->
   ?batch:int ->
+  ?prerank:prerank ->
+  ?dedup:bool ->
   pool:Parallel.Pool.t ->
   space:space ->
   budget:int ->
@@ -176,4 +222,7 @@ val simulated_annealing_parallel :
     off the round-start chain state; acceptance, cooling and best-so-far
     fold sequentially in slot order.  [batch] defaults to 8.  Tracing
     follows the same per-slot-buffer discipline as
-    {!random_sampling_parallel}. *)
+    {!random_sampling_parallel}, and [prerank] / [dedup] behave
+    identically (a surrogate-skipped slot draws no acceptance RNG and
+    still advances the cooling schedule, so the temperature remains a
+    function of the step index alone). *)

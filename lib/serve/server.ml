@@ -38,6 +38,9 @@ type config = {
   faults : Robust.Faults.config;
   obs : Obs.Trace.sink;
   metrics : Obs.Metrics.t option;
+  surrogate : bool;
+  filter_ratio : float;
+  dedup : bool;
 }
 
 let default_config =
@@ -55,6 +58,9 @@ let default_config =
     faults = Robust.Faults.none;
     obs = Obs.Trace.null;
     metrics = None;
+    surrogate = false;
+    filter_ratio = 1.0;
+    dedup = false;
   }
 
 type ticket = {
@@ -78,6 +84,10 @@ type t = {
   tuning_db : Tuning.Db.t;
   db_mutex : Mutex.t;
   cache : Tuning.Cache.t;
+  (* shared learned cost model: every cold optimization trains it
+     online (Surrogate.Model is internally locked), and when
+     cfg.filter_ratio < 1 it pre-ranks candidate batches *)
+  model : P.Surrogate.Model.t option;
   (* kernel label -> (root program, fingerprint), built once: the warm
      path must not pay a program construction per lookup *)
   roots : (string, Ir.Prog.t * string) Hashtbl.t;
@@ -93,6 +103,7 @@ type t = {
 
 let db t = t.tuning_db
 let metrics t = t.ms
+let surrogate_model t = t.model
 let stopping t = t.state <> Running
 
 (* ------------------------------------------------------------------ *)
@@ -190,10 +201,17 @@ let request_ctx t sink ~warm_start =
     | None -> t.cfg.guard
     | Some _ as fuel -> { t.cfg.guard with Robust.Guard.fuel }
   in
-  P.Ctx.(
-    default |> with_seed t.cfg.seed |> with_cache t.cache |> with_obs sink
-    |> with_metrics t.ms |> with_guard guard |> with_faults t.cfg.faults
-    |> with_warm_start warm_start)
+  let ctx =
+    P.Ctx.(
+      default |> with_seed t.cfg.seed |> with_cache t.cache |> with_obs sink
+      |> with_metrics t.ms |> with_guard guard |> with_faults t.cfg.faults
+      |> with_warm_start warm_start
+      |> with_filter_ratio t.cfg.filter_ratio
+      |> with_dedup t.cfg.dedup)
+  in
+  match t.model with
+  | None -> ctx
+  | Some m -> P.Ctx.with_surrogate m ctx
 
 (* Optimize under the shared context into a private trace buffer, fold
    the buffer back, degrade any failure — a raising strategy, an
@@ -379,6 +397,9 @@ let create ?(start = true) (cfg : config) : t =
       tuning_db;
       db_mutex = Mutex.create ();
       cache = Tuning.Cache.create ();
+      model =
+        (if cfg.surrogate then Some (P.Surrogate.Model.create ())
+         else None);
       roots = Hashtbl.create 16;
       roots_mutex = Mutex.create ();
       qm = Mutex.create ();

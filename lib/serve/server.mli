@@ -49,12 +49,22 @@ type config = {
   metrics : Obs.Metrics.t option;
       (** registry to export into; the server creates a private one
           when absent (the [stats] request always has data) *)
+  surrogate : bool;
+      (** share one {!Perfdojo.Surrogate.Model} across all cold
+          requests: every guarded evaluation trains it online, and
+          [stats] exports the [surrogate.*] counters *)
+  filter_ratio : float;
+      (** when [surrogate] is on and this is [< 1.0], each candidate
+          batch is pre-ranked by the model and only the top fraction
+          reaches the simulator *)
+  dedup : bool;  (** intra-batch candidate dedup for cold searches *)
 }
 
 val default_config : config
 (** [queue_depth 16], [workers 1], [default_budget 300], no deadline,
     no fuel, seed 1, no database file, {!Frame.max_payload_default},
-    the full kernel suite, default guard, no faults, untraced. *)
+    the full kernel suite, default guard, no faults, untraced, no
+    surrogate ([filter_ratio 1.0], no dedup). *)
 
 type t
 
@@ -71,6 +81,11 @@ val start : t -> unit
 
 val db : t -> Tuning.Db.t
 val metrics : t -> Obs.Metrics.t
+
+val surrogate_model : t -> Perfdojo.Surrogate.Model.t option
+(** The shared cost model, when [config.surrogate] was set — tests
+    inspect its update counter to check that cold requests train it. *)
+
 val stopping : t -> bool
 
 (** {1 Submitting requests} *)

@@ -1,0 +1,86 @@
+(* Feature extraction for the surrogate ranker.
+
+   The embedding block reuses Rl.Embed verbatim (48 hashed character
+   3-gram buckets + 16 structural slots, already normalized/squashed);
+   the appended block counts the schedule properties the cost models
+   actually price — how much iteration mass sits under each hardware
+   annotation, how deep the nest is, how many bytes each memory level
+   holds after reuse collapsing — so a linear ranker can separate
+   schedules whose printed text hashes similarly. *)
+
+let extra_dims = 16
+let dim = Rl.Embed.dim + extra_dims
+let squash x = x /. (1.0 +. x)
+
+(* Counters span many orders of magnitude (footprints in bytes, op
+   counts); squash the log so the ranker sees a bounded, monotone
+   encoding. *)
+let log_squash x = squash (Float.log1p (Float.max 0. x))
+
+let extract (prog : Ir.Prog.t) : float array =
+  let v = Array.make dim 0.0 in
+  Array.blit (Rl.Embed.embed prog) 0 v 0 Rl.Embed.dim;
+  let o = Rl.Embed.dim in
+  let stmts = ref 0 and rmw = ref 0 and guarded = ref 0 in
+  let unroll_sz = ref 0 and vec_sz = ref 0 and par_sz = ref 0 in
+  let max_sz = ref 0 and total_sz = ref 0 and scopes = ref 0 in
+  let depth = ref 0 in
+  Ir.Prog.iter_nodes
+    (fun p node ->
+      match node with
+      | Ir.Types.Scope sc ->
+          incr scopes;
+          depth := max !depth (List.length p + 1);
+          max_sz := max !max_sz sc.size;
+          total_sz := !total_sz + sc.size;
+          (match sc.guard with Some _ -> incr guarded | None -> ());
+          (match sc.annot with
+          | Ir.Types.Unroll -> unroll_sz := !unroll_sz + sc.size
+          | Ir.Types.Vec -> vec_sz := !vec_sz + sc.size
+          | Ir.Types.Par -> par_sz := !par_sz + sc.size
+          | _ -> ())
+      | Ir.Types.Stmt s ->
+          incr stmts;
+          if Machine.Costs.is_rmw s then incr rmw)
+    prog;
+  (* per-location byte footprints, reuse-collapsed like storage is *)
+  let foot = [| 0.; 0.; 0.; 0. |] in
+  List.iter
+    (fun (b : Ir.Types.buffer) ->
+      let elems =
+        List.fold_left2
+          (fun acc extent reuse -> acc * if reuse then 1 else extent)
+          1 b.shape b.reuse
+      in
+      let bytes = float_of_int (elems * Ir.Types.dtype_bytes b.dtype) in
+      let slot =
+        match b.loc with
+        | Ir.Types.Heap -> 0
+        | Ir.Types.Stack -> 1
+        | Ir.Types.Shared -> 2
+        | Ir.Types.Register -> 3
+      in
+      foot.(slot) <- foot.(slot) +. bytes)
+    prog.Ir.Types.buffers;
+  let fi = float_of_int in
+  v.(o) <- log_squash (Machine.Costs.total_fused_ops prog);
+  v.(o + 1) <- log_squash (fi !unroll_sz);
+  v.(o + 2) <- log_squash (fi !vec_sz);
+  v.(o + 3) <- log_squash (fi !par_sz);
+  v.(o + 4) <- log_squash (fi !max_sz);
+  v.(o + 5) <- log_squash (fi !total_sz);
+  v.(o + 6) <- squash (fi !depth);
+  v.(o + 7) <- squash (fi !scopes);
+  v.(o + 8) <- log_squash foot.(0);
+  v.(o + 9) <- log_squash foot.(1);
+  v.(o + 10) <- log_squash foot.(2);
+  v.(o + 11) <- log_squash foot.(3);
+  v.(o + 12) <- squash (fi !stmts);
+  v.(o + 13) <- squash (fi !rmw);
+  v.(o + 14) <- squash (fi !guarded);
+  v.(o + 15) <-
+    (if !scopes > 0 then log_squash (fi !total_sz /. fi !scopes) else 0.);
+  v
+
+let to_json (v : float array) : Util.Json.t =
+  Util.Json.Arr (Array.to_list (Array.map (fun x -> Util.Json.Num x) v))

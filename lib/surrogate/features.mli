@@ -1,0 +1,23 @@
+(** The surrogate's feature map: the hashed-n-gram IR embedding
+    {!Rl.Embed.embed} concatenated with hand-rolled schedule counters
+    (annotation-weighted loop sizes, nesting depth, per-location buffer
+    footprints, fused-op and statement counts from {!Machine.Costs}).
+
+    Purely syntactic and deterministic: equal programs map to equal
+    vectors, and extraction costs microseconds — the whole point is that
+    scoring a candidate is orders of magnitude cheaper than simulating
+    it. *)
+
+val extra_dims : int
+(** Number of schedule-counter dimensions appended to the embedding. *)
+
+val dim : int
+(** Total feature dimension: [Rl.Embed.dim + extra_dims]. *)
+
+val extract : Ir.Prog.t -> float array
+(** The feature vector of a program; every component lies in [[-1, 1]]
+    (the embedding block is L2-normalized, the counters are
+    squashed). *)
+
+val to_json : float array -> Util.Json.t
+(** The vector as a canonical JSON array (for [db export --features]). *)

@@ -1,0 +1,242 @@
+(* Online linear ranker with pairwise hinge loss.
+
+   w · f(better) should exceed w · f(worse) by at least [margin]; when
+   it doesn't, w moves along f(better) - f(worse) by [lr].  That is the
+   whole model — no external deps, O(dim) per update, and deterministic,
+   which the jobs-invariance guarantee of the filtered search engine
+   depends on. *)
+
+type config = { lr : float; margin : float; history : int }
+
+let default_config = { lr = 0.05; margin = 0.01; history = 32 }
+
+type sample = { g : string; f : float array; time : float }
+
+type t = {
+  cfg : config;
+  w : float array;
+  mutable n_updates : int;
+  (* ring buffer of recent measurements for online pairing *)
+  recent : sample option array;
+  mutable pushed : int;
+  lock : Mutex.t;
+}
+
+let schema_version = 1
+
+let create ?(cfg = default_config) () =
+  {
+    cfg;
+    w = Array.make Features.dim 0.0;
+    n_updates = 0;
+    recent = Array.make (max 1 cfg.history) None;
+    pushed = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let config t = t.cfg
+let updates t = locked t (fun () -> t.n_updates)
+
+let dot w f =
+  let n = min (Array.length w) (Array.length f) in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (w.(i) *. f.(i))
+  done;
+  !acc
+
+let score t f = locked t (fun () -> dot t.w f)
+let score_prog t prog = score t (Features.extract prog)
+
+(* Callers hold the lock. *)
+let train_pair_unlocked t ~better ~worse =
+  if dot t.w better -. dot t.w worse < t.cfg.margin then begin
+    let n = min (Array.length better) (Array.length worse) in
+    for i = 0 to min (Array.length t.w) n - 1 do
+      t.w.(i) <- t.w.(i) +. (t.cfg.lr *. (better.(i) -. worse.(i)))
+    done;
+    t.n_updates <- t.n_updates + 1
+  end
+
+let train_pair t ~better ~worse =
+  locked t (fun () -> train_pair_unlocked t ~better ~worse)
+
+let observe t ~group ~features time =
+  if Float.is_finite time && time > 0. then
+    locked t (fun () ->
+        (* pair the new measurement against every ring entry of the
+           same group: times are only comparable within a group *)
+        Array.iter
+          (fun entry ->
+            match entry with
+            | Some s when s.g = group && s.time <> time ->
+                if time < s.time then
+                  train_pair_unlocked t ~better:features ~worse:s.f
+                else train_pair_unlocked t ~better:s.f ~worse:features
+            | _ -> ())
+          t.recent;
+        t.recent.(t.pushed mod Array.length t.recent) <-
+          Some { g = group; f = features; time };
+        t.pushed <- t.pushed + 1)
+
+let observe_prog t ~group prog time =
+  observe t ~group ~features:(Features.extract prog) time
+
+let prerank ?(filter_ratio = 1.0) ~group t : Search.Stochastic.prerank =
+  {
+    Search.Stochastic.score = (fun p -> score t (Features.extract p));
+    observe =
+      (fun p time -> observe t ~group ~features:(Features.extract p) time);
+    filter_ratio;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Offline training from tuning-database records                       *)
+(* ------------------------------------------------------------------ *)
+
+type offline_stats = { records : int; used : int; groups : int; pairs : int }
+
+let train_offline t ~root_of (records : Tuning.Record.t list) : offline_stats
+    =
+  (* replay each record into a (features, time) point, grouped by
+     (kernel, target); keys are processed sorted and points in record
+     order, so training is a pure function of the record list *)
+  let tbl : (string, (float array * float) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let keys = ref [] in
+  let used = ref 0 in
+  List.iter
+    (fun (r : Tuning.Record.t) ->
+      match root_of ~kernel:r.kernel ~target:r.target with
+      | None -> ()
+      | Some (root, caps) ->
+          if
+            Tuning.Record.fingerprint root = r.fingerprint
+            && Float.is_finite r.best_time
+            && r.best_time > 0.
+          then begin
+            let prog, _ =
+              Search.Stochastic.replay_skipping caps root r.moves
+            in
+            incr used;
+            let key = r.kernel ^ "|" ^ r.target in
+            let prev =
+              match Hashtbl.find_opt tbl key with
+              | Some l -> l
+              | None ->
+                  keys := key :: !keys;
+                  []
+            in
+            Hashtbl.replace tbl key
+              ((Features.extract prog, r.best_time) :: prev)
+          end)
+    records;
+  let pairs = ref 0 in
+  let groups = ref 0 in
+  locked t (fun () ->
+      List.iter
+        (fun key ->
+          let points = List.rev (Hashtbl.find tbl key) in
+          if List.length points > 1 then incr groups;
+          List.iteri
+            (fun i (fi, ti) ->
+              List.iteri
+                (fun j (fj, tj) ->
+                  if j > i && ti <> tj then begin
+                    incr pairs;
+                    if ti < tj then
+                      train_pair_unlocked t ~better:fi ~worse:fj
+                    else train_pair_unlocked t ~better:fj ~worse:fi
+                  end)
+                points)
+            points)
+        (List.sort compare !keys));
+  { records = List.length records; used = !used; groups = !groups;
+    pairs = !pairs }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-JSON serialization                                        *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t : Util.Json.t =
+  locked t (fun () ->
+      Util.Json.Obj
+        [
+          ("schema", Util.Json.Num (float_of_int schema_version));
+          ("dim", Util.Json.Num (float_of_int (Array.length t.w)));
+          ("lr", Util.Json.Num t.cfg.lr);
+          ("margin", Util.Json.Num t.cfg.margin);
+          ("history", Util.Json.Num (float_of_int t.cfg.history));
+          ("updates", Util.Json.Num (float_of_int t.n_updates));
+          ( "w",
+            Util.Json.Arr
+              (Array.to_list (Array.map (fun x -> Util.Json.Num x) t.w)) );
+        ])
+
+let of_json (j : Util.Json.t) : (t, string) result =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Util.Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "surrogate model: bad %S field" name)
+  in
+  let* schema = field "schema" Util.Json.to_int in
+  if schema <> schema_version then
+    Error (Printf.sprintf "surrogate model: unknown schema %d" schema)
+  else
+    let* d = field "dim" Util.Json.to_int in
+    if d <> Features.dim then
+      Error
+        (Printf.sprintf
+           "surrogate model: dimension %d does not match this build's \
+            feature layout (%d)"
+           d Features.dim)
+    else
+      let* lr = field "lr" Util.Json.to_float in
+      let* margin = field "margin" Util.Json.to_float in
+      let* history = field "history" Util.Json.to_int in
+      let* n_updates = field "updates" Util.Json.to_int in
+      let* w_list = field "w" Util.Json.to_list in
+      let* w =
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest -> (
+              match Util.Json.to_float x with
+              | Some f -> conv (f :: acc) rest
+              | None -> Error "surrogate model: non-numeric weight")
+        in
+        conv [] w_list
+      in
+      if List.length w <> d then
+        Error "surrogate model: weight count does not match dim"
+      else begin
+        let t = create ~cfg:{ lr; margin; history } () in
+        List.iteri (fun i x -> t.w.(i) <- x) w;
+        t.n_updates <- n_updates;
+        Ok t
+      end
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Util.Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let load path : (t, string) result =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let text = String.trim text in
+      Result.bind (Util.Json.of_string text) of_json

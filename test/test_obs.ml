@@ -40,6 +40,58 @@ let metrics_tests =
             Alcotest.(check (float 1e-9)) "mean" 50.5 s.mean;
             Alcotest.(check (float 1.0)) "p50 near median" 50.5 s.p50;
             Alcotest.(check (float 1.5)) "p90" 90.0 s.p90);
+    Alcotest.test_case
+      "lazy counter registration under concurrency never races snapshot"
+      `Quick (fun () ->
+        (* the surrogate engine registers its counters lazily (first
+           bump creates the entry) from pool workers while --stats /
+           serve snapshot concurrently: fresh names racing snapshot
+           must lose no increments and corrupt no sections *)
+        let m = Obs.Metrics.create () in
+        let writers = 6 and per_writer = 400 in
+        let snapshots = ref 0 in
+        let stop = Atomic.make false in
+        let reader =
+          Domain.spawn (fun () ->
+              while not (Atomic.get stop) do
+                let s = Obs.Metrics.snapshot m in
+                incr snapshots;
+                (* sections stay sorted even mid-registration *)
+                ignore
+                  (List.fold_left
+                     (fun prev (name, _) ->
+                       if prev >= name then
+                         Alcotest.failf "unsorted snapshot at %s" name;
+                       name)
+                     "" s.counters)
+              done)
+        in
+        let workers =
+          List.init writers (fun w ->
+              Domain.spawn (fun () ->
+                  for i = 1 to per_writer do
+                    (* a fresh name per (writer, phase): registration
+                       itself races, not just the increments *)
+                    Obs.Metrics.incr m
+                      (Printf.sprintf "surrogate.w%d.%d" w (i mod 8))
+                  done))
+        in
+        List.iter Domain.join workers;
+        Atomic.set stop true;
+        Domain.join reader;
+        for w = 0 to writers - 1 do
+          let total = ref 0 in
+          for k = 0 to 7 do
+            total :=
+              !total
+              + Obs.Metrics.counter m (Printf.sprintf "surrogate.w%d.%d" w k)
+          done;
+          Alcotest.(check int)
+            (Printf.sprintf "writer %d increments all land" w)
+            per_writer !total
+        done;
+        Alcotest.(check bool) "snapshots ran concurrently" true
+          (!snapshots > 0));
     Alcotest.test_case "snapshot sections are sorted" `Quick (fun () ->
         let m = Obs.Metrics.create () in
         Obs.Metrics.incr m "zz";

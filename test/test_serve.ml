@@ -249,6 +249,39 @@ let warm_tests =
                force = false;
              });
         S.stop server);
+    Alcotest.test_case
+      "cold requests train the shared surrogate; stats exports it" `Quick
+      (fun () ->
+        let server =
+          S.create
+            { (test_config ()) with S.surrogate = true; dedup = true }
+        in
+        let model =
+          match S.surrogate_model server with
+          | Some m -> m
+          | None -> Alcotest.fail "surrogate enabled but no shared model"
+        in
+        Alcotest.(check int) "fresh model" 0 (Surrogate.Model.updates model);
+        (match S.submit server (optimize ~id:1 "scale") with
+        | P.Optimized { warm = false; _ } -> ()
+        | r -> Alcotest.failf "cold: %s" (P.response_kind r));
+        Alcotest.(check bool) "cold search trained the model" true
+          (Surrogate.Model.updates model > 0);
+        (* warm replay must not touch the model *)
+        let after_cold = Surrogate.Model.updates model in
+        (match S.submit server (optimize ~id:2 "scale") with
+        | P.Optimized { warm = true; _ } -> ()
+        | r -> Alcotest.failf "warm: %s" (P.response_kind r));
+        Alcotest.(check int) "warm path trains nothing" after_cold
+          (Surrogate.Model.updates model);
+        (match S.submit server (P.Stats { id = 3 }) with
+        | P.Stats_reply { counters; _ } ->
+            Alcotest.(check bool) "surrogate.evals exported" true
+              (match List.assoc_opt "surrogate.evals" counters with
+              | Some n -> n > 0
+              | None -> false)
+        | r -> Alcotest.failf "stats: %s" (P.response_kind r));
+        S.stop server);
   ]
 
 (* ------------------------------------------------------------------ *)
