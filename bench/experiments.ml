@@ -1644,6 +1644,153 @@ let surrogate () =
   print_endline "wrote BENCH_surrogate.json"
 
 (* ------------------------------------------------------------------ *)
+(* Exhaustive baseline: certified optima + visited-set eval savings    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims, per small kernel:
+
+   1. The exhaustive strategy enumerates the transformation graph to a
+      small depth with canonical dedup and certifies the optimum within
+      that bound, reporting the TransForm-style unique/total ratio (how
+      many spellings each distinct state has).
+
+   2. A stochastic search with the canonical visited set finds the same
+      best schedule as the plain run while paying strictly fewer
+      simulator evaluations — the saving the fingerprint exists for.
+
+   Both are asserted (the experiment exits non-zero on violation) and
+   recorded in BENCH_exhaustive.json; BENCH_exhaustive_trace.jsonl
+   carries the exhaustive runs' level-by-level trace for trace_lint. *)
+let exhaustive () =
+  Report.header
+    "Exhaustive baseline: certified optima and visited-set dedup savings";
+  let depth = 3 in
+  let budget = max 48 (Report.search_budget ()) in
+  let kernels =
+    [
+      ("scale 16", Kernels.scale ~n:16, caps_snitch, target_snitch);
+      ("relu 8x8", Kernels.relu ~n:8 ~m:8, caps_x86, target_x86);
+    ]
+  in
+  let obs = Obs.Trace.make_buffer () in
+  let rows =
+    List.map
+      (fun (label, p, caps, target) ->
+        let ex =
+          Search.Exhaustive.run ~obs ~depth caps (time target) p
+        in
+        if not ex.certified then
+          failwith (label ^ ": exhaustive run not certified");
+        if ex.unique >= ex.total then
+          failwith (label ^ ": canonical dedup found no duplicates");
+        let stoch visited_dedup =
+          Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+              Stoch.simulated_annealing_parallel ~seed:5 ~visited_dedup
+                ~pool ~space:Stoch.Heuristic ~budget caps (time target) p)
+        in
+        let plain = stoch false and dd = stoch true in
+        (* the stochastic engines are calibrated against the
+           certificate: within budget they must reach the certified
+           optimum, and (the certificate being the point) never beat
+           what exhaustive proved best within the depth bound *)
+        if plain.best_time < ex.best_time *. (1. -. 1e-9) then
+          failwith (label ^ ": stochastic beat the certified optimum");
+        if plain.best_time > ex.best_time *. (1. +. 1e-9) then
+          failwith
+            (label ^ ": stochastic missed the certified optimum in budget");
+        if dd.evals >= plain.evals then
+          failwith
+            (Printf.sprintf "%s: visited set saved nothing (%d >= %d)"
+               label dd.evals plain.evals);
+        if dd.best_time <> plain.best_time then
+          failwith
+            (Printf.sprintf "%s: visited-dedup changed the optimum"
+               label);
+        if
+          dd.evals + dd.skipped + dd.deduped + dd.visited + dd.failures
+          <> budget
+        then failwith (label ^ ": budget accounting broken");
+        (label, ex, plain, dd))
+      kernels
+  in
+  Report.table
+    [
+      "kernel"; "depth"; "unique"; "total"; "ratio"; "certified";
+      "optimum (s)"; "stoch best (s)"; "evals plain"; "evals visited";
+    ]
+    (List.map
+       (fun (label, (ex : Search.Exhaustive.result), (plain : Stoch.result),
+                 (dd : Stoch.result)) ->
+         [
+           label;
+           string_of_int ex.depth;
+           string_of_int ex.unique;
+           string_of_int ex.total;
+           Printf.sprintf "%.2f"
+             (float_of_int ex.unique /. float_of_int ex.total);
+           string_of_bool ex.certified;
+           Report.e3 ex.best_time;
+           Report.e3 plain.best_time;
+           string_of_int plain.evals;
+           string_of_int dd.evals;
+         ])
+       rows);
+  Printf.printf
+    "\nevery optimum certified to depth %d; visited-set runs matched the \
+     plain optimum with strictly fewer evaluations\n"
+    depth;
+  let oc = open_out "BENCH_exhaustive_trace.jsonl" in
+  List.iter
+    (fun ev ->
+      output_string oc (Tuning.Json.to_string ev);
+      output_char oc '\n')
+    (Obs.Trace.events obs);
+  close_out oc;
+  print_endline "wrote BENCH_exhaustive_trace.jsonl";
+  let json =
+    Tuning.Json.Obj
+      [
+        ("depth", Tuning.Json.Num (float_of_int depth));
+        ("budget", Tuning.Json.Num (float_of_int budget));
+        ( "kernels",
+          Tuning.Json.Arr
+            (List.map
+               (fun (label, (ex : Search.Exhaustive.result),
+                         (plain : Stoch.result), (dd : Stoch.result)) ->
+                 Tuning.Json.Obj
+                   [
+                     ("kernel", Tuning.Json.Str label);
+                     ("unique", Tuning.Json.Num (float_of_int ex.unique));
+                     ("total", Tuning.Json.Num (float_of_int ex.total));
+                     ( "unique_total_ratio",
+                       Tuning.Json.Num
+                         (float_of_int ex.unique /. float_of_int ex.total)
+                     );
+                     ( "certified",
+                       Tuning.Json.Str (string_of_bool ex.certified) );
+                     ( "exhausted",
+                       Tuning.Json.Str (string_of_bool ex.exhausted) );
+                     ("certified_best_s", Tuning.Json.Num ex.best_time);
+                     ( "exhaustive_evals",
+                       Tuning.Json.Num (float_of_int ex.evals) );
+                     ("stoch_best_s", Tuning.Json.Num plain.best_time);
+                     ( "stoch_evals_plain",
+                       Tuning.Json.Num (float_of_int plain.evals) );
+                     ( "stoch_evals_visited",
+                       Tuning.Json.Num (float_of_int dd.evals) );
+                     ( "visited_slots",
+                       Tuning.Json.Num (float_of_int dd.visited) );
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_exhaustive.json" in
+  output_string oc (Tuning.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_exhaustive.json"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1673,4 +1820,5 @@ let all : (string * (unit -> unit)) list =
     ("libgen", libgen);
     ("serve", serve);
     ("surrogate", surrogate);
+    ("exhaustive", exhaustive);
   ]

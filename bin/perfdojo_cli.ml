@@ -76,6 +76,7 @@ let strategy_of_string budget s : (strategy, bool * string) result =
              max_steps = 20;
            })
   | "portfolio" -> Ok (Portfolio { budget })
+  | "exhaustive" -> Ok Exhaustive
   | s -> Error (true, Printf.sprintf "unknown strategy %S" s)
 
 (* Tolerant load: malformed lines (a writer killed mid-append) are
@@ -109,7 +110,8 @@ let budget_arg =
 let strategy_arg =
   let doc =
     "Strategy: naive, greedy, heuristic, sampling[-edges], \
-     annealing[-edges], rl, portfolio."
+     annealing[-edges], rl, portfolio, exhaustive (enumerate the full \
+     transformation graph to $(b,--depth) moves and certify the optimum)."
   in
   Arg.(
     value & opt string "heuristic" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
@@ -134,6 +136,8 @@ type common = {
       (* None = off; Some "" = fresh model; Some path = load *)
   co_filter_ratio : float;
   co_dedup : bool;
+  co_visited_dedup : bool;
+  co_depth : int;
 }
 
 let common_opts : common Term.t =
@@ -225,15 +229,37 @@ let common_opts : common Term.t =
              structurally equal programs are simulated once and share \
              the measurement (traced as search.batch_dedup).")
   in
+  let visited_dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "visited-dedup" ]
+          ~doc:
+            "Remember the canonical fingerprint of every state measured \
+             so far and never re-simulate an equivalent one — \
+             alpha-renamed or commutatively-reordered spellings of a \
+             visited schedule fold as search.visited_skip events instead \
+             of paying a simulator call.  Implies per-batch $(b,--dedup).")
+  in
+  let depth_arg =
+    let doc =
+      "Move-sequence depth bound for $(b,--strategy exhaustive): the \
+       full transformation graph is enumerated (with canonical dedup) \
+       up to N moves from the root, certifying the optimum within that \
+       bound.  Ignored by the other strategies."
+    in
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N" ~doc)
+  in
   let make co_db co_jobs co_trace co_stats co_max_retries co_fault_rate
-      co_seed co_surrogate co_filter_ratio co_dedup =
+      co_seed co_surrogate co_filter_ratio co_dedup co_visited_dedup
+      co_depth =
     { co_db; co_jobs; co_trace; co_stats; co_max_retries; co_fault_rate;
-      co_seed; co_surrogate; co_filter_ratio; co_dedup }
+      co_seed; co_surrogate; co_filter_ratio; co_dedup; co_visited_dedup;
+      co_depth }
   in
   Term.(
     const make $ db_arg $ jobs_arg $ trace_arg $ stats_arg $ retries_arg
     $ fault_rate_arg $ seed_arg $ surrogate_arg $ filter_ratio_arg
-    $ dedup_arg)
+    $ dedup_arg $ visited_dedup_arg $ depth_arg)
 
 (* Validate the shared options once, load the database, open the trace
    channel, build the run context and hand everything to [body]; close
@@ -256,6 +282,10 @@ let with_common (c : common) body =
       Error (true, "--filter-ratio must lie in (0, 1]")
     else if c.co_filter_ratio < 1. && c.co_surrogate = None then
       Error (true, "--filter-ratio below 1 requires --surrogate")
+    else Ok ()
+  in
+  let* () =
+    if c.co_depth < 0 then Error (true, "--depth must be non-negative")
     else Ok ()
   in
   let* surrogate =
@@ -290,6 +320,8 @@ let with_common (c : common) body =
          { Robust.Guard.default with max_retries = c.co_max_retries }
     |> Ctx.with_filter_ratio c.co_filter_ratio
     |> Ctx.with_dedup c.co_dedup
+    |> Ctx.with_visited_dedup c.co_visited_dedup
+    |> Ctx.with_exhaustive_depth c.co_depth
   in
   let ctx =
     match surrogate with
@@ -638,7 +670,9 @@ let db_export_cmd =
            (fun (r : Tuning.Record.t) ->
              match record_root ~kernel:r.kernel ~target:r.target with
              | Some (root, caps)
-               when Tuning.Record.fingerprint root = r.fingerprint
+               when Tuning.Record.matches_root
+                      ~keys:(Tuning.Record.root_keys root)
+                      r
                     && Float.is_finite r.best_time ->
                  let prog, _ =
                    Search.Stochastic.replay_skipping caps root r.moves
@@ -1270,6 +1304,8 @@ let serve_cmd =
            surrogate = c.co_surrogate <> None;
            filter_ratio = c.co_filter_ratio;
            dedup = c.co_dedup;
+           visited_dedup = c.co_visited_dedup;
+           exhaustive_depth = c.co_depth;
          }
        in
        (* create raises Failure on an unreadable database and run_socket

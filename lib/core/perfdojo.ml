@@ -112,6 +112,9 @@ type strategy =
   | Rl_search of Rl.Perfllm.config
   | Portfolio of { budget : int }
       (* race the default member set across domains, keep the best *)
+  | Exhaustive
+      (* enumerate the full transformation graph to Ctx.exhaustive_depth
+         with canonical dedup — certified optima for small kernels *)
 
 type portfolio_member = {
   plabel : string;
@@ -188,6 +191,8 @@ module Ctx = struct
     surrogate : Surrogate.Model.t option;
     filter_ratio : float;
     dedup : bool;
+    visited_dedup : bool;
+    exhaustive_depth : int;
   }
 
   let default =
@@ -203,6 +208,8 @@ module Ctx = struct
       surrogate = None;
       filter_ratio = 1.0;
       dedup = false;
+      visited_dedup = false;
+      exhaustive_depth = 3;
     }
 
   let with_seed seed t = { t with seed }
@@ -216,9 +223,14 @@ module Ctx = struct
   let with_surrogate surrogate t = { t with surrogate = Some surrogate }
   let with_filter_ratio filter_ratio t = { t with filter_ratio }
   let with_dedup dedup t = { t with dedup }
+  let with_visited_dedup visited_dedup t = { t with visited_dedup }
+
+  let with_exhaustive_depth exhaustive_depth t =
+    { t with exhaustive_depth }
 
   let of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
-      ?faults ?surrogate ?filter_ratio ?dedup () =
+      ?faults ?surrogate ?filter_ratio ?dedup ?visited_dedup
+      ?exhaustive_depth () =
     {
       seed = Option.value seed ~default:default.seed;
       cache = (match cache with None -> default.cache | some -> some);
@@ -233,6 +245,10 @@ module Ctx = struct
       filter_ratio =
         Option.value filter_ratio ~default:default.filter_ratio;
       dedup = Option.value dedup ~default:default.dedup;
+      visited_dedup =
+        Option.value visited_dedup ~default:default.visited_dedup;
+      exhaustive_depth =
+        Option.value exhaustive_depth ~default:default.exhaustive_depth;
     }
 end
 
@@ -250,6 +266,8 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
     surrogate;
     filter_ratio;
     dedup;
+    visited_dedup;
+    exhaustive_depth;
   } =
     ctx
   in
@@ -323,7 +341,13 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
         in
         Some (Surrogate.Model.prerank ~filter_ratio ~group m)
   in
-  let batched = jobs >= 1 || Option.is_some prerank || dedup in
+  (* the visited set needs the batched engine too, and it subsumes
+     intra-batch dedup (a state must never be measured twice, whether
+     its duplicate sits in the same round or an earlier one) *)
+  let dedup = dedup || visited_dedup in
+  let batched =
+    jobs >= 1 || Option.is_some prerank || dedup || visited_dedup
+  in
   let pool_jobs = max jobs 1 in
   let base =
     Obs.Span.run ?metrics ~trace:obs "search" (fun () ->
@@ -345,7 +369,8 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
                     let r =
                       Search.Stochastic.random_sampling_parallel ~seed
                         ~init:warm_start ~obs ?metrics ~guard ?prerank
-                        ~dedup ~pool ~space ~budget caps objective prog
+                        ~dedup ~visited_dedup ~pool ~space ~budget caps
+                        objective prog
                     in
                     export_pool pool;
                     r)
@@ -363,7 +388,8 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
                     let r =
                       Search.Stochastic.simulated_annealing_parallel ~seed
                         ~init:warm_start ~obs ?metrics ~guard ?prerank
-                        ~dedup ~pool ~space ~budget caps objective prog
+                        ~dedup ~visited_dedup ~pool ~space ~budget caps
+                        objective prog
                     in
                     export_pool pool;
                     r)
@@ -390,7 +416,16 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
                 target prog
             in
             failures := !failures + o.failures;
-            (o.schedule, o.time_s, o.moves, o.evaluations))
+            (o.schedule, o.time_s, o.moves, o.evaluations)
+        | Exhaustive ->
+            (* sequential and deterministic; depth comes from the
+               context (Ctx.with_exhaustive_depth) *)
+            let r =
+              Search.Exhaustive.run ~obs ?metrics ~guard
+                ~depth:exhaustive_depth caps objective prog
+            in
+            failures := !failures + r.failures;
+            (r.best, r.best_time, r.best_moves, r.evals))
   in
   (* Pass strategies cannot absorb a warm-start sequence themselves:
      replay it and keep whichever schedule is faster, so a warm run

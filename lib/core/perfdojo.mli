@@ -81,6 +81,11 @@ type strategy =
   | Rl_search of Rl.Perfllm.config  (** PerfLLM (§3) *)
   | Portfolio of { budget : int }
       (** race {!default_portfolio} across domains, keep the best *)
+  | Exhaustive
+      (** enumerate the full transformation graph to
+          [Ctx.exhaustive_depth] moves with canonical dedup
+          ({!Search.Exhaustive.run}) — the provable-optimum baseline for
+          small kernels; sequential and deterministic *)
 
 type portfolio_member = {
   plabel : string;  (** shown as the winner's name *)
@@ -150,12 +155,20 @@ module Ctx : sig
     dedup : bool;
         (** evaluate each distinct candidate program once per batch;
             duplicates share the measurement (default [false]) *)
+    visited_dedup : bool;
+        (** remember the canonical fingerprint of every state measured
+            so far and never re-evaluate an equivalent one (implies
+            per-batch [dedup]; default [false]) *)
+    exhaustive_depth : int;
+        (** move-sequence depth bound for the {!Exhaustive} strategy;
+            default [3] *)
   }
 
   val default : t
   (** [seed = 1], no cache, cold start, sequential, untraced, unmetered,
       {!Robust.Guard.default}, {!Robust.Faults.none}, no surrogate,
-      [filter_ratio = 1.0], no dedup — exactly the defaults the
+      [filter_ratio = 1.0], no dedup, no visited-set,
+      [exhaustive_depth = 3] — exactly the defaults the
       optional-argument entry points always used. *)
 
   val with_seed : int -> t -> t
@@ -169,6 +182,8 @@ module Ctx : sig
   val with_surrogate : Surrogate.Model.t -> t -> t
   val with_filter_ratio : float -> t -> t
   val with_dedup : bool -> t -> t
+  val with_visited_dedup : bool -> t -> t
+  val with_exhaustive_depth : int -> t -> t
 
   val of_options :
     ?seed:int ->
@@ -182,6 +197,8 @@ module Ctx : sig
     ?surrogate:Surrogate.Model.t ->
     ?filter_ratio:float ->
     ?dedup:bool ->
+    ?visited_dedup:bool ->
+    ?exhaustive_depth:int ->
     unit ->
     t
   (** {!default} overridden by whichever arguments are given — the

@@ -68,6 +68,7 @@ let strategy_label : P.strategy -> string = function
   | P.Annealing { space; _ } -> "annealing/" ^ space_label space
   | P.Rl_search _ -> "rl"
   | P.Portfolio _ -> "portfolio"
+  | P.Exhaustive -> "exhaustive"
 
 let default_kernels () = Kernels.table3 @ Kernels.snitch_micro
 
@@ -208,7 +209,8 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
     List.map
       (fun (tname, t, (e : Kernels.entry)) ->
         let root = e.build () in
-        let fp = Tuning.Record.fingerprint root in
+        let keys = Tuning.Record.root_keys root in
+        let fp = fst keys in
         let naive_s = Machine.time t root in
         let best =
           match db with
@@ -217,7 +219,7 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
         in
         let item =
           match best with
-          | Some r when r.Tuning.Record.fingerprint = fp ->
+          | Some r when Tuning.Record.matches_root ~keys r ->
               if force then Optimize r.moves
               else
                 let sched, applied =

@@ -1,0 +1,173 @@
+(* Exhaustive enumeration of the transformation graph (ROADMAP item 1).
+
+   Breadth-first over move sequences from the root: level k holds the
+   programs first reached by k moves.  Every applied instance is one
+   [total] encounter; canonical-fingerprint dedup (Canon) collapses the
+   spellings of one state, so each state is expanded and measured once
+   — the TransForm discipline (222 generated instances, 8 unique).
+
+   Because the frontier holds every not-yet-expanded state, an empty
+   frontier before the depth bound means the entire reachable
+   transformation graph has been enumerated: the best runtime found is
+   then a global optimum over all schedules reachable from the root
+   ([exhausted = true]), not merely over sequences of length <= depth.
+   Either way, a run that was not truncated by [max_states] certifies
+   the optimum over every schedule within [depth] moves
+   ([certified = true]) — the provable baseline the stochastic engines
+   and the DQN are calibrated against.
+
+   The walk is sequential and deterministic: Xforms.all enumerates
+   instances in a fixed order, levels are processed in discovery order,
+   and nothing draws randomness. *)
+
+open Transform
+
+type result = {
+  best : Ir.Prog.t;
+  best_time : float;
+  best_moves : string list; (* replayable path of describe strings *)
+  unique : int; (* distinct canonical states discovered (incl. root) *)
+  total : int; (* state encounters: root + every instance application *)
+  evals : int; (* guarded objective evaluations performed *)
+  failures : int; (* applications or evaluations quarantined *)
+  depth : int; (* requested bound *)
+  reached_depth : int; (* deepest level actually expanded *)
+  certified : bool; (* optimum proved over all schedules within depth *)
+  exhausted : bool; (* frontier emptied: optimum proved globally *)
+}
+
+let default_max_states = 20_000
+
+let run ?filter ?(obs = Obs.Trace.null) ?metrics
+    ?(guard = Robust.Guard.default) ?(max_states = default_max_states)
+    ~(depth : int) caps (objective : Stochastic.objective)
+    (root : Ir.Prog.t) : result =
+  if depth < 0 then invalid_arg "Exhaustive.run: depth must be >= 0";
+  if max_states < 1 then
+    invalid_arg "Exhaustive.run: max_states must be >= 1";
+  let guard = Robust.Guard.instrument ?metrics guard in
+  let traced = Obs.Trace.enabled obs in
+  let filter = match filter with Some f -> f | None -> fun _ -> true in
+  let failures = ref 0 in
+  let note f =
+    incr failures;
+    Robust.Guard.note ~obs ?metrics f
+  in
+  let evals = ref 0 in
+  (* root state *)
+  let root_time =
+    incr evals;
+    match Robust.Guard.eval ~cfg:guard objective root with
+    | Ok t -> t
+    | Error f ->
+        note f;
+        infinity
+  in
+  if traced then
+    Obs.Trace.emit obs "search.start" (fun () ->
+        Obs.Trace.
+          [
+            str "method" "exhaustive";
+            int "depth" depth;
+            int "max_states" max_states;
+            num "root_time" root_time;
+          ]);
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace seen (Canon.fingerprint root) ();
+  let unique = ref 1 and total = ref 1 in
+  let best = ref root (* program *)
+  and best_time = ref root_time
+  and best_moves = ref [] in
+  let truncated = ref false in
+  (* frontier: (program, forward move path), discovery order *)
+  let frontier = ref [ (root, []) ] in
+  let level = ref 0 in
+  while !level < depth && !frontier <> [] && not !truncated do
+    incr level;
+    let next = ref [] in
+    List.iter
+      (fun (p, moves) ->
+        let insts = List.filter filter (Xforms.all caps p) in
+        List.iter
+          (fun (inst : Xforms.instance) ->
+            if not !truncated then begin
+              incr total;
+              match inst.apply p with
+              | exception e ->
+                  note (Robust.Guard.rejected_of_exn e)
+              | q ->
+                  let fp = Canon.fingerprint q in
+                  if not (Hashtbl.mem seen fp) then begin
+                    if !unique >= max_states then truncated := true
+                    else begin
+                      Hashtbl.replace seen fp ();
+                      incr unique;
+                      let path = moves @ [ Xforms.describe inst ] in
+                      incr evals;
+                      (match Robust.Guard.eval ~cfg:guard objective q with
+                      | Ok t ->
+                          if t < !best_time then begin
+                            best := q;
+                            best_time := t;
+                            best_moves := path;
+                            if traced then
+                              Obs.Trace.emit obs "search.best" (fun () ->
+                                  Obs.Trace.
+                                    [
+                                      int "i" (!unique - 1);
+                                      num "runtime" t;
+                                      int "n_moves" (List.length path);
+                                    ])
+                          end
+                      | Error f -> note f);
+                      next := (q, path) :: !next
+                    end
+                  end
+            end)
+          insts)
+      !frontier;
+    frontier := List.rev !next;
+    if traced then
+      Obs.Trace.emit obs "search.exhaustive_level" (fun () ->
+          Obs.Trace.
+            [
+              int "level" !level;
+              int "unique" !unique;
+              int "total" !total;
+              int "frontier" (List.length !frontier);
+            ])
+  done;
+  let exhausted = !frontier = [] && not !truncated in
+  let certified = not !truncated in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.incr m ~by:!unique "canon.unique";
+      Obs.Metrics.incr m ~by:!total "canon.total";
+      Obs.Metrics.incr m ~by:!evals "search.steps");
+  if traced then
+    Obs.Trace.emit obs "search.exhaustive" (fun () ->
+        Obs.Trace.
+          [
+            int "unique" !unique;
+            int "total" !total;
+            int "evals" !evals;
+            int "depth" depth;
+            int "reached_depth" !level;
+            num "best" !best_time;
+            bool "certified" certified;
+            bool "exhausted" exhausted;
+          ]);
+  {
+    best = !best;
+    best_time = !best_time;
+    best_moves = !best_moves;
+    unique = !unique;
+    total = !total;
+    evals = !evals;
+    failures = !failures;
+    depth;
+    reached_depth = !level;
+    certified;
+    exhausted;
+  }

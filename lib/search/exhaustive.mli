@@ -1,0 +1,62 @@
+(** Exhaustive enumeration of the transformation graph with canonical
+    dedup — the provable-optimum baseline (ROADMAP item 1).
+
+    Breadth-first over move sequences from the root, collapsing the many
+    spellings of one schedule state with {!Canon.fingerprint} so each
+    state is expanded and measured once.  [unique]/[total] is the
+    TransForm-style dedup ratio (how redundant the raw instance graph
+    was); the trace reports it per level ([search.exhaustive_level]) and
+    at the end ([search.exhaustive]).
+
+    Certificates: a run that never hit [max_states] proves the optimum
+    over {e every} schedule reachable within [depth] moves
+    ([certified]).  If the frontier emptied before the depth bound the
+    whole reachable graph was enumerated and the optimum is global
+    ([exhausted]) — "run until exhaustion" for small kernels.  Small
+    bounds are the point: the stochastic engines and the RL agent are
+    calibrated against these optima.
+
+    Deterministic and sequential: instance enumeration order is fixed,
+    nothing draws randomness.  Every evaluation (and every instance
+    application) runs under the {!Robust.Guard}. *)
+
+type result = {
+  best : Ir.Prog.t;
+  best_time : float;
+  best_moves : string list;
+      (** shortest path of {!Transform.Xforms.describe} strings to the
+          optimum, replayable via {!Stochastic.replay_skipping} *)
+  unique : int;  (** distinct canonical states discovered (incl. root) *)
+  total : int;  (** state encounters: root + every instance application *)
+  evals : int;  (** guarded objective evaluations (one per unique state) *)
+  failures : int;  (** applications or evaluations quarantined *)
+  depth : int;  (** requested bound *)
+  reached_depth : int;  (** deepest level actually expanded *)
+  certified : bool;
+      (** the optimum is proved over all schedules within [depth] moves
+          (false only when [max_states] truncated the walk) *)
+  exhausted : bool;
+      (** the frontier emptied before the bound: the entire reachable
+          transformation graph was enumerated, so the optimum is global *)
+}
+
+val default_max_states : int
+(** 20000 — a memory guard, far above any small-kernel state count. *)
+
+val run :
+  ?filter:(Transform.Xforms.instance -> bool) ->
+  ?obs:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
+  ?guard:Robust.Guard.config ->
+  ?max_states:int ->
+  depth:int ->
+  Transform.Xforms.caps ->
+  Stochastic.objective ->
+  Ir.Prog.t ->
+  result
+(** [run ~depth caps objective root] enumerates every schedule reachable
+    from [root] in at most [depth] moves (deduplicated canonically) and
+    returns the measured optimum with its certificate.  Metrics:
+    [canon.unique] / [canon.total] counters and [search.steps].
+    Raises [Invalid_argument] on negative [depth] or non-positive
+    [max_states]. *)

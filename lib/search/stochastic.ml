@@ -46,6 +46,7 @@ type result = {
   evals : int; (* simulator evaluations actually performed *)
   skipped : int; (* slots filtered out by the surrogate (no evaluation) *)
   deduped : int; (* duplicate slots answered by a shared evaluation *)
+  visited : int; (* slots whose canonical state was already evaluated *)
   failures : int; (* evaluations quarantined by the guard *)
 }
 
@@ -387,6 +388,7 @@ let random_sampling ?(seed = 1) ?filter ?(init = [])
     evals = budget;
     skipped = 0;
     deduped = 0;
+    visited = 0;
     failures = !failures;
   }
 
@@ -516,6 +518,9 @@ type slot_outcome =
   | Failed of Robust.Guard.failure
       (** build or evaluation failure — quarantine *)
   | Skipped  (** surrogate-filtered: no measurement, not a failure *)
+  | Visited
+      (** canonical state already evaluated in an earlier round: no
+          measurement, the visited set answered *)
 
 (* Grow one child without measuring it: the (moves, program) pair ready
    for dedup/ranking.  Exceptions from a transform or replay classify
@@ -550,10 +555,15 @@ let observe_seed prerank root ~root_time warm =
 
 (* [prepare_parent ~slot] picks the parent and splits the task RNG on
    the submitting thread; [fold slot parent outcome] consumes one slot.
-   Returns the curve plus (evals, skipped, deduped) accounting:
-   budget = evals + skipped + deduped + build-failures. *)
+   [visited], when present, is the cross-round visited set: canonical
+   fingerprints of every state already measured; candidates whose
+   fingerprint is in the set never reach the simulator again.
+   Returns the curve plus (evals, skipped, deduped, visited)
+   accounting: budget = evals + skipped + deduped + visited +
+   build-failures. *)
 let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
-    ~dedup ~prerank ~space ~caps ~root ~objective ~prepare_parent ~fold () =
+    ~dedup ~prerank ~visited ~space ~caps ~root ~objective ~prepare_parent
+    ~fold () =
   if batch < 1 then invalid_arg "Stochastic: batch must be >= 1";
   let traced = Obs.Trace.enabled obs in
   let bump ?(by = 1) name =
@@ -561,8 +571,12 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
       match metrics with None -> () | Some m -> Obs.Metrics.incr m ~by name
   in
   let ratio = match prerank with None -> 1.0 | Some p -> p.filter_ratio in
+  let want_fp = dedup || visited <> None in
   let curve = Array.make budget infinity in
-  let n_evals = ref 0 and n_skipped = ref 0 and n_deduped = ref 0 in
+  let n_evals = ref 0
+  and n_skipped = ref 0
+  and n_deduped = ref 0
+  and n_visited = ref 0 in
   let filled = ref 0 in
   while !filled < budget do
     let b = min batch (budget - !filled) in
@@ -571,45 +585,75 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
     let prepared =
       Array.init b (fun i -> prepare_parent ~slot:(!filled + i))
     in
-    (* 2. build phase on the pool: grow children, no measurement yet *)
-    let built =
+    (* 2. build phase on the pool: grow children (and, when dedup or
+       the visited set needs them, their canonical fingerprints — pure,
+       so still jobs-invariant), no measurement yet *)
+    let built_fp =
       Parallel.Pool.map pool
         (fun (parent, task_rng) ->
-          build_child ?filter space caps root parent task_rng)
+          let r = build_child ?filter space caps root parent task_rng in
+          let fp =
+            match r with
+            | Ok (_, p) when want_fp -> Canon.fingerprint p
+            | Ok _ | Error _ -> ""
+          in
+          (r, fp))
         prepared
     in
+    let built = Array.map fst built_fp in
+    let fps = Array.map snd built_fp in
     let n_ok =
       Array.fold_left
         (fun acc r -> match r with Ok _ -> acc + 1 | Error _ -> acc)
         0 built
     in
-    (* 3. dedup: group slots by printed program; the first slot of a
-       group is its representative *)
+    (* 3. dedup: group slots by canonical fingerprint — alpha-renamed /
+       commutatively-reordered spellings of one state share a group;
+       the first slot of a group is its representative *)
     let rep_of = Array.init b (fun i -> i) in
     if dedup then begin
       let tbl = Hashtbl.create (2 * b) in
       for i = 0 to b - 1 do
         match built.(i) with
         | Error _ -> ()
-        | Ok (_, p) -> (
-            let key = Digest.string (Ir.Printer.program p) in
-            match Hashtbl.find_opt tbl key with
-            | None -> Hashtbl.add tbl key i
+        | Ok _ -> (
+            match Hashtbl.find_opt tbl fps.(i) with
+            | None -> Hashtbl.add tbl fps.(i) i
             | Some r -> rep_of.(i) <- r)
       done
     end;
-    let reps =
+    let all_reps =
       List.filter
         (fun i -> rep_of.(i) = i && Result.is_ok built.(i))
         (List.init b Fun.id)
     in
+    (* 3b. visited filter: a representative whose canonical state was
+       measured in an earlier round never reaches pre-ranking or the
+       simulator; membership is checked on the submitting thread, so
+       the decision is a pure function of the trajectory so far *)
+    let visited_rep = Array.make b false in
+    (match visited with
+    | None -> ()
+    | Some set ->
+        List.iter
+          (fun i -> if Hashtbl.mem set fps.(i) then visited_rep.(i) <- true)
+          all_reps);
+    let reps = List.filter (fun i -> not visited_rep.(i)) all_reps in
     let n_reps = List.length reps in
+    if want_fp then begin
+      bump ~by:n_ok "canon.total";
+      bump ~by:n_reps "canon.unique"
+    end;
     if dedup then begin
-      bump ~by:(n_ok - n_reps) "surrogate.dedup_saved";
+      bump ~by:(n_ok - List.length all_reps) "surrogate.dedup_saved";
       if traced then
         Obs.Trace.emit obs "search.batch_dedup" (fun () ->
             Obs.Trace.
-              [ int "i" !filled; int "unique" n_reps; int "total" n_ok ])
+              [
+                int "i" !filled;
+                int "unique" (List.length all_reps);
+                int "total" n_ok;
+              ])
     end;
     (* 4. surrogate pre-rank: keep the top-k distinct candidates; ties
        and equal scores resolve by slot order, so selection is
@@ -667,6 +711,18 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
     bump ~by:(Array.length selected_arr) "surrogate.evals";
     let eval_of = Hashtbl.create (2 * b) in
     Array.iteri (fun j i -> Hashtbl.add eval_of i measured.(j)) selected_arr;
+    (* record the states measured this round; quarantined evaluations
+       stay unmarked (like the cache, which never stores non-finite
+       scores) so they do not poison the set *)
+    (match visited with
+    | None -> ()
+    | Some set ->
+        Array.iteri
+          (fun j i ->
+            match measured.(j) with
+            | Ok _, _ -> Hashtbl.replace set fps.(i) ()
+            | Error _, _ -> ())
+          selected_arr);
     (* 6. fold in slot order on the submitting thread; all trace events
        of the round are emitted here, so the stream is a pure function
        of (seed, batch, model state) *)
@@ -677,6 +733,14 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
         match built.(i) with
         | Error f -> Failed f
         | Ok (moves, prog) -> (
+            if visited_rep.(rep_of.(i)) then begin
+              incr n_visited;
+              if traced then
+                Obs.Trace.emit obs "search.visited_skip" (fun () ->
+                    Obs.Trace.[ int "slot" slot ]);
+              Visited
+            end
+            else
             match Hashtbl.find_opt eval_of rep_of.(i) with
             | None ->
                 incr n_skipped;
@@ -707,13 +771,27 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
     done;
     filled := !filled + b
   done;
-  (curve, !n_evals, !n_skipped, !n_deduped)
+  (curve, !n_evals, !n_skipped, !n_deduped, !n_visited)
+
+(* Seed a fresh visited set with the states the prelude already
+   measured (root, warm-start replay): children that land back on them
+   must not pay a second simulation. *)
+let make_visited ~visited_dedup root warm =
+  if not visited_dedup then None
+  else begin
+    let set = Hashtbl.create 64 in
+    Hashtbl.replace set (Canon.fingerprint root) ();
+    (match warm with
+    | Some w -> Hashtbl.replace set (Canon.fingerprint w.prog) ()
+    | None -> ());
+    Some set
+  end
 
 let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
     ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
     ?(batch = default_batch) ?prerank ?(dedup = false)
-    ~(pool : Parallel.Pool.t) ~(space : space) ~(budget : int) caps
-    (objective : objective) (root : Ir.Prog.t) : result =
+    ?(visited_dedup = false) ~(pool : Parallel.Pool.t) ~(space : space)
+    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
   check_prerank prerank;
   let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
@@ -733,8 +811,8 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
     make_pool root_cand warm
   in
   let best = ref best0 in
-  match (prerank, dedup) with
-  | None, false ->
+  match (prerank, dedup, visited_dedup) with
+  | None, false, false ->
       (* the default engine, byte-identical to earlier releases *)
       let prepare sink ~slot =
         let parent = pick_parent rng cands weights in
@@ -768,6 +846,7 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
         evals = budget;
         skipped = 0;
         deduped = 0;
+        visited = 0;
         failures = !failures;
       }
   | _ ->
@@ -781,12 +860,13 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
         let parent = pick_parent rng cands weights in
         (parent, Util.Rng.split rng)
       in
+      let visited = make_visited ~visited_dedup root warm in
       let fold slot parent = function
         | Failed f ->
             note_slot ~slot f;
             push_quarantined (quarantined root parent.runtime);
             !best.runtime
-        | Skipped -> !best.runtime
+        | Skipped | Visited -> !best.runtime
         | Evaluated child ->
             push child;
             if child.runtime < !best.runtime then begin
@@ -798,9 +878,9 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
             note_step ?metrics ~runtime:child.runtime ();
             !best.runtime
       in
-      let curve, evals, skipped, deduped =
+      let curve, evals, skipped, deduped, visited =
         run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget
-          ~guard ~dedup ~prerank ~space ~caps ~root ~objective
+          ~guard ~dedup ~prerank ~visited ~space ~caps ~root ~objective
           ~prepare_parent ~fold ()
       in
       {
@@ -811,14 +891,16 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
         evals;
         skipped;
         deduped;
+        visited;
         failures = !failures;
       }
 
 let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
     ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
     ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch) ?prerank
-    ?(dedup = false) ~(pool : Parallel.Pool.t) ~(space : space)
-    ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
+    ?(dedup = false) ?(visited_dedup = false) ~(pool : Parallel.Pool.t)
+    ~(space : space) ~(budget : int) caps (objective : objective)
+    (root : Ir.Prog.t) : result =
   check_prerank prerank;
   let guard = Robust.Guard.instrument ?metrics guard in
   let rng = Util.Rng.create seed in
@@ -842,8 +924,8 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
   in
   let best = ref !current in
   let temp = ref t0 in
-  match (prerank, dedup) with
-  | None, false ->
+  match (prerank, dedup, visited_dedup) with
+  | None, false, false ->
       (* the default engine, byte-identical to earlier releases *)
       let prepare sink ~slot =
         (* all proposals of a round branch off the round-start state *)
@@ -895,6 +977,7 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
         evals = budget;
         skipped = 0;
         deduped = 0;
+        visited = 0;
         failures = !failures;
       }
   | _ ->
@@ -904,6 +987,7 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
           ~fields:[ Obs.Trace.int "slot" slot ]
           f
       in
+      let visited = make_visited ~visited_dedup root warm in
       let prepare_parent ~slot:_ =
         (* all proposals of a round branch off the round-start state *)
         (!current, Util.Rng.split rng)
@@ -915,9 +999,10 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
                advances so temperature stays a function of the step
                index alone *)
             note_slot ~slot f
-        | Skipped ->
-            (* filtered out before measurement: no acceptance draw (the
-               skip is deterministic), cooling still advances *)
+        | Skipped | Visited ->
+            (* filtered out (surrogate) or already measured (visited
+               set) before measurement: no acceptance draw (the skip is
+               deterministic), cooling still advances *)
             ()
         | Evaluated child ->
             let accept =
@@ -944,9 +1029,9 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
         temp := !temp *. cooling;
         !best.runtime
       in
-      let curve, evals, skipped, deduped =
+      let curve, evals, skipped, deduped, visited =
         run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget
-          ~guard ~dedup ~prerank ~space ~caps ~root ~objective
+          ~guard ~dedup ~prerank ~visited ~space ~caps ~root ~objective
           ~prepare_parent ~fold ()
       in
       {
@@ -957,6 +1042,7 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
         evals;
         skipped;
         deduped;
+        visited;
         failures = !failures;
       }
 
@@ -1034,5 +1120,6 @@ let simulated_annealing ?(seed = 1) ?filter ?(init = [])
     evals = budget;
     skipped = 0;
     deduped = 0;
+    visited = 0;
     failures = !failures;
   }

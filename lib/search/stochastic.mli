@@ -44,13 +44,20 @@ type result = {
   curve : float array;  (** best-so-far runtime after each evaluation *)
   evals : int;
       (** objective (simulator) evaluations actually performed: equal to
-          the budget on the default paths; with [prerank]/[dedup]
-          enabled, the budget minus the skipped, deduplicated and
-          build-failed slots *)
+          the budget on the default paths; with
+          [prerank]/[dedup]/[visited_dedup] enabled, the budget minus
+          the skipped, deduplicated, visited and build-failed slots —
+          [evals + skipped + deduped + visited + failures = budget]
+          exactly whenever no evaluation is quarantined (a quarantined
+          evaluation consumed its simulator call, so it counts in both
+          [evals] and [failures]) *)
   skipped : int;
       (** budget slots filtered out by the surrogate — never measured *)
   deduped : int;
       (** budget slots answered by a round-mate's shared measurement *)
+  visited : int;
+      (** budget slots whose canonical state ({!Canon.fingerprint}) was
+          already measured in an earlier round — never re-measured *)
   failures : int;
       (** evaluations quarantined by the guard — equal to the number of
           [search.eval_error] events the run traced *)
@@ -168,6 +175,7 @@ val random_sampling_parallel :
   ?batch:int ->
   ?prerank:prerank ->
   ?dedup:bool ->
+  ?visited_dedup:bool ->
   pool:Parallel.Pool.t ->
   space:space ->
   budget:int ->
@@ -184,12 +192,22 @@ val random_sampling_parallel :
     modulo {!Obs.Trace.strip_timing}.
 
     {b Evaluation saving} (opt-in; the default path is byte-identical to
-    earlier releases when both are off):
+    earlier releases when all are off):
     - [dedup] (default [false]) hashes each round's candidates by their
-      printed program and evaluates each distinct program once; the
-      duplicates share the measurement.  Traced per round as
-      [search.batch_dedup] with unique/total counts, and counted in
-      [result.deduped] / the [surrogate.dedup_saved] metric.
+      canonical fingerprint ({!Canon.fingerprint}) and evaluates each
+      distinct state once; the duplicates — including alpha-renamed or
+      commutatively-reordered spellings — share the measurement.
+      Traced per round as [search.batch_dedup] with unique/total
+      counts, and counted in [result.deduped] / the
+      [surrogate.dedup_saved] metric.
+    - [visited_dedup] (default [false]) additionally remembers the
+      canonical fingerprint of every state measured so far (seeded with
+      the root and warm-start states) and never re-measures one: the
+      slot folds as visited — no measurement, no acceptance draw, not a
+      failure ([result.visited], [search.visited_skip] events, and the
+      [canon.unique] / [canon.total] metrics counting distinct-new vs
+      built candidates).  Membership is checked on the submitting
+      thread in slot order, so jobs-invariance is preserved.
     - [prerank] scores the distinct candidates with a cheap learned
       model and sends only the top [filter_ratio] fraction to the real
       objective; the rest are skipped (not failures — [result.skipped],
@@ -211,6 +229,7 @@ val simulated_annealing_parallel :
   ?batch:int ->
   ?prerank:prerank ->
   ?dedup:bool ->
+  ?visited_dedup:bool ->
   pool:Parallel.Pool.t ->
   space:space ->
   budget:int ->
@@ -222,7 +241,8 @@ val simulated_annealing_parallel :
     off the round-start chain state; acceptance, cooling and best-so-far
     fold sequentially in slot order.  [batch] defaults to 8.  Tracing
     follows the same per-slot-buffer discipline as
-    {!random_sampling_parallel}, and [prerank] / [dedup] behave
-    identically (a surrogate-skipped slot draws no acceptance RNG and
-    still advances the cooling schedule, so the temperature remains a
-    function of the step index alone). *)
+    {!random_sampling_parallel}, and [prerank] / [dedup] /
+    [visited_dedup] behave identically (a surrogate-skipped or
+    visited-skipped slot draws no acceptance RNG and still advances the
+    cooling schedule, so the temperature remains a function of the step
+    index alone). *)

@@ -41,6 +41,8 @@ type config = {
   surrogate : bool;
   filter_ratio : float;
   dedup : bool;
+  visited_dedup : bool;
+  exhaustive_depth : int;
 }
 
 let default_config =
@@ -61,6 +63,8 @@ let default_config =
     surrogate = false;
     filter_ratio = 1.0;
     dedup = false;
+    visited_dedup = false;
+    exhaustive_depth = 3;
   }
 
 type ticket = {
@@ -88,9 +92,9 @@ type t = {
      online (Surrogate.Model is internally locked), and when
      cfg.filter_ratio < 1 it pre-ranks candidate batches *)
   model : P.Surrogate.Model.t option;
-  (* kernel label -> (root program, fingerprint), built once: the warm
-     path must not pay a program construction per lookup *)
-  roots : (string, Ir.Prog.t * string) Hashtbl.t;
+  (* kernel label -> (root program, dual fingerprint keys), built once:
+     the warm path must not pay a program construction per lookup *)
+  roots : (string, Ir.Prog.t * (string * string)) Hashtbl.t;
   roots_mutex : Mutex.t;
   qm : Mutex.t;
   qcv : Condition.t;
@@ -132,6 +136,7 @@ let strategy_of_string ~budget s : (P.strategy, string) result =
              max_steps = 20;
            })
   | "portfolio" -> Ok (P.Portfolio { budget })
+  | "exhaustive" -> Ok P.Exhaustive
   | s -> Error (Printf.sprintf "unknown strategy %S" s)
 
 (* ------------------------------------------------------------------ *)
@@ -156,23 +161,24 @@ let sanitize s =
 let entry_symbol ~kernel ~tname =
   "perfdojo_" ^ sanitize kernel ^ "_" ^ sanitize tname
 
-let root_of t (e : Kernels.entry) : Ir.Prog.t * string =
+let root_of t (e : Kernels.entry) : Ir.Prog.t * (string * string) =
   with_lock t.roots_mutex (fun () ->
       match Hashtbl.find_opt t.roots e.label with
       | Some pair -> pair
       | None ->
           let root = e.build () in
-          let fp = Tuning.Record.fingerprint root in
-          Hashtbl.replace t.roots e.label (root, fp);
-          (root, fp))
+          let keys = Tuning.Record.root_keys root in
+          Hashtbl.replace t.roots e.label (root, keys);
+          (root, keys))
 
 (* Best record for the pair whose fingerprint matches the current root
-   — the only records the warm path may answer from (Db.query returns
+   — canonical or legacy, so pre-canonicalization databases stay warm —
+   the only records the warm path may answer from (Db.query returns
    best-first, so the first match is the fastest trustworthy one). *)
-let warm_lookup t ~kernel ~tname ~fp : Tuning.Record.t option =
+let warm_lookup t ~kernel ~tname ~keys : Tuning.Record.t option =
   with_lock t.db_mutex (fun () ->
       Tuning.Db.query ~kernel ~target:tname t.tuning_db
-      |> List.find_opt (fun (r : Tuning.Record.t) -> r.fingerprint = fp))
+      |> List.find_opt (Tuning.Record.matches_root ~keys))
 
 let deposit t (record : Tuning.Record.t option) =
   match record with
@@ -207,7 +213,9 @@ let request_ctx t sink ~warm_start =
       |> with_metrics t.ms |> with_guard guard |> with_faults t.cfg.faults
       |> with_warm_start warm_start
       |> with_filter_ratio t.cfg.filter_ratio
-      |> with_dedup t.cfg.dedup)
+      |> with_dedup t.cfg.dedup
+      |> with_visited_dedup t.cfg.visited_dedup
+      |> with_exhaustive_depth t.cfg.exhaustive_depth)
   in
   match t.model with
   | None -> ctx
@@ -604,8 +612,8 @@ let submit_async t (req : Protocol.request) :
       with
       | Error msg -> `Done (err t ~id ~code:Protocol.Bad_request ~msg)
       | Ok (e, tname) -> (
-          let _, fp = root_of t e in
-          match warm_lookup t ~kernel:e.label ~tname ~fp with
+          let _, keys = root_of t e in
+          match warm_lookup t ~kernel:e.label ~tname ~keys with
           | Some r ->
               `Done
                 (warm_reply t ~t0
@@ -637,9 +645,9 @@ let submit_async t (req : Protocol.request) :
       match resolve_tuning t ~kernel ~target ~strategy ~budget with
       | Error msg -> `Done (err t ~id ~code:Protocol.Bad_request ~msg)
       | Ok (e, tname, tgt, strat) -> (
-          let root, fp = root_of t e in
+          let root, keys = root_of t e in
           match
-            if force then None else warm_lookup t ~kernel:e.label ~tname ~fp
+            if force then None else warm_lookup t ~kernel:e.label ~tname ~keys
           with
           | Some r ->
               `Done
@@ -665,9 +673,9 @@ let submit_async t (req : Protocol.request) :
       match resolve_tuning t ~kernel ~target ~strategy ~budget with
       | Error msg -> `Done (err t ~id ~code:Protocol.Bad_request ~msg)
       | Ok (e, tname, tgt, strat) -> (
-          let root, fp = root_of t e in
+          let root, keys = root_of t e in
           let warm_c =
-            match warm_lookup t ~kernel:e.label ~tname ~fp with
+            match warm_lookup t ~kernel:e.label ~tname ~keys with
             | None -> None
             | Some r -> (
                 (* replay the recorded schedule; a stale record that no

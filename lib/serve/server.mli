@@ -58,13 +58,19 @@ type config = {
           batch is pre-ranked by the model and only the top fraction
           reaches the simulator *)
   dedup : bool;  (** intra-batch candidate dedup for cold searches *)
+  visited_dedup : bool;
+      (** canonical visited-set dedup for cold searches: a state
+          measured once is never re-measured across rounds *)
+  exhaustive_depth : int;
+      (** depth bound for the ["exhaustive"] strategy (default 3) *)
 }
 
 val default_config : config
 (** [queue_depth 16], [workers 1], [default_budget 300], no deadline,
     no fuel, seed 1, no database file, {!Frame.max_payload_default},
     the full kernel suite, default guard, no faults, untraced, no
-    surrogate ([filter_ratio 1.0], no dedup). *)
+    surrogate ([filter_ratio 1.0], no dedup, no visited-set,
+    [exhaustive_depth 3]). *)
 
 type t
 

@@ -116,7 +116,9 @@ let train_offline t ~root_of (records : Tuning.Record.t list) : offline_stats
       | None -> ()
       | Some (root, caps) ->
           if
-            Tuning.Record.fingerprint root = r.fingerprint
+            Tuning.Record.matches_root
+              ~keys:(Tuning.Record.root_keys root)
+              r
             && Float.is_finite r.best_time
             && r.best_time > 0.
           then begin

@@ -13,13 +13,24 @@ type t = {
   fingerprint : string;
 }
 
-let schema_version = 1
+let schema_version = 2
 
-(* Canonical program identity: digest of the printed text.  The printer
-   output parses back to a structurally identical program, so the
-   fingerprint is invariant under parse∘print round-trips. *)
-let fingerprint (p : Ir.Prog.t) : string =
+(* Canonical program identity (schema >= 2): digest of the canonicalized
+   program, so alpha-renamed and commutatively-reordered spellings of
+   the same root share their records. *)
+let fingerprint (p : Ir.Prog.t) : string = Canon.fingerprint p
+
+(* Schema-1 identity: digest of the raw printed text.  Kept so databases
+   written before the canonical fingerprint stay warm — lookups match
+   either key (see [root_keys]/[matches_root]). *)
+let fingerprint_legacy (p : Ir.Prog.t) : string =
   Digest.to_hex (Digest.string (Ir.Printer.program p))
+
+let root_keys (p : Ir.Prog.t) : string * string =
+  (fingerprint p, fingerprint_legacy p)
+
+let matches_root ~keys:(canonical, legacy) (r : t) =
+  String.equal r.fingerprint canonical || String.equal r.fingerprint legacy
 
 let make ~kernel ~target ~moves ~best_time ~evals ~root =
   {
@@ -78,7 +89,9 @@ let of_json (line : string) : (t, string) result =
       in
       let ( let* ) = Result.bind in
       let* schema = int_field "schema" in
-      if schema <> schema_version then
+      (* schema 1 records carry legacy printed-text fingerprints; they
+         parse fine and stay warm through the dual-key lookups *)
+      if schema <> 1 && schema <> schema_version then
         Error (Printf.sprintf "record: unsupported schema version %d" schema)
       else
         let* kernel = str_field "kernel" in

@@ -17,12 +17,28 @@ type t = {
 }
 
 val schema_version : int
+(** 2: fingerprints are canonical ({!Canon.fingerprint}).  Schema-1
+    records (raw printed-text digests) still parse and stay warm via
+    the dual-key helpers below. *)
 
 val fingerprint : Ir.Prog.t -> string
-(** Canonical program identity: the MD5 digest (hex) of the
-    {!Ir.Printer.program} text.  Invariant under parse∘print round-trips
-    — structurally equal programs fingerprint equally regardless of how
-    they were built. *)
+(** Canonical program identity: {!Canon.fingerprint} — invariant under
+    alpha-renaming of temporaries and provably-commutative sibling
+    reorder, so equivalent spellings of a root share their records. *)
+
+val fingerprint_legacy : Ir.Prog.t -> string
+(** Schema-1 identity: MD5 digest (hex) of the raw
+    {!Ir.Printer.program} text. *)
+
+val root_keys : Ir.Prog.t -> string * string
+(** [(fingerprint p, fingerprint_legacy p)], computed once per root for
+    the dual-key lookups. *)
+
+val matches_root : keys:string * string -> t -> bool
+(** Does this record belong to the root with these {!root_keys}?
+    True for both canonical (schema 2) and legacy (schema 1)
+    fingerprints, so databases written before the canonical form stay
+    warm. *)
 
 val make :
   kernel:string ->

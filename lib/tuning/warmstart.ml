@@ -2,9 +2,9 @@
    recorded schedule. *)
 
 let moves_for (db : Db.t) ~kernel ~target ~(root : Ir.Prog.t) : string list =
-  let fp = Record.fingerprint root in
+  let keys = Record.root_keys root in
   match Db.best db ~kernel ~target with
-  | Some (r : Record.t) when r.fingerprint = fp -> r.moves
+  | Some (r : Record.t) when Record.matches_root ~keys r -> r.moves
   | Some _ | None -> []
 
 let replay caps prog moves = Search.Stochastic.replay_skipping caps prog moves

@@ -53,12 +53,27 @@ let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
-(* Uniform int in [0, bound). *)
+(* Uniform int in [0, bound), by rejection sampling: [x mod bound] alone
+   is biased towards small residues whenever [bound] does not divide the
+   2^62 draw range.  We reject draws above the largest multiple of
+   [bound] that fits.  2^62 itself is not representable in a 63-bit
+   native int, so the accept limit is computed from the mask:
+   with [rem = 2^62 mod bound = ((mask mod bound) + 1) mod bound], the
+   accept region [0 .. mask - rem] holds exactly
+   [floor(2^62 / bound) * bound] values.  The rejection probability is
+   [bound / 2^62] — negligible for realistic bounds, so draw sequences
+   are in practice identical to the pre-fix generator. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* keep 62 bits so the value stays non-negative as a native int *)
-  let x = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
-  x mod bound
+  let mask = 0x3FFFFFFFFFFFFFFF in
+  let rem = ((mask mod bound) + 1) mod bound in
+  let limit = mask - rem in
+  let rec draw () =
+    let x = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+    if x <= limit then x mod bound else draw ()
+  in
+  draw ()
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 

@@ -25,8 +25,9 @@ val float_range : t -> float -> float -> float
 (** [float_range t lo hi] is uniform in [\[lo, hi)]. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
-    when [bound <= 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
+    rejection sampling over the 62-bit draw range rather than a biased
+    [mod]. Raises [Invalid_argument] when [bound <= 0]. *)
 
 val bool : t -> bool
 (** Fair coin. *)

@@ -31,16 +31,20 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
-let min_arr xs = Array.fold_left min infinity xs
-let max_arr xs = Array.fold_left max neg_infinity xs
+let min_arr xs = Array.fold_left Float.min infinity xs
+let max_arr xs = Array.fold_left Float.max neg_infinity xs
 
-(* Quantile with linear interpolation, q in [0, 1]. *)
+(* Quantile with linear interpolation, q in [0, 1].  Polymorphic
+   [compare] orders NaN below -inf, so a single NaN used to shift every
+   rank and return a bogus but finite-looking quantile; instead NaN
+   poisons the result explicitly, like [mean] over NaN inputs. *)
 let quantile q xs =
   let n = Array.length xs in
   if n = 0 then nan
+  else if Array.exists Float.is_nan xs then nan
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let pos = q *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor pos) in
     let hi = int_of_float (Float.ceil pos) in

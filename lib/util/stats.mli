@@ -15,8 +15,13 @@ val stddev : float array -> float
 
 val min_arr : float array -> float
 val max_arr : float array -> float
+(** IEEE min/max folds; any NaN input makes the result NaN. *)
 
 val quantile : float -> float array -> float
-(** [quantile q xs] with linear interpolation, [q] in [\[0, 1\]]. *)
+(** [quantile q xs] with linear interpolation, [q] in [\[0, 1\]].
+    [nan] on empty input or when any sample is NaN — a NaN must not be
+    silently ranked (polymorphic compare would order it below [-inf]
+    and return a bogus finite quantile). *)
 
 val median : float array -> float
+(** [quantile 0.5]; propagates NaN like {!quantile}. *)

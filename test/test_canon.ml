@@ -1,0 +1,213 @@
+(* Canonicalization tests.  The contract (canon.mli) is soundness for
+   dedup: two programs with equal fingerprints must be semantically
+   equivalent, and the fingerprint must be invariant under exactly the
+   incidental differences the search engines keep re-generating —
+   temporary-buffer names, commutative operand order, and legal
+   reorderings of independent siblings. *)
+
+open Ir.Types
+
+let caps_cpu = Transform.Xforms.cpu_caps ()
+let caps_snitch = Transform.Xforms.snitch_caps ()
+
+let entries = Kernels.table3 @ Kernels.snitch_micro
+
+let fp = Canon.fingerprint
+
+(* A random schedule: [steps] uniformly chosen applicable moves. *)
+let random_schedule caps rng steps p0 =
+  let p = ref p0 in
+  for _ = 1 to steps do
+    let insts = Transform.Xforms.all caps !p in
+    if insts <> [] then begin
+      let i =
+        List.nth insts (Util.Rng.int rng (List.length insts))
+      in
+      p := i.Transform.Xforms.apply !p
+    end
+  done;
+  !p
+
+(* Rename every non-interface array [a] to [ren_a] — buffer names,
+   alias lists and all accesses.  The fingerprint must not move. *)
+let alpha_variant (p : Ir.Prog.t) : Ir.Prog.t =
+  let io =
+    List.fold_left
+      (fun s a -> a :: s)
+      p.inputs p.outputs
+  in
+  let ren a = if List.mem a io then a else "ren_" ^ a in
+  let ren_access (a : access) = { a with array = ren a.array } in
+  let rec ren_node = function
+    | Stmt s ->
+        Stmt
+          {
+            dst = ren_access s.dst;
+            rhs = Ir.Prog.expr_map_access ren_access s.rhs;
+          }
+    | Scope sc -> Scope { sc with body = List.map ren_node sc.body }
+  in
+  {
+    p with
+    buffers =
+      List.map
+        (fun b ->
+          { b with bname = ren b.bname; arrays = List.map ren b.arrays })
+        p.buffers;
+    body = List.map ren_node p.body;
+  }
+
+(* Swap the operands of every commutative binary node. *)
+let rec flip_expr = function
+  | Bin (op, a, b) ->
+      let a = flip_expr a and b = flip_expr b in
+      let commutative =
+        match op with
+        | Add | Mul | Max | Min -> true
+        | Sub | Div -> false
+      in
+      if commutative then Bin (op, b, a) else Bin (op, a, b)
+  | Un (op, e) -> Un (op, flip_expr e)
+  | (Ref _ | IterVal _ | Const _) as e -> e
+
+let flip_commutative (p : Ir.Prog.t) : Ir.Prog.t =
+  let rec go = function
+    | Stmt s -> Stmt { s with rhs = flip_expr s.rhs }
+    | Scope sc -> Scope { sc with body = List.map go sc.body }
+  in
+  { p with body = List.map go p.body }
+
+(* QCheck generator: (kernel index, seed) -> a randomly scheduled
+   program, mirroring test_transform's random-walk discipline. *)
+let walk_arb = QCheck.(pair (int_bound (List.length entries - 1)) small_int)
+
+let scheduled (kidx, seed) =
+  let e = List.nth entries kidx in
+  let rng = Util.Rng.create (seed + 1) in
+  let steps = Util.Rng.int rng 6 in
+  (e, random_schedule caps_cpu rng steps (e.Kernels.build_small ()))
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~count:60 ~name:"canonicalize preserves semantics"
+      walk_arb
+      (fun w ->
+        let _, p = scheduled w in
+        let c = Canon.canonicalize p in
+        Ir.Validate.is_valid c && Interp.equivalent ~tol:1e-4 p c = Ok ());
+    QCheck.Test.make ~count:60 ~name:"canonicalize is idempotent" walk_arb
+      (fun w ->
+        let _, p = scheduled w in
+        let c = Canon.canonicalize p in
+        String.equal (Ir.Printer.program c)
+          (Ir.Printer.program (Canon.canonicalize c)));
+    QCheck.Test.make ~count:60
+      ~name:"fingerprint is invariant under non-IO renaming" walk_arb
+      (fun w ->
+        let _, p = scheduled w in
+        String.equal (fp p) (fp (alpha_variant p)));
+    QCheck.Test.make ~count:60
+      ~name:"fingerprint is invariant under commutative operand order"
+      walk_arb
+      (fun w ->
+        let _, p = scheduled w in
+        String.equal (fp p) (fp (flip_commutative p)));
+    QCheck.Test.make ~count:60
+      ~name:"fingerprint is invariant under every reorder move" walk_arb
+      (fun w ->
+        let _, p = scheduled w in
+        List.for_all
+          (fun (i : Transform.Xforms.instance) ->
+            String.equal (fp p) (fp (i.apply p)))
+          (Transform.Xforms.find_reorder p));
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "distinct programs get distinct fingerprints" `Quick
+      (fun () ->
+        (* registry entries that print identically at small shapes (the
+           batchnorm variants differ only in their full-size builds) may
+           share a fingerprint; any two that print differently must not *)
+        let progs =
+          List.map (fun (e : Kernels.entry) -> e.build_small ()) entries
+        in
+        let texts =
+          List.sort_uniq String.compare
+            (List.map Ir.Printer.program progs)
+        in
+        let fps =
+          List.sort_uniq String.compare (List.map fp progs)
+        in
+        Alcotest.(check int) "as many fingerprints as distinct programs"
+          (List.length texts) (List.length fps));
+    Alcotest.test_case "a split schedule changes the fingerprint" `Quick
+      (fun () ->
+        let p = Kernels.scale ~n:64 in
+        let split =
+          List.find
+            (fun (i : Transform.Xforms.instance) -> i.xname = "split_scope")
+            (Transform.Xforms.all caps_snitch p)
+        in
+        Alcotest.(check bool) "differs" false
+          (String.equal (fp p) (fp (split.apply p))));
+    Alcotest.test_case "equal agrees with fingerprint" `Quick (fun () ->
+        let p = Kernels.relu ~n:8 ~m:8 in
+        Alcotest.(check bool) "alpha variant equal" true
+          (Canon.equal p (alpha_variant p));
+        let q = Kernels.scale ~n:8 in
+        Alcotest.(check bool) "different kernels differ" false
+          (Canon.equal p q));
+    Alcotest.test_case "interface names are load-bearing" `Quick (fun () ->
+        (* inputs/outputs are the program's ABI: renaming THEM must
+           change the fingerprint, otherwise two different kernels that
+           compute the same shape could collide in a tuning database *)
+        let p = Kernels.scale ~n:16 in
+        let q =
+          {
+            p with
+            inputs = List.map (fun a -> a ^ "2") p.inputs;
+            buffers =
+              List.map
+                (fun b ->
+                  if List.mem b.bname p.inputs then
+                    {
+                      b with
+                      bname = b.bname ^ "2";
+                      arrays = List.map (fun a -> a ^ "2") b.arrays;
+                    }
+                  else b)
+                p.buffers;
+            body =
+              (let ren (a : access) =
+                 if List.mem a.array p.inputs then
+                   { a with array = a.array ^ "2" }
+                 else a
+               in
+               let rec go = function
+                 | Stmt s ->
+                     Stmt
+                       {
+                         dst = ren s.dst;
+                         rhs = Ir.Prog.expr_map_access ren s.rhs;
+                       }
+                 | Scope sc -> Scope { sc with body = List.map go sc.body }
+               in
+               List.map go p.body);
+          }
+        in
+        Alcotest.(check bool) "differs" false (String.equal (fp p) (fp q)));
+    Alcotest.test_case "fingerprint is a stable hex digest" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:8 ~n:8 in
+        let a = fp p and b = fp p in
+        Alcotest.(check string) "deterministic" a b;
+        Alcotest.(check int) "md5 hex length" 32 (String.length a));
+  ]
+
+let () =
+  Alcotest.run "canon"
+    [
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("unit", unit_tests);
+    ]

@@ -258,6 +258,219 @@ let parallel_search_tests =
           r.curve.(Array.length r.curve - 1));
   ]
 
+let exhaustive_tests =
+  let run_ex ?obs ~depth caps target p =
+    Search.Exhaustive.run ?obs ~depth caps (objective target) p
+  in
+  [
+    Alcotest.test_case "certifies the within-depth optimum on scale" `Quick
+      (fun () ->
+        let p = Kernels.scale ~n:16 in
+        let r = run_ex ~depth:3 caps_sn target_sn p in
+        Alcotest.(check bool) "certified" true r.certified;
+        Alcotest.(check bool) "dedup found duplicates" true
+          (r.unique < r.total);
+        Alcotest.(check bool) "beats the root" true
+          (r.best_time <= objective target_sn p);
+        (* no random walk of <= depth moves may beat the certificate *)
+        let rng = Util.Rng.create 42 in
+        for _ = 1 to 200 do
+          let q = ref p in
+          for _ = 1 to 3 do
+            let insts = Transform.Xforms.all caps_sn !q in
+            if insts <> [] then
+              let i =
+                List.nth insts (Util.Rng.int rng (List.length insts))
+              in
+              q := i.Transform.Xforms.apply !q
+          done;
+          Alcotest.(check bool) "certificate holds" true
+            (objective target_sn !q >= r.best_time -. 1e-12)
+        done);
+    Alcotest.test_case "stochastic never beats the certified optimum" `Quick
+      (fun () ->
+        (* on these kernels the depth-3 optimum is also the empirical
+           global one (depth 5 and budget-300 runs agree), so the
+           certificate bounds any stochastic run *)
+        List.iter
+          (fun (label, p, caps, target) ->
+            let ex = run_ex ~depth:3 caps target p in
+            List.iter
+              (fun seed ->
+                let s =
+                  Search.Stochastic.simulated_annealing ~seed
+                    ~space:Search.Stochastic.Heuristic ~budget:60 caps
+                    (objective target) p
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s seed %d: %.3e >= %.3e" label seed
+                     s.best_time ex.best_time)
+                  true
+                  (s.best_time >= ex.best_time -. 1e-15))
+              [ 1; 2; 3 ])
+          [
+            ("scale", Kernels.scale ~n:16, caps_sn, target_sn);
+            ("relu", Kernels.relu ~n:8 ~m:8, caps_cpu, target_cpu);
+          ]);
+    Alcotest.test_case "optimum improves monotonically with depth" `Quick
+      (fun () ->
+        let p = Kernels.relu ~n:4 ~m:4 in
+        let t1 = (run_ex ~depth:1 caps_cpu target_cpu p).best_time in
+        let t2 = (run_ex ~depth:2 caps_cpu target_cpu p).best_time in
+        let t3 = (run_ex ~depth:3 caps_cpu target_cpu p).best_time in
+        Alcotest.(check bool) "d2 <= d1" true (t2 <= t1);
+        Alcotest.(check bool) "d3 <= d2" true (t3 <= t2));
+    Alcotest.test_case "best_moves replay to the reported best" `Quick
+      (fun () ->
+        let p = Kernels.scale ~n:16 in
+        let r = run_ex ~depth:3 caps_sn target_sn p in
+        let q, applied =
+          Search.Stochastic.replay_skipping caps_sn p r.best_moves
+        in
+        Alcotest.(check int) "every move applies"
+          (List.length r.best_moves)
+          (List.length applied);
+        Alcotest.(check (float 1e-12)) "same runtime" r.best_time
+          (objective target_sn q);
+        equivalent_to "exhaustive best" p r.best);
+    Alcotest.test_case "depth 0 returns the root" `Quick (fun () ->
+        let p = Kernels.scale ~n:16 in
+        let r = run_ex ~depth:0 caps_sn target_sn p in
+        Alcotest.(check int) "one state" 1 r.unique;
+        Alcotest.(check int) "one eval" 1 r.evals;
+        Alcotest.(check bool) "exhausted is false under depth 0" false
+          r.exhausted;
+        Alcotest.(check (float 0.0)) "root time" (objective target_sn p)
+          r.best_time);
+    Alcotest.test_case "deterministic across runs" `Quick (fun () ->
+        let p = Kernels.relu ~n:4 ~m:4 in
+        let a = run_ex ~depth:2 caps_cpu target_cpu p in
+        let b = run_ex ~depth:2 caps_cpu target_cpu p in
+        Alcotest.(check (float 0.0)) "time" a.best_time b.best_time;
+        Alcotest.(check (list string)) "moves" a.best_moves b.best_moves;
+        Alcotest.(check int) "unique" a.unique b.unique;
+        Alcotest.(check int) "total" a.total b.total);
+    Alcotest.test_case "trace reports unique/total and the certificate"
+      `Quick (fun () ->
+        let p = Kernels.scale ~n:16 in
+        let obs = Obs.Trace.make_buffer () in
+        let r = run_ex ~obs ~depth:2 caps_sn target_sn p in
+        let events = Obs.Trace.events obs in
+        let find ev =
+          List.find_map
+            (fun j ->
+              match Util.Json.member "ev" j with
+              | Some (Util.Json.Str e) when e = ev -> Some j
+              | _ -> None)
+            events
+        in
+        (match find "search.exhaustive" with
+        | None -> Alcotest.fail "no search.exhaustive event"
+        | Some j ->
+            Alcotest.(check (option bool))
+              "certified in trace" (Some r.certified)
+              (match Util.Json.member "certified" j with
+              | Some (Util.Json.Bool b) -> Some b
+              | _ -> None);
+            Alcotest.(check bool) "unique field" true
+              (Util.Json.member "unique" j <> None));
+        Alcotest.(check bool) "per-level events" true
+          (find "search.exhaustive_level" <> None));
+  ]
+
+let visited_dedup_tests =
+  let strip obs = List.map Obs.Trace.strip_timing (Obs.Trace.events obs) in
+  [
+    Alcotest.test_case "visited: jobs=1 and jobs=4 agree with traces" `Quick
+      (fun () ->
+        let p = Kernels.gemv ~m:32 ~n:32 in
+        let run jobs =
+          let obs = Obs.Trace.make_buffer () in
+          let r =
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Search.Stochastic.simulated_annealing_parallel ~seed:11
+                  ~obs ~visited_dedup:true ~pool
+                  ~space:Search.Stochastic.Heuristic ~budget:48 caps_sn
+                  (objective target_sn) p)
+          in
+          (r, strip obs)
+        in
+        let r1, t1 = run 1 and r4, t4 = run 4 in
+        Alcotest.(check (float 0.0)) "best" r1.best_time r4.best_time;
+        Alcotest.(check int) "evals" r1.evals r4.evals;
+        Alcotest.(check int) "visited" r1.visited r4.visited;
+        Alcotest.(check (array (float 0.0))) "curve" r1.curve r4.curve;
+        Alcotest.(check bool) "stripped traces identical" true (t1 = t4));
+    Alcotest.test_case "every budget slot accounted exactly once" `Quick
+      (fun () ->
+        List.iter
+          (fun (label, p, caps, target) ->
+            let r =
+              Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+                  Search.Stochastic.random_sampling_parallel ~seed:3
+                    ~visited_dedup:true ~pool
+                    ~space:Search.Stochastic.Heuristic ~budget:60 caps
+                    (objective target) p)
+            in
+            Alcotest.(check int)
+              (label ^ ": evals+skipped+deduped+visited+failures")
+              60
+              (r.evals + r.skipped + r.deduped + r.visited + r.failures);
+            Alcotest.(check bool) (label ^ ": something was visited") true
+              (r.visited > 0))
+          [
+            ("scale", Kernels.scale ~n:16, caps_sn, target_sn);
+            ("relu", Kernels.relu ~n:8 ~m:8, caps_cpu, target_cpu);
+          ]);
+    Alcotest.test_case "visited-dedup spends strictly fewer evals" `Quick
+      (fun () ->
+        List.iter
+          (fun (label, p, caps, target) ->
+            let run visited_dedup =
+              Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+                  Search.Stochastic.simulated_annealing_parallel ~seed:5
+                    ~visited_dedup ~pool
+                    ~space:Search.Stochastic.Heuristic ~budget:60 caps
+                    (objective target) p)
+            in
+            let plain = run false and dd = run true in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %d < %d" label dd.evals plain.evals)
+              true (dd.evals < plain.evals))
+          [
+            ("scale", Kernels.scale ~n:16, caps_sn, target_sn);
+            ("relu", Kernels.relu ~n:8 ~m:8, caps_cpu, target_cpu);
+          ]);
+    Alcotest.test_case "canon metrics and visited_skip events appear" `Quick
+      (fun () ->
+        let p = Kernels.scale ~n:16 in
+        let obs = Obs.Trace.make_buffer () in
+        let ms = Obs.Metrics.create () in
+        let r =
+          Parallel.Pool.with_pool ~jobs:1 (fun pool ->
+              Search.Stochastic.simulated_annealing_parallel ~seed:5 ~obs
+                ~metrics:ms ~visited_dedup:true ~pool
+                ~space:Search.Stochastic.Heuristic ~budget:40 caps_sn
+                (objective target_sn) p)
+        in
+        let skips =
+          List.filter
+            (fun j ->
+              match Util.Json.member "ev" j with
+              | Some (Util.Json.Str e) -> e = "search.visited_skip"
+              | _ -> false)
+            (Obs.Trace.events obs)
+        in
+        Alcotest.(check int) "one event per visited slot" r.visited
+          (List.length skips);
+        let unique = Obs.Metrics.counter ms "canon.unique"
+        and total = Obs.Metrics.counter ms "canon.total" in
+        Alcotest.(check bool)
+          (Printf.sprintf "canon.unique %d <= canon.total %d" unique total)
+          true
+          (unique <= total && total > 0));
+  ]
+
 let () =
   Alcotest.run "search"
     [
@@ -267,4 +480,6 @@ let () =
       ("stochastic", stochastic_tests);
       ("mutation", mutation_tests);
       ("parallel-search", parallel_search_tests);
+      ("exhaustive", exhaustive_tests);
+      ("visited-dedup", visited_dedup_tests);
     ]

@@ -45,6 +45,38 @@ let rng_tests =
         Alcotest.check_raises "zero"
           (Invalid_argument "Rng.int: bound must be positive") (fun () ->
             ignore (Util.Rng.int rng 0)));
+    Alcotest.test_case "int is unbiased across the residue classes" `Quick
+      (fun () ->
+        (* rejection sampling: a bound that does not divide 2^62 must
+           still give every residue the same probability.  With naive
+           [x mod bound] a bound of 3 would skew class 0/1 measurably
+           over this many draws; rejection keeps all classes within
+           noise of each other. *)
+        let rng = Util.Rng.create 23 in
+        let bound = 3 in
+        let counts = Array.make bound 0 in
+        let n = 30000 in
+        for _ = 1 to n do
+          let v = Util.Rng.int rng bound in
+          counts.(v) <- counts.(v) + 1
+        done;
+        let expect = float_of_int n /. float_of_int bound in
+        Array.iter
+          (fun c ->
+            let dev = abs_float (float_of_int c -. expect) /. expect in
+            Alcotest.(check bool)
+              (Printf.sprintf "class within 5%% (dev %.3f)" dev)
+              true (dev < 0.05))
+          counts);
+    Alcotest.test_case "int near max_int stays in range" `Quick (fun () ->
+        (* bounds close to the 62-bit draw range exercise the rejection
+           path itself (rem/limit arithmetic), not just the modulo *)
+        let rng = Util.Rng.create 29 in
+        let bound = max_int / 2 in
+        for _ = 1 to 200 do
+          let v = Util.Rng.int rng bound in
+          Alcotest.(check bool) "range" true (v >= 0 && v < bound)
+        done);
     Alcotest.test_case "normal has roughly zero mean, unit variance" `Quick
       (fun () ->
         let rng = Util.Rng.create 11 in
@@ -104,6 +136,33 @@ let stats_tests =
         let xs = [| 3.0; -1.0; 2.0 |] in
         Alcotest.(check (float 0.0)) "min" (-1.0) (Util.Stats.min_arr xs);
         Alcotest.(check (float 0.0)) "max" 3.0 (Util.Stats.max_arr xs));
+    Alcotest.test_case "quantile propagates NaN instead of poisoning" `Quick
+      (fun () ->
+        (* polymorphic compare puts nan in an arbitrary sort position,
+           silently corrupting the quantile; the contract is explicit
+           propagation: any nan input -> nan out, at every q *)
+        let xs = [| 10.0; nan; 30.0; 40.0 |] in
+        Alcotest.(check bool) "median nan" true
+          (Float.is_nan (Util.Stats.median xs));
+        Alcotest.(check bool) "q0 nan" true
+          (Float.is_nan (Util.Stats.quantile 0.0 xs));
+        Alcotest.(check bool) "q1 nan" true
+          (Float.is_nan (Util.Stats.quantile 1.0 xs)));
+    Alcotest.test_case "quantile orders negatives and infinities" `Quick
+      (fun () ->
+        let xs = [| infinity; -3.0; 0.0; neg_infinity |] in
+        Alcotest.(check (float 0.0)) "q0" neg_infinity
+          (Util.Stats.quantile 0.0 xs);
+        Alcotest.(check (float 0.0)) "q1" infinity
+          (Util.Stats.quantile 1.0 xs);
+        Alcotest.(check (float 1e-9)) "median" (-1.5)
+          (Util.Stats.median xs));
+    Alcotest.test_case "min/max propagate NaN" `Quick (fun () ->
+        let xs = [| 1.0; nan |] in
+        Alcotest.(check bool) "min nan" true
+          (Float.is_nan (Util.Stats.min_arr xs));
+        Alcotest.(check bool) "max nan" true
+          (Float.is_nan (Util.Stats.max_arr xs)));
   ]
 
 let () =
