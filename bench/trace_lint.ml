@@ -13,6 +13,40 @@
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
+(* The crash-safety events carry fixed typed schemas: resume splices
+   traces by these fields, so a checkpoint/journal line that drops or
+   retypes one would corrupt recovery silently — @smoke fails loudly
+   here instead. *)
+let field_int path lineno ev fields name =
+  match List.assoc_opt name fields with
+  | Some (Util.Json.Num f) when Float.is_integer f && f >= 0. -> ()
+  | Some _ ->
+      fail "%s:%d: %s: %S is not a non-negative integer" path lineno ev name
+  | None -> fail "%s:%d: %s: missing field %S" path lineno ev name
+
+let field_str path lineno ev fields name =
+  match List.assoc_opt name fields with
+  | Some (Util.Json.Str _) -> ()
+  | Some _ -> fail "%s:%d: %s: %S is not a string" path lineno ev name
+  | None -> fail "%s:%d: %s: missing field %S" path lineno ev name
+
+let lint_schema path lineno ev fields =
+  let int = field_int path lineno ev fields in
+  let str = field_str path lineno ev fields in
+  match ev with
+  | "checkpoint.write" ->
+      (* the stochastic engines add skipped/deduped/visited; filled and
+         evals are the common contract every writer honors *)
+      int "filled";
+      int "evals"
+  | "journal.append" ->
+      str "kind";
+      str "key"
+  | "journal.replay" ->
+      str "kind";
+      int "entries"
+  | _ -> ()
+
 let lint_line path lineno line =
   match Util.Json.of_string line with
   | Error msg -> fail "%s:%d: unparseable JSON: %s" path lineno msg
@@ -24,7 +58,7 @@ let lint_line path lineno line =
       (match json with
       | Util.Json.Obj fields -> (
           match List.assoc_opt "ev" fields with
-          | Some (Util.Json.Str _) -> ()
+          | Some (Util.Json.Str ev) -> lint_schema path lineno ev fields
           | Some _ -> fail "%s:%d: \"ev\" is not a string" path lineno
           | None -> fail "%s:%d: event without an \"ev\" field" path lineno)
       | _ -> fail "%s:%d: event is not a JSON object" path lineno)

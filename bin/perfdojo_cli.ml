@@ -138,6 +138,9 @@ type common = {
   co_dedup : bool;
   co_visited_dedup : bool;
   co_depth : int;
+  co_checkpoint : string option;
+  co_checkpoint_every : int;
+  co_resume : bool;
 }
 
 let common_opts : common Term.t =
@@ -249,17 +252,50 @@ let common_opts : common Term.t =
     in
     Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N" ~doc)
   in
+  let checkpoint_arg =
+    let doc =
+      "Periodically snapshot the run's full search state to $(docv) \
+       (versioned, checksummed, written atomically with fsync).  A \
+       killed run restarted with $(b,--resume) reproduces the \
+       uninterrupted run exactly: same result, same accounting, same \
+       stripped trace.  SIGINT/SIGTERM write a final checkpoint and \
+       exit with code 4."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc =
+      "Checkpoint cadence for the stochastic engines: snapshot after \
+       every N filled evaluation slots (exhaustive checkpoints per BFS \
+       level regardless).  Requires $(b,--checkpoint)."
+    in
+    Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the $(b,--checkpoint) file if it exists (a \
+             missing file starts cold, so the flag is safe in retry \
+             loops).  The checkpoint must match the run's \
+             configuration; a torn or truncated file is rejected with \
+             a typed error, never deserialized as garbage.")
+  in
   let make co_db co_jobs co_trace co_stats co_max_retries co_fault_rate
       co_seed co_surrogate co_filter_ratio co_dedup co_visited_dedup
-      co_depth =
+      co_depth co_checkpoint co_checkpoint_every co_resume =
     { co_db; co_jobs; co_trace; co_stats; co_max_retries; co_fault_rate;
       co_seed; co_surrogate; co_filter_ratio; co_dedup; co_visited_dedup;
-      co_depth }
+      co_depth; co_checkpoint; co_checkpoint_every; co_resume }
   in
   Term.(
     const make $ db_arg $ jobs_arg $ trace_arg $ stats_arg $ retries_arg
     $ fault_rate_arg $ seed_arg $ surrogate_arg $ filter_ratio_arg
-    $ dedup_arg $ visited_dedup_arg $ depth_arg)
+    $ dedup_arg $ visited_dedup_arg $ depth_arg $ checkpoint_arg
+    $ checkpoint_every_arg $ resume_arg)
 
 (* Validate the shared options once, load the database, open the trace
    channel, build the run context and hand everything to [body]; close
@@ -286,6 +322,13 @@ let with_common (c : common) body =
   in
   let* () =
     if c.co_depth < 0 then Error (true, "--depth must be non-negative")
+    else Ok ()
+  in
+  let* () =
+    if c.co_checkpoint_every < 1 then
+      Error (true, "--checkpoint-every must be >= 1")
+    else if c.co_resume && c.co_checkpoint = None then
+      Error (true, "--resume requires --checkpoint FILE")
     else Ok ()
   in
   let* surrogate =
@@ -333,6 +376,20 @@ let with_common (c : common) body =
   in
   let ctx =
     match metrics with Some m -> Ctx.with_metrics m ctx | None -> ctx
+  in
+  (* checkpoint-then-exit on SIGINT/SIGTERM: the flag handler lets the
+     engine reach its next safe boundary (round / BFS level / pair),
+     write a final checkpoint and raise Interrupted — installed only
+     when there is a checkpoint to write, so Ctrl-C on a plain run
+     keeps its immediate default behaviour *)
+  let ctx =
+    match c.co_checkpoint with
+    | None -> ctx
+    | Some path ->
+        Recover.Interrupt.install ();
+        ctx
+        |> Ctx.with_checkpoint ~every:c.co_checkpoint_every path
+        |> Ctx.with_resume c.co_resume
   in
   let close () =
     match trace_oc with Some oc -> close_out oc | None -> ()
@@ -753,12 +810,18 @@ let model_train_cmd =
     @@ let* db = load_db db_file in
        let cfg = { Surrogate.Model.default_config with lr; margin } in
        let m = Surrogate.Model.create ~cfg () in
+       (* SIGINT/SIGTERM during training finish the pass and still save
+          the model (the save is atomic) — the model file is the
+          checkpoint; a second signal exits immediately *)
+       Recover.Interrupt.install ();
        let stats =
          Surrogate.Model.train_offline m
            ~root_of:(fun ~kernel ~target -> record_root ~kernel ~target)
            (Tuning.Db.records db)
        in
        Surrogate.Model.save m out;
+       if Recover.Interrupt.requested () then
+         raise (Recover.Interrupt.Interrupted (Some out));
        Printf.printf "model:      %s\n" out;
        Printf.printf "records:    %d (%d replayable)\n"
          stats.Surrogate.Model.records stats.used;
@@ -1312,22 +1375,34 @@ let serve_cmd =
           raises Unix_error on an unbindable path — both reach the
           top-level one-line error handler (exit 3) *)
        let server = Serve.Server.create cfg in
+       (* SIGINT and SIGTERM both stop the service gracefully on either
+          transport: drain in-flight work, checkpoint the database +
+          truncate the WAL, then exit through the Interrupted path
+          (code 4).  The socket loop polls the flag between accepts;
+          the pipe loop blocks in a read, so its handler raises to
+          unwind the syscall and [stop] runs here. *)
+       let interrupted = ref false in
        (match transport with
-       | `Pipe -> Serve.Server.run_pipe server stdin stdout
+       | `Pipe ->
+           Recover.Interrupt.install_raising ();
+           (try Serve.Server.run_pipe server stdin stdout
+            with Recover.Interrupt.Interrupted _ ->
+              interrupted := true;
+              Serve.Server.stop server)
        | `Socket path ->
-           let stop_flag = ref false in
-           Sys.set_signal Sys.sigint
-             (Sys.Signal_handle (fun _ -> stop_flag := true));
+           Recover.Interrupt.install ();
            Serve.Server.run_socket
-             ~should_stop:(fun () -> !stop_flag)
+             ~should_stop:(fun () -> Recover.Interrupt.requested ())
              ~on_ready:(fun () ->
                Printf.eprintf "perfdojo: serving on %s\n%!" path)
-             server path);
+             server path;
+           interrupted := Recover.Interrupt.requested ());
        (match trace_oc with Some oc -> close_out oc | None -> ());
        Option.iter (Printf.eprintf "trace:      %s\n") c.co_trace;
        (match metrics with
        | Some m -> Format.printf "%a" Obs.Metrics.pp_summary m
        | None -> ());
+       if !interrupted then raise (Recover.Interrupt.Interrupted c.co_db);
        Ok ()
   in
   let pipe_arg =
@@ -1370,12 +1445,22 @@ let serve_cmd =
 (* ------------------------------------------------------------------ *)
 
 let client_cmd =
-  let run socket req kernel target strategy budget deadline_ms force =
+  let run socket req kernel target strategy budget deadline_ms force
+      timeout_ms retries =
     to_ret
     @@ let* socket =
          match socket with
          | Some s -> Ok s
          | None -> Error (true, "client needs --socket PATH")
+       in
+       let* () =
+         match timeout_ms with
+         | Some t when t < 1 -> Error (true, "--timeout-ms must be >= 1")
+         | _ -> Ok ()
+       in
+       let* () =
+         if retries < 1 then Error (true, "--retries must be >= 1")
+         else Ok ()
        in
        let module P = Serve.Protocol in
        let* request =
@@ -1408,15 +1493,25 @@ let client_cmd =
                     shutdown)"
                    r )
        in
-       (* connect errors (no server, missing socket) raise Unix_error
-          into the one-line error handler: exit 3 *)
+       (* Idempotent requests (all but shutdown) ride the bounded
+          exponential-backoff retry over fresh connections, so the
+          client survives a server restart mid-session; a still-dead
+          server surfaces as the typed transport error after the last
+          attempt.  Shutdown is sent exactly once — retrying it could
+          stop a freshly restarted server — and its connect errors
+          raise Unix_error into the one-line error handler (exit 3). *)
        let response =
-         Serve.Client.with_connection socket (fun conn ->
-             Serve.Client.request conn request)
+         match request with
+         | P.Shutdown _ ->
+             Serve.Client.with_connection socket (fun conn ->
+                 Serve.Client.request ?deadline_ms:timeout_ms conn request)
+         | _ ->
+             Serve.Client.request_retry ~attempts:retries
+               ?deadline_ms:timeout_ms ~socket request
        in
        let* resp =
          match response with
-         | Error msg -> Error (false, "unreadable response: " ^ msg)
+         | Error e -> Error (false, Serve.Client.error_message e)
          | Ok r -> Ok r
        in
        match resp with
@@ -1478,6 +1573,24 @@ let client_cmd =
       & info [ "force" ]
           ~doc:"Search even when a warm database record exists.")
   in
+  let timeout_arg =
+    let doc =
+      "Client-side response deadline in milliseconds: a request whose \
+       reply does not arrive in time fails with a typed timeout \
+       instead of blocking forever on a hung server.  The server may \
+       still have executed it."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Total connection attempts for idempotent requests (everything \
+       but shutdown), with exponential backoff between them — rides \
+       out a server restart.  1 (default) never retries."
+    in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running tuning service and print the \
@@ -1485,7 +1598,8 @@ let client_cmd =
     Term.(
       ret
         (const run $ socket_arg $ req_arg $ client_kernel_arg $ target_arg
-       $ strategy_arg $ budget_arg $ deadline_arg $ force_arg))
+       $ strategy_arg $ budget_arg $ deadline_arg $ force_arg
+       $ timeout_arg $ retries_arg))
 
 (* Uncaught exceptions must not dump a raw backtrace at the user: every
    predictable failure becomes a one-line `perfdojo: error: ...` on
@@ -1538,11 +1652,29 @@ let () =
            verify_cmd; game_cmd; replay_cmd; lib_generate_cmd; analyze_cmd;
          ])
   in
+  (* SIGINT/SIGTERM land here after the engine's final checkpoint:
+     one line naming the file, exit 4 — distinct from error (3) and
+     from the second-signal immediate exit (130) — so wrappers can
+     tell "resume me" from "I failed". *)
+  let interrupted path =
+    (match path with
+    | Some p ->
+        Printf.eprintf "perfdojo: interrupted, checkpoint written to %s\n" p
+    | None -> Printf.eprintf "perfdojo: interrupted\n");
+    4
+  in
   let code =
-    if debug then eval ()
+    if debug then
+      match eval () with
+      | code -> code
+      | exception Recover.Interrupt.Interrupted path -> interrupted path
     else
       match eval () with
       | code -> code
+      | exception Recover.Interrupt.Interrupted path -> interrupted path
+      | exception Recover.Error e ->
+          Printf.eprintf "perfdojo: error: %s\n" (Recover.error_message e);
+          3
       | exception e ->
           let msg =
             match describe_exn e with

@@ -26,6 +26,7 @@ module Tuning = Tuning
 module Obs = Obs
 module Robust = Robust
 module Surrogate = Surrogate
+module Recover = Recover
 
 type target = Machine.Desc.target
 
@@ -193,6 +194,9 @@ module Ctx = struct
     dedup : bool;
     visited_dedup : bool;
     exhaustive_depth : int;
+    checkpoint : string option;
+    checkpoint_every : int;
+    resume : bool;
   }
 
   let default =
@@ -210,6 +214,9 @@ module Ctx = struct
       dedup = false;
       visited_dedup = false;
       exhaustive_depth = 3;
+      checkpoint = None;
+      checkpoint_every = 64;
+      resume = false;
     }
 
   let with_seed seed t = { t with seed }
@@ -228,9 +235,19 @@ module Ctx = struct
   let with_exhaustive_depth exhaustive_depth t =
     { t with exhaustive_depth }
 
+  let with_checkpoint ?every path t =
+    {
+      t with
+      checkpoint = Some path;
+      checkpoint_every =
+        (match every with Some e -> e | None -> t.checkpoint_every);
+    }
+
+  let with_resume resume t = { t with resume }
+
   let of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
       ?faults ?surrogate ?filter_ratio ?dedup ?visited_dedup
-      ?exhaustive_depth () =
+      ?exhaustive_depth ?checkpoint ?checkpoint_every ?resume () =
     {
       seed = Option.value seed ~default:default.seed;
       cache = (match cache with None -> default.cache | some -> some);
@@ -249,6 +266,11 @@ module Ctx = struct
         Option.value visited_dedup ~default:default.visited_dedup;
       exhaustive_depth =
         Option.value exhaustive_depth ~default:default.exhaustive_depth;
+      checkpoint =
+        (match checkpoint with None -> default.checkpoint | some -> some);
+      checkpoint_every =
+        Option.value checkpoint_every ~default:default.checkpoint_every;
+      resume = Option.value resume ~default:default.resume;
     }
 end
 
@@ -268,8 +290,38 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
     dedup;
     visited_dedup;
     exhaustive_depth;
+    checkpoint;
+    checkpoint_every;
+    resume;
   } =
     ctx
+  in
+  (* Crash-safe checkpointing (Recover.Store): the search engines
+     snapshot their full state at round/level boundaries and, with
+     [resume], restore it and continue the exact uninterrupted
+     trajectory.  The surrogate model rides along as the opaque
+     [snapshot_extra] payload so its weights and pairing ring survive
+     the crash too. *)
+  let checkpoint_cfg =
+    Option.map
+      (fun path ->
+        { Search.Stochastic.path; every = checkpoint_every; resume })
+      checkpoint
+  in
+  let snapshot_extra =
+    match (checkpoint_cfg, surrogate) with
+    | Some _, Some m -> Some (fun () -> Surrogate.Model.snapshot m)
+    | _ -> None
+  in
+  let restore_extra =
+    match (checkpoint_cfg, surrogate) with
+    | Some _, Some m ->
+        Some
+          (fun json ->
+            match Surrogate.Model.restore m json with
+            | Ok () -> ()
+            | Error e -> raise (Recover.Error (Recover.Corrupt e)))
+    | _ -> None
   in
   let caps = Machine.caps target in
   let raw_objective p = Machine.time target p in
@@ -345,8 +397,11 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
      intra-batch dedup (a state must never be measured twice, whether
      its duplicate sits in the same round or an earlier one) *)
   let dedup = dedup || visited_dedup in
+  (* checkpointing lives in the batched engines (rounds are their unit
+     of determinism), so it promotes a sequential run to jobs = 1 *)
   let batched =
     jobs >= 1 || Option.is_some prerank || dedup || visited_dedup
+    || Option.is_some checkpoint_cfg
   in
   let pool_jobs = max jobs 1 in
   let base =
@@ -369,8 +424,9 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
                     let r =
                       Search.Stochastic.random_sampling_parallel ~seed
                         ~init:warm_start ~obs ?metrics ~guard ?prerank
-                        ~dedup ~visited_dedup ~pool ~space ~budget caps
-                        objective prog
+                        ~dedup ~visited_dedup ?checkpoint:checkpoint_cfg
+                        ?snapshot_extra ?restore_extra ~pool ~space
+                        ~budget caps objective prog
                     in
                     export_pool pool;
                     r)
@@ -388,8 +444,9 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
                     let r =
                       Search.Stochastic.simulated_annealing_parallel ~seed
                         ~init:warm_start ~obs ?metrics ~guard ?prerank
-                        ~dedup ~visited_dedup ~pool ~space ~budget caps
-                        objective prog
+                        ~dedup ~visited_dedup ?checkpoint:checkpoint_cfg
+                        ?snapshot_extra ?restore_extra ~pool ~space
+                        ~budget caps objective prog
                     in
                     export_pool pool;
                     r)
@@ -422,7 +479,8 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
                context (Ctx.with_exhaustive_depth) *)
             let r =
               Search.Exhaustive.run ~obs ?metrics ~guard
-                ~depth:exhaustive_depth caps objective prog
+                ?checkpoint:checkpoint_cfg ~depth:exhaustive_depth caps
+                objective prog
             in
             failures := !failures + r.failures;
             (r.best, r.best_time, r.best_moves, r.evals))
@@ -506,10 +564,20 @@ and optimize_portfolio_ctx ~(ctx : Ctx.t)
   (* Each member runs its own sequential search (jobs = 0 inside the
      workers) under its own seed and trace buffer; everything else —
      cache, warm start, guard, faults, metrics — is the shared ctx. *)
+  (* checkpointing is disabled inside the race: one checkpoint file
+     cannot hold five members' states, and a member is cheap to rerun *)
   let run i =
     let m = members.(i) in
     optimize_ctx
-      ~ctx:{ ctx with Ctx.seed = m.pseed; obs = sinks.(i); jobs = 0 }
+      ~ctx:
+        {
+          ctx with
+          Ctx.seed = m.pseed;
+          obs = sinks.(i);
+          jobs = 0;
+          checkpoint = None;
+          resume = false;
+        }
       m.pstrategy target prog
   in
   let jobs = max 1 (min jobs n) in

@@ -19,6 +19,7 @@ module Tuning = Tuning
 module Obs = Obs
 module Robust = Robust
 module Surrogate = Surrogate
+module Recover = Recover
 
 type target = Machine.Desc.target
 
@@ -162,6 +163,22 @@ module Ctx : sig
     exhaustive_depth : int;
         (** move-sequence depth bound for the {!Exhaustive} strategy;
             default [3] *)
+    checkpoint : string option;
+        (** crash-safe checkpoint file ({!Recover.Store}): search state
+            is snapshotted there at round/level boundaries, atomically
+            and durably, so a killed run can resume (default [None]).
+            Enabling it promotes a sequential run to the batched
+            [jobs = 1] engine (rounds are the checkpoint unit).
+            Disabled inside portfolio members. *)
+    checkpoint_every : int;
+        (** minimum budget slots between snapshots (default [64]; the
+            exhaustive strategy checkpoints every BFS level instead) *)
+    resume : bool;
+        (** restore from [checkpoint] if the file exists and continue
+            the exact uninterrupted trajectory — same outcome, exact
+            accounting, splice-identical stripped traces (default
+            [false]; without the file this is a cold start).  A corrupt
+            or mismatched checkpoint raises {!Recover.Error}. *)
   }
 
   val default : t
@@ -185,6 +202,13 @@ module Ctx : sig
   val with_visited_dedup : bool -> t -> t
   val with_exhaustive_depth : int -> t -> t
 
+  val with_checkpoint : ?every:int -> string -> t -> t
+  (** Enable crash-safe checkpointing to the given file; [every]
+      overrides the snapshot cadence (default: keep the current
+      [checkpoint_every]). *)
+
+  val with_resume : bool -> t -> t
+
   val of_options :
     ?seed:int ->
     ?cache:Tuning.Cache.t ->
@@ -199,6 +223,9 @@ module Ctx : sig
     ?dedup:bool ->
     ?visited_dedup:bool ->
     ?exhaustive_depth:int ->
+    ?checkpoint:string ->
+    ?checkpoint_every:int ->
+    ?resume:bool ->
     unit ->
     t
   (** {!default} overridden by whichever arguments are given — the

@@ -162,11 +162,51 @@ let manifest_json (lib : library) : Util.Json.t =
 (* ------------------------------------------------------------------ *)
 
 (* What the plan phase decided for a pair: reproduce a recorded
-   schedule, or optimize (with a warm-start sequence when the database
-   offers a matching record). *)
+   schedule, optimize (with a warm-start sequence when the database
+   offers a matching record), or replay a ledger entry left by a
+   crashed run. *)
 type plan_item =
   | Reproduce of Tuning.Record.t * Ir.Prog.t
   | Optimize of string list
+  | Ledgered of Util.Json.t
+
+(* ------------------------------------------------------------------ *)
+(* The crash ledger                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* With [ctx.checkpoint] set, every completed fresh pair appends one
+   entry to a {!Recover.Journal} *before* its database deposit, so the
+   ledger always covers the deposits (ledgered ⊇ deposited).  A killed
+   suite resumed with [ctx.resume] replays the ledger: ledgered pairs
+   bypass both the plan phase's database decision and the optimizer —
+   their manifest entry is rebuilt verbatim from the ledger (schedules
+   regenerate by replaying the recorded moves) and their deposit is
+   re-applied idempotently — so the resumed run starts at the first
+   unfinished pair and still emits a byte-identical manifest. *)
+
+let pair_id kernel target = kernel ^ "|" ^ target
+
+let ledger_entry_json ~pid ~status ~strategy ~moves ~time_s ~evaluations
+    ~failures ~recorded ~error : Util.Json.t =
+  let open Util.Json in
+  Obj
+    [
+      ("pair", Str pid);
+      ("status", Str (status_name status));
+      ("strategy", Str strategy);
+      ("moves", Arr (List.map (fun m -> Str m) moves));
+      ("time_s", Recover.Bits.of_float time_s);
+      ("evaluations", Num (float_of_int evaluations));
+      ("failures", Num (float_of_int failures));
+      ("recorded", Bool recorded);
+      ("error", match error with None -> Null | Some m -> Str m);
+    ]
+
+let status_of_ledger j =
+  match Recover.Field.str "status" j with
+  | "fresh" -> Fresh
+  | "degraded" -> Degraded
+  | s -> Recover.Field.corrupt "unknown ledger status %S" s
 
 let generate ?kernels ?strategy ?db ?db_file ?(force = false)
     ~(ctx : P.Ctx.t) ~targets ~out () : library =
@@ -186,6 +226,27 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
   let obs = ctx.P.Ctx.obs in
   let metrics = ctx.P.Ctx.metrics in
   let traced = Obs.Trace.enabled obs in
+  (* the crash ledger: replay completed pairs first (resume), then open
+     the journal for appending this run's completions *)
+  let ledgered : (string, Util.Json.t) Hashtbl.t = Hashtbl.create 16 in
+  (match ctx.P.Ctx.checkpoint with
+  | Some path when ctx.P.Ctx.resume -> (
+      match Recover.Journal.replay path with
+      | Ok (entries, _torn) ->
+          List.iter
+            (fun j -> Hashtbl.replace ledgered (Recover.Field.str "pair" j) j)
+            entries;
+          (match metrics with
+          | Some m ->
+              Obs.Metrics.incr m ~by:(List.length entries) "journal.replayed"
+          | None -> ());
+          if traced && entries <> [] then
+            Obs.Trace.emit obs "journal.replay" (fun () ->
+                Obs.Trace.
+                  [ str "kind" "libgen"; int "entries" (List.length entries) ])
+      | Error e -> raise (Recover.Error e))
+  | _ -> ());
+  let ledger = Option.map Recover.Journal.open_writer ctx.P.Ctx.checkpoint in
   let pairs =
     List.concat_map
       (fun (tname, t) ->
@@ -218,18 +279,25 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
           | Some d -> Tuning.Db.best d ~kernel:e.label ~target:tname
         in
         let item =
-          match best with
-          | Some r when Tuning.Record.matches_root ~keys r ->
-              if force then Optimize r.moves
-              else
-                let sched, applied =
-                  Tuning.Warmstart.replay (Machine.caps t) root r.moves
-                in
-                (* a record some of whose moves no longer apply is
-                   stale: re-optimize, still seeded by what replays *)
-                if applied = r.moves then Reproduce (r, sched)
-                else Optimize r.moves
-          | _ -> Optimize [] (* no record, or a different root program *)
+          (* a ledgered pair completed before the crash: its entry wins
+             over any database decision — deposits the killed run made
+             must not flip later pairs to Skipped in the resumed
+             manifest *)
+          match Hashtbl.find_opt ledgered (pair_id e.label tname) with
+          | Some j -> Ledgered j
+          | None -> (
+              match best with
+              | Some r when Tuning.Record.matches_root ~keys r ->
+                  if force then Optimize r.moves
+                  else
+                    let sched, applied =
+                      Tuning.Warmstart.replay (Machine.caps t) root r.moves
+                    in
+                    (* a record some of whose moves no longer apply is
+                       stale: re-optimize, still seeded by what replays *)
+                    if applied = r.moves then Reproduce (r, sched)
+                    else Optimize r.moves
+              | _ -> Optimize [] (* no record, or a different root program *))
         in
         (tname, t, e, root, fp, naive_s, item))
       pairs
@@ -241,56 +309,156 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
   let fresh_tasks =
     Array.of_list
       (List.filter_map
-         (fun (tname, t, e, root, _, _, item) ->
+         (fun (tname, t, e, root, _, naive_s, item) ->
            match item with
-           | Optimize warm -> Some (tname, t, e, root, warm)
-           | Reproduce _ -> None)
+           | Optimize warm -> Some (tname, t, e, root, naive_s, warm)
+           | Reproduce _ | Ledgered _ -> None)
          plan)
   in
-  let task (_, t, _, root, warm) =
+  let task (_, t, _, root, _, warm) =
     let sink = if traced then Obs.Trace.make_buffer () else Obs.Trace.null in
+    (* per-pair searches never checkpoint themselves: the ledger is the
+       suite's unit of recovery, and a pair is cheap to rerun *)
     let pctx =
-      { ctx with P.Ctx.jobs = 0; obs = sink; warm_start = warm }
+      {
+        ctx with
+        P.Ctx.jobs = 0;
+        obs = sink;
+        warm_start = warm;
+        checkpoint = None;
+        resume = false;
+      }
     in
     let o = P.optimize_ctx ~ctx:pctx strategy t root in
     (o, sink)
   in
-  let results =
-    if Array.length fresh_tasks = 0 then [||]
-    else
-      let jobs = max 1 (min ctx.P.Ctx.jobs (Array.length fresh_tasks)) in
-      Parallel.Pool.with_pool ~instrument:(metrics <> None) ~jobs
-        (fun pool ->
-          let r = Parallel.Pool.map_result pool task fresh_tasks in
-          (match metrics with
-          | Some m -> Parallel.Pool.export pool m
-          | None -> ());
-          r)
-  in
-  (* Fold phase (sequential, pair order): emit trace events and C
-     sources, deposit winners into the database, checkpoint it. *)
-  let deposit ~kernel ~tname ~t ~root (o : P.outcome) =
+  (* The deposit decision (pure) and the deposit itself, split so the
+     ledger can record the decision before the database mutation. *)
+  let deposit_record ~kernel ~tname ~t ~root (o : P.outcome) =
     match db with
-    | None -> false
-    | Some d -> (
+    | None -> None
+    | Some _ -> (
         match
           Tuning.Warmstart.record_of ~objective:(Machine.time t)
             ~caps:(Machine.caps t) ~kernel ~target:tname ~root ~moves:o.moves
             ~evals:o.evaluations
         with
-        | Error _ -> false
+        | Error _ -> None
         | Ok r ->
             (* Only a replayable winner is worth recording: a pass
                schedule with no move trace would deposit the naive time
                and make the next run "skip" to a slower library. *)
-            if r.Tuning.Record.best_time <= o.time_s *. (1. +. 1e-9) then begin
-              ignore (Tuning.Db.add d r);
-              (match db_file with
-              | Some f -> Tuning.Db.save d f
-              | None -> ());
-              true
-            end
-            else false)
+            if r.Tuning.Record.best_time <= o.time_s *. (1. +. 1e-9) then
+              Some r
+            else None)
+  in
+  let apply_deposit r =
+    match db with
+    | None -> ()
+    | Some d ->
+        (* idempotent: re-applying a ledgered deposit after a crash hits
+           [Duplicate] and changes nothing *)
+        ignore (Tuning.Db.add d r);
+        (match db_file with Some f -> Tuning.Db.save d f | None -> ())
+  in
+  let deposit ~kernel ~tname ~t ~root (o : P.outcome) =
+    match deposit_record ~kernel ~tname ~t ~root o with
+    | None -> false
+    | Some r ->
+        apply_deposit r;
+        true
+  in
+  let fresh_results : (P.outcome * Obs.Trace.sink, exn) result array =
+    Array.make (Array.length fresh_tasks) (Stdlib.Error Exit)
+  in
+  let recorded_flags = Array.make (Array.length fresh_tasks) false in
+  (* Ledger one completed fresh task: translate the raw task result to
+     its final manifest fields (mirroring the fold below), append the
+     entry — fsynced, *before* the deposit — then deposit.  Once the
+     append returns, a kill anywhere leaves a resumable suite. *)
+  let ledger_completed w i =
+    let tname, t, (e : Kernels.entry), root, naive_s, _ = fresh_tasks.(i) in
+    let pid = pair_id e.label tname in
+    let append ~status ~strategy ~moves ~time_s ~evaluations ~failures
+        ~recorded ~error =
+      Recover.Journal.append w
+        (ledger_entry_json ~pid ~status ~strategy ~moves ~time_s ~evaluations
+           ~failures ~recorded ~error);
+      (match metrics with
+      | Some m -> Obs.Metrics.incr m "journal.appends"
+      | None -> ());
+      if traced then
+        Obs.Trace.emit obs "journal.append" (fun () ->
+            Obs.Trace.[ str "kind" "libgen"; str "key" pid ])
+    in
+    match fresh_results.(i) with
+    | Ok ((o : P.outcome), _) when not (Float.is_finite o.time_s) ->
+        append ~status:Degraded ~strategy:"naive" ~moves:[] ~time_s:naive_s
+          ~evaluations:o.evaluations ~failures:o.failures ~recorded:false
+          ~error:
+            (Some
+               (Robust.Guard.failure_message
+                  (Robust.Guard.Non_finite o.time_s)))
+    | Ok (o, _) -> (
+        match deposit_record ~kernel:e.label ~tname ~t ~root o with
+        | Some r ->
+            recorded_flags.(i) <- true;
+            append ~status:Fresh ~strategy:strat_label ~moves:o.moves
+              ~time_s:o.time_s ~evaluations:o.evaluations
+              ~failures:o.failures ~recorded:true ~error:None;
+            apply_deposit r
+        | None ->
+            append ~status:Fresh ~strategy:strat_label ~moves:o.moves
+              ~time_s:o.time_s ~evaluations:o.evaluations
+              ~failures:o.failures ~recorded:false ~error:None)
+    | Error exn ->
+        append ~status:Degraded ~strategy:"naive" ~moves:[] ~time_s:naive_s
+          ~evaluations:0 ~failures:0 ~recorded:false
+          ~error:
+            (Some
+               (Robust.Guard.failure_message
+                  (Robust.Guard.rejected_of_exn exn)))
+  in
+  if Array.length fresh_tasks > 0 then begin
+    let n = Array.length fresh_tasks in
+    let jobs = max 1 (min ctx.P.Ctx.jobs n) in
+    Parallel.Pool.with_pool ~instrument:(metrics <> None) ~jobs (fun pool ->
+        (match ledger with
+        | None ->
+            let r = Parallel.Pool.map_result pool task fresh_tasks in
+            Array.blit r 0 fresh_results 0 n
+        | Some w ->
+            (* chunks of [jobs] tasks, so the ledger fills as pairs
+               complete and an interrupt has a boundary to stop at *)
+            let pos = ref 0 in
+            while !pos < n do
+              let len = min jobs (n - !pos) in
+              let r =
+                Parallel.Pool.map_result pool task
+                  (Array.sub fresh_tasks !pos len)
+              in
+              Array.blit r 0 fresh_results !pos len;
+              for k = !pos to !pos + len - 1 do
+                ledger_completed w k
+              done;
+              pos := !pos + len;
+              if Recover.Interrupt.requested () && !pos < n then
+                raise
+                  (Recover.Interrupt.Interrupted ctx.P.Ctx.checkpoint)
+            done);
+        match metrics with
+        | Some m -> Parallel.Pool.export pool m
+        | None -> ())
+  end;
+  let results = fresh_results in
+  (* Fold phase (sequential, pair order): emit trace events and C
+     sources; without a ledger, this is also where winners deposit into
+     the database (with one, the chunk loop above already did — the
+     fold then reads the decision back from [recorded_flags]). *)
+  let fold_recorded ~i ~kernel ~tname ~t ~root o =
+    match ledger with
+    | None -> deposit ~kernel ~tname ~t ~root o
+    | Some _ -> recorded_flags.(i)
   in
   let next_fresh = ref 0 in
   let entries =
@@ -364,6 +532,39 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
                     ]);
             finish ~status:Skipped ~strategy:"db" ~moves:r.moves ~time_s
               ~evaluations:0 ~failures:0 ~recorded:true ~error:None sched
+        | Ledgered j ->
+            (* a pair the crashed run completed: rebuild its manifest
+               entry verbatim from the ledger (the schedule regenerates
+               by replaying the recorded moves), and re-apply a recorded
+               deposit idempotently in case the kill landed between the
+               ledger append and the database save *)
+            let status = status_of_ledger j in
+            let moves = Recover.Field.str_list "moves" j in
+            let time_s = Recover.Field.float_bits "time_s" j in
+            let strategy = Recover.Field.str "strategy" j in
+            let evaluations = Recover.Field.int "evaluations" j in
+            let failures = Recover.Field.int "failures" j in
+            let recorded = Recover.Field.bool "recorded" j in
+            let error =
+              match Util.Json.member "error" j with
+              | Some (Util.Json.Str m) -> Some m
+              | _ -> None
+            in
+            let sched =
+              if moves = [] then root
+              else fst (Tuning.Warmstart.replay (Machine.caps t) root moves)
+            in
+            if recorded then begin
+              match
+                Tuning.Warmstart.record_of ~objective:(Machine.time t)
+                  ~caps:(Machine.caps t) ~kernel:e.label ~target:tname ~root
+                  ~moves ~evals:evaluations
+              with
+              | Ok r -> apply_deposit r
+              | Error _ -> ()
+            end;
+            finish ~status ~strategy ~moves ~time_s ~evaluations ~failures
+              ~recorded ~error sched
         | Optimize _ -> (
             let i = !next_fresh in
             incr next_fresh;
@@ -377,7 +578,7 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
                   ~evaluations:o.evaluations ~failures:o.failures None
             | Ok (o, sink) ->
                 let recorded =
-                  deposit ~kernel:e.label ~tname ~t ~root o
+                  fold_recorded ~i ~kernel:e.label ~tname ~t ~root o
                 in
                 if traced then begin
                   Obs.Trace.emit obs "libgen.entry" (fun () ->
@@ -434,6 +635,13 @@ let generate ?kernels ?strategy ?db ?db_file ?(force = false)
   (match (db, db_file) with
   | Some d, Some f -> Tuning.Db.save d f
   | _ -> ());
+  (* the suite completed and the manifest is on disk: the ledger has
+     served its purpose — truncate it so the next run starts cold *)
+  (match ledger with
+  | Some w ->
+      Recover.Journal.reset w;
+      Recover.Journal.close w
+  | None -> ());
   (match metrics with
   | Some m ->
       Obs.Metrics.incr m ~by:(List.length entries) "libgen.pairs";

@@ -111,4 +111,15 @@ val generate :
     and fault injection; [ctx.warm_start] is ignored (warm starts are
     looked up per pair).  Traces fold per-pair buffers in pair order —
     like the portfolio race, the merged stream is independent of
-    scheduling modulo {!Obs.Trace.strip_timing}. *)
+    scheduling modulo {!Obs.Trace.strip_timing}.
+
+    {b Crash safety}: with [ctx.checkpoint] set, the suite keeps a
+    per-pair progress ledger there (a fsynced {!Recover.Journal}): each
+    completed fresh pair appends its final entry {e before} its
+    database deposit.  A suite killed mid-run and rerun with
+    [ctx.resume] replays the ledger, re-optimizes only the unfinished
+    pairs, re-applies ledgered deposits idempotently, and emits a
+    manifest byte-identical to the uninterrupted run's.  The ledger is
+    truncated once the manifest is written.  A pending SIGINT/SIGTERM
+    stops at the next chunk boundary with
+    {!Recover.Interrupt.Interrupted}. *)

@@ -24,12 +24,21 @@
 type sink =
   | Null
   | Buffer of Util.Json.t Util.Dynarray.t
-  | Channel of out_channel
+  | Channel of { oc : out_channel; flush : bool }
   | Sync of Mutex.t * sink
+  | Counting of int ref * sink
 
 let null = Null
 let make_buffer () = Buffer (Util.Dynarray.create ~capacity:64 Util.Json.Null)
-let to_channel oc = Channel oc
+let to_channel ?(flush = false) oc = Channel { oc; flush }
+
+(* A pass-through wrapper that counts every event pushed into [sink]
+   (including those folded in via [append]).  Checkpoints record the
+   count so a resumed run knows exactly where the crashed run's trace
+   splices: killed[0..n) ++ resumed == uninterrupted. *)
+let counting sink =
+  let n = ref 0 in
+  (Counting (n, sink), fun () -> !n)
 
 (* A synchronized sink serializes whole events under a mutex — the
    buffer Dynarray and channel writes are not atomic on their own, so
@@ -45,29 +54,31 @@ let synchronized = function
 let rec enabled = function
   | Null -> false
   | Buffer _ | Channel _ -> true
-  | Sync (_, inner) -> enabled inner
+  | Sync (_, inner) | Counting (_, inner) -> enabled inner
 
 let rec push sink (event : Util.Json.t) =
   match sink with
   | Null -> ()
   | Buffer buf -> Util.Dynarray.push buf event
-  | Channel oc ->
+  | Channel { oc; flush } ->
       output_string oc (Util.Json.to_string event);
-      output_char oc '\n'
+      output_char oc '\n';
+      if flush then Stdlib.flush oc
   | Sync (m, inner) ->
       Mutex.lock m;
       Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () ->
           push inner event)
+  | Counting (n, inner) ->
+      incr n;
+      push inner event
 
 let emit sink name fields =
-  match sink with
-  | Null -> ()
-  | Buffer _ | Channel _ | Sync _ ->
-      push sink (Util.Json.Obj (("ev", Util.Json.Str name) :: fields ()))
+  if enabled sink then
+    push sink (Util.Json.Obj (("ev", Util.Json.Str name) :: fields ()))
 
 let rec events = function
   | Buffer buf -> Util.Dynarray.to_array buf |> Array.to_list
-  | Sync (_, inner) -> events inner
+  | Sync (_, inner) | Counting (_, inner) -> events inner
   | Null | Channel _ -> []
 
 let rec append ~into src =
@@ -77,7 +88,7 @@ let rec append ~into src =
         push into (Util.Dynarray.get buf i)
       done
   | Null -> ()
-  | Sync (_, inner) -> append ~into inner
+  | Sync (_, inner) | Counting (_, inner) -> append ~into inner
   | Channel _ -> invalid_arg "Trace.append: source must be a buffer sink"
 
 let timing_field = function "dur_s" | "t_s" -> true | _ -> false

@@ -17,9 +17,17 @@ val make_buffer : unit -> sink
 (** In-memory sink; read back with {!events}.  Used per worker slot in
     the parallel search and folded back with {!append} in slot order. *)
 
-val to_channel : out_channel -> sink
+val to_channel : ?flush:bool -> out_channel -> sink
 (** JSONL straight to a channel, one event per line.  The caller owns
-    the channel (open/close). *)
+    the channel (open/close).  [~flush:true] flushes after every event
+    so the trace survives an abrupt [kill -9] — the crash-injection
+    harness compares such traces across a kill/resume splice. *)
+
+val counting : sink -> sink * (unit -> int)
+(** [counting s] is a pass-through wrapper over [s] plus a closure
+    returning how many events have been pushed through it (including
+    events folded in via {!append}).  Checkpoints record the count so a
+    resumed run knows where the crashed run's trace splices. *)
 
 val synchronized : sink -> sink
 (** A sink that serializes whole events under a mutex, for sinks shared

@@ -38,14 +38,77 @@ type result = {
 
 let default_max_states = 20_000
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The BFS checkpoints after every completed level: the frontier (as
+   forward move paths — programs replay from the root), the seen
+   fingerprint set, the best-so-far and exact accounting all travel
+   through {!Recover.Store}.  A killed run resumed from its last
+   checkpoint re-expands only the level it died in, so resume
+   re-evaluates strictly fewer states than a cold restart (the
+   checkpointed [evals] are never re-paid), and reaches the same
+   certified optimum with the same trace suffix. *)
+
+(* Exact replay of a checkpointed move path — unlike
+   [Stochastic.replay_skipping] nothing may be skipped: a path that no
+   longer replays means the checkpoint does not match this build and is
+   rejected as corrupt. *)
+let replay_exact ~filter caps root moves =
+  List.fold_left
+    (fun p name ->
+      match Xforms.resolver ~filter (Xforms.all caps p) name with
+      | Some inst -> inst.apply p
+      | None ->
+          Recover.Field.corrupt "checkpointed path does not replay: %S" name)
+    root moves
+
+let encode_exhaustive ~depth ~max_states ~level ~unique ~total ~evals
+    ~failures ~best_time ~best_moves ~seen ~frontier ~events =
+  let open Util.Json in
+  let strs l = Arr (List.map (fun s -> Str s) l) in
+  Obj
+    [
+      ("kind", Str "exhaustive");
+      ("depth", Num (float_of_int depth));
+      ("max_states", Num (float_of_int max_states));
+      ("level", Num (float_of_int level));
+      ("unique", Num (float_of_int unique));
+      ("total", Num (float_of_int total));
+      ("evals", Num (float_of_int evals));
+      ("failures", Num (float_of_int failures));
+      ("best_time", Recover.Bits.of_float best_time);
+      ("best_moves", strs best_moves);
+      ("seen", strs (List.sort compare seen));
+      ("frontier", Arr (List.map (fun (_, path) -> strs path) frontier));
+      ("events", Num (float_of_int events));
+    ]
+
+let decode_frontier json =
+  Recover.Field.list "frontier" json
+  |> List.map (function
+       | Util.Json.Arr items ->
+           List.map
+             (function
+               | Util.Json.Str s -> s
+               | _ -> Recover.Field.corrupt "frontier path holds a non-string")
+             items
+       | _ -> Recover.Field.corrupt "frontier entry is not an array")
+
 let run ?filter ?(obs = Obs.Trace.null) ?metrics
     ?(guard = Robust.Guard.default) ?(max_states = default_max_states)
-    ~(depth : int) caps (objective : Stochastic.objective)
-    (root : Ir.Prog.t) : result =
+    ?(checkpoint : Stochastic.checkpoint_cfg option) ~(depth : int) caps
+    (objective : Stochastic.objective) (root : Ir.Prog.t) : result =
   if depth < 0 then invalid_arg "Exhaustive.run: depth must be >= 0";
   if max_states < 1 then
     invalid_arg "Exhaustive.run: max_states must be >= 1";
   let guard = Robust.Guard.instrument ?metrics guard in
+  let obs, counted =
+    match checkpoint with
+    | None -> (obs, fun () -> 0)
+    | Some _ -> Obs.Trace.counting obs
+  in
   let traced = Obs.Trace.enabled obs in
   let filter = match filter with Some f -> f | None -> fun _ -> true in
   let failures = ref 0 in
@@ -54,34 +117,91 @@ let run ?filter ?(obs = Obs.Trace.null) ?metrics
     Robust.Guard.note ~obs ?metrics f
   in
   let evals = ref 0 in
-  (* root state *)
-  let root_time =
-    incr evals;
-    match Robust.Guard.eval ~cfg:guard objective root with
-    | Ok t -> t
-    | Error f ->
-        note f;
-        infinity
-  in
-  if traced then
-    Obs.Trace.emit obs "search.start" (fun () ->
-        Obs.Trace.
-          [
-            str "method" "exhaustive";
-            int "depth" depth;
-            int "max_states" max_states;
-            num "root_time" root_time;
-          ]);
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-  Hashtbl.replace seen (Canon.fingerprint root) ();
   let unique = ref 1 and total = ref 1 in
   let best = ref root (* program *)
-  and best_time = ref root_time
+  and best_time = ref infinity
   and best_moves = ref [] in
-  let truncated = ref false in
   (* frontier: (program, forward move path), discovery order *)
-  let frontier = ref [ (root, []) ] in
+  let frontier = ref [] in
   let level = ref 0 in
+  let events_base = ref 0 in
+  let resume_payload =
+    match checkpoint with
+    | Some { resume = true; path; _ } when Sys.file_exists path -> (
+        match Recover.Store.load ~path with
+        | Ok payload -> Some payload
+        | Error e -> raise (Recover.Error e))
+    | _ -> None
+  in
+  (match resume_payload with
+  | None ->
+      (* cold start: evaluate the root and emit the start event *)
+      let root_time =
+        incr evals;
+        match Robust.Guard.eval ~cfg:guard objective root with
+        | Ok t -> t
+        | Error f ->
+            note f;
+            infinity
+      in
+      if traced then
+        Obs.Trace.emit obs "search.start" (fun () ->
+            Obs.Trace.
+              [
+                str "method" "exhaustive";
+                int "depth" depth;
+                int "max_states" max_states;
+                num "root_time" root_time;
+              ]);
+      Hashtbl.replace seen (Canon.fingerprint root) ();
+      best_time := root_time;
+      frontier := [ (root, []) ]
+  | Some json ->
+      (* resume: restore the walk at its last completed level; the
+         prelude (root evaluation, start event) already happened in the
+         crashed run and lives inside the restored accounting *)
+      Recover.Field.check_str json "kind" "exhaustive";
+      Recover.Field.check_int json "depth" depth;
+      Recover.Field.check_int json "max_states" max_states;
+      (match metrics with
+      | Some m -> Obs.Metrics.incr m "checkpoint.resumes"
+      | None -> ());
+      level := Recover.Field.int "level" json;
+      unique := Recover.Field.int "unique" json;
+      total := Recover.Field.int "total" json;
+      evals := Recover.Field.int "evals" json;
+      failures := Recover.Field.int "failures" json;
+      best_time := Recover.Field.float_bits "best_time" json;
+      best_moves := Recover.Field.str_list "best_moves" json;
+      best := replay_exact ~filter caps root !best_moves;
+      List.iter
+        (fun fp -> Hashtbl.replace seen fp ())
+        (Recover.Field.str_list "seen" json);
+      frontier :=
+        List.map
+          (fun path -> (replay_exact ~filter caps root path, path))
+          (decode_frontier json);
+      events_base := Recover.Field.int "events" json);
+  let truncated = ref false in
+  let write_checkpoint () =
+    match checkpoint with
+    | None -> None
+    | Some ck ->
+        Obs.Trace.emit obs "checkpoint.write" (fun () ->
+            Obs.Trace.[ int "filled" !level; int "evals" !evals ]);
+        (match metrics with
+        | Some m -> Obs.Metrics.incr m "checkpoint.writes"
+        | None -> ());
+        Recover.Store.save ~path:ck.path
+          (encode_exhaustive ~depth ~max_states ~level:!level ~unique:!unique
+             ~total:!total ~evals:!evals ~failures:!failures
+             ~best_time:!best_time ~best_moves:!best_moves
+             ~seen:(Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+             ~frontier:!frontier
+             ~events:(!events_base + counted ()));
+        Some ck.path
+  in
   while !level < depth && !frontier <> [] && not !truncated do
     incr level;
     let next = ref [] in
@@ -135,7 +255,16 @@ let run ?filter ?(obs = Obs.Trace.null) ?metrics
               int "unique" !unique;
               int "total" !total;
               int "frontier" (List.length !frontier);
-            ])
+            ]);
+    (* Levels are the BFS unit of determinism, so every completed level
+       checkpoints (the [every] cadence is for per-eval engines).  A
+       truncated level ended mid-expansion and is not a resumable
+       state. *)
+    if not !truncated then begin
+      let path = write_checkpoint () in
+      if Recover.Interrupt.requested () && !level < depth && !frontier <> []
+      then raise (Recover.Interrupt.Interrupted path)
+    end
   done;
   let exhausted = !frontier = [] && not !truncated in
   let certified = not !truncated in

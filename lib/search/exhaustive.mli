@@ -49,6 +49,7 @@ val run :
   ?metrics:Obs.Metrics.t ->
   ?guard:Robust.Guard.config ->
   ?max_states:int ->
+  ?checkpoint:Stochastic.checkpoint_cfg ->
   depth:int ->
   Transform.Xforms.caps ->
   Stochastic.objective ->
@@ -59,4 +60,15 @@ val run :
     returns the measured optimum with its certificate.  Metrics:
     [canon.unique] / [canon.total] counters and [search.steps].
     Raises [Invalid_argument] on negative [depth] or non-positive
-    [max_states]. *)
+    [max_states].
+
+    [checkpoint] snapshots the walk through {!Recover.Store} after
+    every completed BFS level (levels are the unit of determinism here,
+    so [checkpoint_cfg.every] is ignored): frontier move paths, seen
+    fingerprints, best-so-far and exact accounting.  Resuming a killed
+    run re-expands only the level it died in — strictly fewer
+    evaluations than a cold restart — and certifies the {e same}
+    optimum with the same spliced trace.  A mismatched [depth] /
+    [max_states] raises {!Recover.Error} ([Mismatch]); a pending
+    SIGINT/SIGTERM checkpoints at the level boundary and raises
+    {!Recover.Interrupt.Interrupted}. *)

@@ -450,12 +450,25 @@ let child_task ?filter ?metrics ~guard ~obs ~slot space caps root objective
    is on, each task gets its own buffer sink and the buffers are folded
    into [obs] in slot order just before the corresponding [fold] — so
    the merged event stream is a pure function of (seed, batch),
-   independent of which pool domain ran which task. *)
-let run_batched ~obs ~batch ~pool ~budget ~prepare ~fold =
+   independent of which pool domain ran which task.
+
+   [start]/[curve_init] resume the loop from a checkpointed round
+   boundary (the curve prefix is the crashed run's); [round_end] fires
+   after each round with the filled count, the curve, and the
+   (evals, skipped, deduped, visited) accounting so far — the
+   checkpoint writer's hook.  All three default to no-ops, keeping the
+   cold path byte-identical to earlier releases. *)
+let no_round_end ~filled:_ ~curve:_ ~stats:_ = ()
+
+let run_batched ?(start = 0) ?(curve_init = [||]) ?(round_end = no_round_end)
+    ~obs ~batch ~pool ~budget ~prepare ~fold () =
   if batch < 1 then invalid_arg "Stochastic: batch must be >= 1";
+  if start < 0 || start > budget then
+    invalid_arg "Stochastic: resume offset out of range";
   let traced = Obs.Trace.enabled obs in
   let curve = Array.make budget infinity in
-  let filled = ref 0 in
+  Array.blit curve_init 0 curve 0 (min start (Array.length curve_init));
+  let filled = ref start in
   while !filled < budget do
     let b = min batch (budget - !filled) in
     let sinks =
@@ -474,7 +487,8 @@ let run_batched ~obs ~batch ~pool ~budget ~prepare ~fold =
         if traced then Obs.Trace.append ~into:obs sinks.(i);
         curve.(!filled + i) <- fold (!filled + i) child)
       children;
-    filled := !filled + b
+    filled := !filled + b;
+    round_end ~filled:!filled ~curve ~stats:(!filled, 0, 0, 0)
   done;
   curve
 
@@ -561,10 +575,13 @@ let observe_seed prerank root ~root_time warm =
    Returns the curve plus (evals, skipped, deduped, visited)
    accounting: budget = evals + skipped + deduped + visited +
    build-failures. *)
-let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
-    ~dedup ~prerank ~visited ~space ~caps ~root ~objective ~prepare_parent
-    ~fold () =
+let run_batched_filtered ?filter ?metrics ?(start = 0) ?(curve_init = [||])
+    ?(counters_init = (0, 0, 0, 0)) ?(round_end = no_round_end) ~obs ~batch
+    ~pool ~budget ~guard ~dedup ~prerank ~visited ~space ~caps ~root
+    ~objective ~prepare_parent ~fold () =
   if batch < 1 then invalid_arg "Stochastic: batch must be >= 1";
+  if start < 0 || start > budget then
+    invalid_arg "Stochastic: resume offset out of range";
   let traced = Obs.Trace.enabled obs in
   let bump ?(by = 1) name =
     if by > 0 then
@@ -573,11 +590,13 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
   let ratio = match prerank with None -> 1.0 | Some p -> p.filter_ratio in
   let want_fp = dedup || visited <> None in
   let curve = Array.make budget infinity in
-  let n_evals = ref 0
-  and n_skipped = ref 0
-  and n_deduped = ref 0
-  and n_visited = ref 0 in
-  let filled = ref 0 in
+  Array.blit curve_init 0 curve 0 (min start (Array.length curve_init));
+  let e0, s0, d0, v0 = counters_init in
+  let n_evals = ref e0
+  and n_skipped = ref s0
+  and n_deduped = ref d0
+  and n_visited = ref v0 in
+  let filled = ref start in
   while !filled < budget do
     let b = min batch (budget - !filled) in
     (* 1. prepare: parent selection + RNG splits, submit thread, slot
@@ -769,7 +788,9 @@ let run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget ~guard
       in
       curve.(slot) <- fold slot parent outcome
     done;
-    filled := !filled + b
+    filled := !filled + b;
+    round_end ~filled:!filled ~curve
+      ~stats:(!n_evals, !n_skipped, !n_deduped, !n_visited)
   done;
   (curve, !n_evals, !n_skipped, !n_deduped, !n_visited)
 
@@ -787,30 +808,390 @@ let make_visited ~visited_dedup root warm =
     Some set
   end
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume (crash safety)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched engines checkpoint at round boundaries: after each round
+   the whole search state — main RNG quadruple, candidate pool with
+   selection weights, best-so-far, the annealing chain state, the
+   best-so-far curve prefix, exact accounting, the visited fingerprint
+   set, the surrogate model (via [snapshot_extra]), and the number of
+   trace events emitted so far — is written atomically and durably
+   through {!Recover.Store}.  Because rounds are the unit of
+   determinism (parent selection, RNG splits and acceptance draws all
+   happen on the submitting thread between round boundaries), a run
+   killed at any point and resumed from its last checkpoint replays the
+   exact trajectory of the uninterrupted run: same [result], exact
+   accounting across the splice, and — since the checkpoint records the
+   event count — a stripped trace that splices byte-identically
+   (killed[0..events) ++ resumed == uninterrupted).  This is the house
+   jobs-invariance discipline extended to kill-invariance.
+
+   Floats (runtimes can be +inf for quarantined slots) cross the file
+   boundary as IEEE-754 bit patterns ({!Recover.Bits}); candidate
+   programs are not serialized — they rebuild via [replay_skipping]
+   from the root, which costs transform replays but zero simulator
+   evaluations. *)
+
+type checkpoint_cfg = { path : string; every : int; resume : bool }
+
+type ckpt_state = {
+  st_filled : int;
+  st_rng : int64 array;
+  st_pool : (string list * float * float * float) array;
+      (* moves, runtime, parent_runtime, selection weight *)
+  st_best : string list * float * float;
+  st_current : (string list * float * float) option;  (* annealing chain *)
+  st_temp : float option;
+  st_curve : float array;  (* prefix of length st_filled *)
+  st_counts : int * int * int * int;  (* evals, skipped, deduped, visited *)
+  st_failures : int;
+  st_visited : string list;  (* sorted canonical fingerprints *)
+  st_events : int;  (* trace events emitted up to this checkpoint *)
+  st_extra : Util.Json.t option;  (* surrogate model state *)
+}
+
+let ck_corrupt fmt = Recover.Field.corrupt fmt
+let ck_member = Recover.Field.member
+let ck_int = Recover.Field.int
+let ck_list = Recover.Field.list
+let ck_float = Recover.Field.float_bits
+let str_list = Recover.Field.str_list
+let hex64 v = Util.Json.Str (Printf.sprintf "%Lx" v)
+
+let ck_hex64 = function
+  | Util.Json.Str s -> (
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some v -> v
+      | None -> ck_corrupt "bad 64-bit hex word %S" s)
+  | _ -> ck_corrupt "RNG state word is not a string"
+
+let triple_json (moves, runtime, parent_runtime) =
+  Util.Json.Obj
+    [
+      ("moves", Util.Json.Arr (List.map (fun m -> Util.Json.Str m) moves));
+      ("rt", Recover.Bits.of_float runtime);
+      ("prt", Recover.Bits.of_float parent_runtime);
+    ]
+
+let triple_of_json json =
+  (str_list "moves" json, ck_float "rt" json, ck_float "prt" json)
+
+let encode_stochastic ~meth ~space ~seed ~budget ~batch (st : ckpt_state) =
+  let open Util.Json in
+  let entry (moves, rt, prt, w) =
+    Obj
+      [
+        ("moves", Arr (List.map (fun m -> Str m) moves));
+        ("rt", Recover.Bits.of_float rt);
+        ("prt", Recover.Bits.of_float prt);
+        ("w", Recover.Bits.of_float w);
+      ]
+  in
+  Obj
+    (List.concat
+       [
+         [
+           ("kind", Str "stochastic");
+           ("method", Str meth);
+           ("space", Str (space_name space));
+           ("seed", Num (float_of_int seed));
+           ("budget", Num (float_of_int budget));
+           ("batch", Num (float_of_int batch));
+           ("filled", Num (float_of_int st.st_filled));
+           ("rng", Arr (Array.to_list (Array.map hex64 st.st_rng)));
+           ("pool", Arr (Array.to_list (Array.map entry st.st_pool)));
+           ("best", triple_json st.st_best);
+         ];
+         (match st.st_current with
+         | Some c -> [ ("current", triple_json c) ]
+         | None -> []);
+         (match st.st_temp with
+         | Some t -> [ ("temp", Recover.Bits.of_float t) ]
+         | None -> []);
+         [
+           ( "curve",
+             Arr
+               (Array.to_list (Array.map Recover.Bits.of_float st.st_curve))
+           );
+           ( "counts",
+             let e, s, d, v = st.st_counts in
+             Arr (List.map (fun x -> Num (float_of_int x)) [ e; s; d; v ]) );
+           ("failures", Num (float_of_int st.st_failures));
+           ("visited", Arr (List.map (fun f -> Str f) st.st_visited));
+           ("events", Num (float_of_int st.st_events));
+         ];
+         (match st.st_extra with Some j -> [ ("model", j) ] | None -> []);
+       ])
+
+let ck_check_identity ~kind ~meth ~space ~seed ~budget ~batch json =
+  Recover.Field.check_str json "kind" kind;
+  Recover.Field.check_str json "method" meth;
+  Recover.Field.check_str json "space" (space_name space);
+  Recover.Field.check_int json "seed" seed;
+  Recover.Field.check_int json "budget" budget;
+  Recover.Field.check_int json "batch" batch
+
+let decode_stochastic ~meth ~space ~seed ~budget ~batch json : ckpt_state =
+  ck_check_identity ~kind:"stochastic" ~meth ~space ~seed ~budget ~batch json;
+  let filled = ck_int "filled" json in
+  let curve =
+    ck_list "curve" json
+    |> List.map (fun v ->
+           match Recover.Bits.to_float v with
+           | Some f -> f
+           | None -> ck_corrupt "curve entry is not a float bit pattern")
+    |> Array.of_list
+  in
+  if Array.length curve <> filled then
+    ck_corrupt "curve length %d does not match filled %d" (Array.length curve)
+      filled;
+  let rng =
+    match ck_list "rng" json with
+    | [ _; _; _; _ ] as words -> Array.of_list (List.map ck_hex64 words)
+    | l -> ck_corrupt "RNG state has %d words, expected 4" (List.length l)
+  in
+  let pool =
+    ck_list "pool" json
+    |> List.map (fun e ->
+           let moves, rt, prt = triple_of_json e in
+           (moves, rt, prt, ck_float "w" e))
+    |> Array.of_list
+  in
+  let counts =
+    match ck_list "counts" json |> List.map Util.Json.to_int with
+    | [ Some e; Some s; Some d; Some v ] -> (e, s, d, v)
+    | _ -> ck_corrupt "malformed accounting counts"
+  in
+  {
+    st_filled = filled;
+    st_rng = rng;
+    st_pool = pool;
+    st_best = triple_of_json (ck_member "best" json);
+    st_current =
+      Option.map triple_of_json (Util.Json.member "current" json);
+    st_temp = Option.bind (Util.Json.member "temp" json) Recover.Bits.to_float;
+    st_curve = curve;
+    st_counts = counts;
+    st_failures = ck_int "failures" json;
+    st_visited = str_list "visited" json;
+    st_events = ck_int "events" json;
+    st_extra = Util.Json.member "model" json;
+  }
+
+(* Load the resume state, if resuming was requested and a checkpoint
+   exists.  [--resume] with no checkpoint file yet is a cold start (the
+   first run of a campaign), not an error; a corrupt or mismatched file
+   is a typed {!Recover.Error} — never garbage state. *)
+let load_stochastic_resume checkpoint ~meth ~space ~seed ~budget ~batch =
+  match checkpoint with
+  | Some { resume = true; path; _ } when Sys.file_exists path -> (
+      match Recover.Store.load ~path with
+      | Ok payload ->
+          Some (decode_stochastic ~meth ~space ~seed ~budget ~batch payload)
+      | Error e -> raise (Recover.Error e))
+  | _ -> None
+
+(* Rebuild a candidate from its serialized (moves, runtime,
+   parent_runtime): the program replays from the root through the same
+   [filter] the original run used — transform replays only, no
+   simulator evaluations (this is what makes resume strictly cheaper
+   than a cold restart). *)
+let cand_of_triple ?filter caps root (moves, runtime, parent_runtime) =
+  let prog =
+    if moves = [] then root else fst (replay_skipping ?filter caps root moves)
+  in
+  { moves; prog; runtime; parent_runtime }
+
+(* Rebuild the candidate pool with its exact selection weights (a
+   quarantined entry keeps weight 0, the root its 1/root_time, etc.) so
+   the first resumed parent draw matches the uninterrupted run's. *)
+let pool_of_state ?filter caps root entries =
+  let dummy =
+    { moves = []; prog = root; runtime = infinity; parent_runtime = infinity }
+  in
+  let pool = Util.Dynarray.create ~capacity:64 dummy in
+  let weights = Util.Dynarray.create ~capacity:64 0.0 in
+  let push_weighted w c =
+    Util.Dynarray.push pool c;
+    Util.Dynarray.push weights w
+  in
+  Array.iter
+    (fun (moves, rt, prt, w) ->
+      push_weighted w (cand_of_triple ?filter caps root (moves, rt, prt)))
+    entries;
+  let push c = push_weighted (1.0 /. Float.max c.parent_runtime 1e-12) c in
+  let push_quarantined c = push_weighted 0.0 c in
+  (pool, weights, push, push_quarantined)
+
+let snapshot_pool pool weights =
+  Array.init (Util.Dynarray.length pool) (fun i ->
+      let c = Util.Dynarray.get pool i in
+      (c.moves, c.runtime, c.parent_runtime, Util.Dynarray.get weights i))
+
+let snapshot_triple (c : candidate) = (c.moves, c.runtime, c.parent_runtime)
+
+let visited_to_list = function
+  | None -> []
+  | Some set ->
+      Hashtbl.fold (fun k () acc -> k :: acc) set [] |> List.sort compare
+
+let visited_of_list fps =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set f ()) fps;
+  set
+
+(* The per-round hook: write a checkpoint when the cadence is due
+   (every [every] filled slots, and always at the end of the run), and
+   honor a pending SIGINT/SIGTERM by checkpointing and raising
+   {!Recover.Interrupt.Interrupted} at this safe point (the pool is
+   idle between rounds).  The [checkpoint.write] trace event is emitted
+   *before* the event counter is read, so the recorded count includes
+   it and the trace splice stays exact. *)
+let make_round_hook ?metrics ~obs ~counted ~events_base ~checkpoint ~start
+    ~budget ~snapshot () =
+  let last = ref start in
+  let write ~filled ~curve ~stats =
+    match checkpoint with
+    | None -> None
+    | Some ck ->
+        Obs.Trace.emit obs "checkpoint.write" (fun () ->
+            let e, s, d, v = stats in
+            Obs.Trace.
+              [
+                int "filled" filled;
+                int "evals" e;
+                int "skipped" s;
+                int "deduped" d;
+                int "visited" v;
+              ]);
+        (match metrics with
+        | Some m -> Obs.Metrics.incr m "checkpoint.writes"
+        | None -> ());
+        Recover.Store.save ~path:ck.path
+          (snapshot ~filled ~curve ~stats ~events:(events_base + counted ()));
+        last := filled;
+        Some ck.path
+  in
+  fun ~filled ~curve ~stats ->
+    let due =
+      match checkpoint with
+      | Some ck ->
+          filled > !last && (filled - !last >= ck.every || filled >= budget)
+      | None -> false
+    in
+    let written = if due then write ~filled ~curve ~stats else None in
+    if Recover.Interrupt.requested () && filled < budget then begin
+      let path =
+        match written with
+        | Some _ as p -> p
+        | None ->
+            if filled > !last then write ~filled ~curve ~stats
+            else Option.map (fun ck -> ck.path) checkpoint
+      in
+      raise (Recover.Interrupt.Interrupted path)
+    end
+
+(* Wrap [obs] so every emitted event is counted (checkpoints record the
+   count for trace splicing) — only when checkpointing, so the default
+   path allocates nothing new. *)
+let maybe_counting checkpoint obs =
+  match checkpoint with
+  | None -> (obs, fun () -> 0)
+  | Some _ -> Obs.Trace.counting obs
+
+let restore_model restore_extra extra =
+  match (restore_extra, extra) with Some f, Some j -> f j | _ -> ()
+
 let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
     ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
     ?(batch = default_batch) ?prerank ?(dedup = false)
-    ?(visited_dedup = false) ~(pool : Parallel.Pool.t) ~(space : space)
+    ?(visited_dedup = false) ?checkpoint ?snapshot_extra ?restore_extra
+    ~(pool : Parallel.Pool.t) ~(space : space)
     ~(budget : int) caps (objective : objective) (root : Ir.Prog.t) : result =
   check_prerank prerank;
   let guard = Robust.Guard.instrument ?metrics guard in
-  let rng = Util.Rng.create seed in
+  let meth = "random-sampling-parallel" in
+  let obs, counted = maybe_counting checkpoint obs in
+  let resumed =
+    load_stochastic_resume checkpoint ~meth ~space ~seed ~budget ~batch
+  in
   let failures, note = make_noter ?metrics obs in
-  let root_time = guarded_root ~guard ~note objective root in
-  let root_cand =
-    { moves = []; prog = root; runtime = root_time;
-      parent_runtime = root_time }
+  let ( rng,
+        cands,
+        weights,
+        push,
+        push_quarantined,
+        best,
+        visited,
+        start,
+        curve_init,
+        counters_init,
+        events_base ) =
+    match resumed with
+    | None ->
+        (* cold start: the prelude (root evaluation, warm-start replay,
+           model seeding) runs exactly as in earlier releases *)
+        let rng = Util.Rng.create seed in
+        let root_time = guarded_root ~guard ~note objective root in
+        let root_cand =
+          { moves = []; prog = root; runtime = root_time;
+            parent_runtime = root_time }
+        in
+        emit_start obs ~meth ~space ~budget ~seed ~root_time;
+        let warm =
+          guarded_warm ~guard ~note ?filter caps objective root ~root_time
+            init
+        in
+        observe_seed prerank root ~root_time warm;
+        let cands, weights, push, push_quarantined, best0 =
+          make_pool root_cand warm
+        in
+        let visited = make_visited ~visited_dedup root warm in
+        ( rng, cands, weights, push, push_quarantined, ref best0, visited, 0,
+          [||], (0, 0, 0, 0), 0 )
+    | Some st ->
+        (* resume: the entire prelude is skipped — its effects (root
+           evaluation, warm replay, start event, model seeding) are all
+           inside the restored state; re-running it would re-pay
+           evaluations and duplicate trace events *)
+        (match metrics with
+        | Some m -> Obs.Metrics.incr m "checkpoint.resumes"
+        | None -> ());
+        failures := st.st_failures;
+        let cands, weights, push, push_quarantined =
+          pool_of_state ?filter caps root st.st_pool
+        in
+        restore_model restore_extra st.st_extra;
+        let visited =
+          if visited_dedup then Some (visited_of_list st.st_visited) else None
+        in
+        ( Util.Rng.of_state st.st_rng, cands, weights, push,
+          push_quarantined, ref (cand_of_triple ?filter caps root st.st_best),
+          visited, st.st_filled, st.st_curve, st.st_counts, st.st_events )
   in
-  emit_start obs ~meth:"random-sampling-parallel" ~space ~budget ~seed
-    ~root_time;
-  let warm =
-    guarded_warm ~guard ~note ?filter caps objective root ~root_time init
+  let snapshot ~filled ~curve ~stats ~events =
+    encode_stochastic ~meth ~space ~seed ~budget ~batch
+      {
+        st_filled = filled;
+        st_rng = Util.Rng.state rng;
+        st_pool = snapshot_pool cands weights;
+        st_best = snapshot_triple !best;
+        st_current = None;
+        st_temp = None;
+        st_curve = Array.sub curve 0 filled;
+        st_counts = stats;
+        st_failures = !failures;
+        st_visited = visited_to_list visited;
+        st_events = events;
+        st_extra = Option.map (fun f -> f ()) snapshot_extra;
+      }
   in
-  observe_seed prerank root ~root_time warm;
-  let cands, weights, push, push_quarantined, best0 =
-    make_pool root_cand warm
+  let round_end =
+    make_round_hook ?metrics ~obs ~counted ~events_base ~checkpoint ~start
+      ~budget ~snapshot ()
   in
-  let best = ref best0 in
   match (prerank, dedup, visited_dedup) with
   | None, false, false ->
       (* the default engine, byte-identical to earlier releases *)
@@ -837,7 +1218,10 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
             note_step ?metrics ~runtime:child.runtime ());
         !best.runtime
       in
-      let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
+      let curve =
+        run_batched ~start ~curve_init ~round_end ~obs ~batch ~pool ~budget
+          ~prepare ~fold ()
+      in
       {
         best = !best.prog;
         best_time = !best.runtime;
@@ -860,7 +1244,6 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
         let parent = pick_parent rng cands weights in
         (parent, Util.Rng.split rng)
       in
-      let visited = make_visited ~visited_dedup root warm in
       let fold slot parent = function
         | Failed f ->
             note_slot ~slot f;
@@ -879,9 +1262,10 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
             !best.runtime
       in
       let curve, evals, skipped, deduped, visited =
-        run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget
-          ~guard ~dedup ~prerank ~visited ~space ~caps ~root ~objective
-          ~prepare_parent ~fold ()
+        run_batched_filtered ?filter ?metrics ~start ~curve_init
+          ~counters_init ~round_end ~obs ~batch ~pool ~budget ~guard ~dedup
+          ~prerank ~visited ~space ~caps ~root ~objective ~prepare_parent
+          ~fold ()
       in
       {
         best = !best.prog;
@@ -898,32 +1282,94 @@ let random_sampling_parallel ?(seed = 1) ?filter ?(init = [])
 let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
     ?(obs = Obs.Trace.null) ?metrics ?(guard = Robust.Guard.default)
     ?(t0 = 0.5) ?(cooling = 0.995) ?(batch = default_batch) ?prerank
-    ?(dedup = false) ?(visited_dedup = false) ~(pool : Parallel.Pool.t)
+    ?(dedup = false) ?(visited_dedup = false) ?checkpoint ?snapshot_extra
+    ?restore_extra ~(pool : Parallel.Pool.t)
     ~(space : space) ~(budget : int) caps (objective : objective)
     (root : Ir.Prog.t) : result =
   check_prerank prerank;
   let guard = Robust.Guard.instrument ?metrics guard in
-  let rng = Util.Rng.create seed in
+  let meth = "simulated-annealing-parallel" in
+  let obs, counted = maybe_counting checkpoint obs in
+  let resumed =
+    load_stochastic_resume checkpoint ~meth ~space ~seed ~budget ~batch
+  in
   let failures, note = make_noter ?metrics obs in
-  let root_time = guarded_root ~guard ~note objective root in
-  let root_cand =
-    { moves = []; prog = root; runtime = root_time;
-      parent_runtime = root_time }
+  let ( rng,
+        current,
+        best,
+        temp,
+        visited,
+        start,
+        curve_init,
+        counters_init,
+        events_base ) =
+    match resumed with
+    | None ->
+        let rng = Util.Rng.create seed in
+        let root_time = guarded_root ~guard ~note objective root in
+        let root_cand =
+          { moves = []; prog = root; runtime = root_time;
+            parent_runtime = root_time }
+        in
+        emit_start obs ~meth ~space ~budget ~seed ~root_time;
+        let warm =
+          guarded_warm ~guard ~note ?filter caps objective root ~root_time
+            init
+        in
+        observe_seed prerank root ~root_time warm;
+        let current =
+          ref
+            (match warm with
+            | Some w when w.runtime <= root_time -> w
+            | Some _ | None -> root_cand)
+        in
+        let visited = make_visited ~visited_dedup root warm in
+        (rng, current, ref !current, ref t0, visited, 0, [||], (0, 0, 0, 0), 0)
+    | Some st ->
+        (* resume: prelude skipped — see random_sampling_parallel *)
+        (match metrics with
+        | Some m -> Obs.Metrics.incr m "checkpoint.resumes"
+        | None -> ());
+        failures := st.st_failures;
+        restore_model restore_extra st.st_extra;
+        let current =
+          match st.st_current with
+          | Some c -> ref (cand_of_triple ?filter caps root c)
+          | None -> ck_corrupt "annealing checkpoint missing chain state"
+        in
+        let temp =
+          match st.st_temp with
+          | Some t -> ref t
+          | None -> ck_corrupt "annealing checkpoint missing temperature"
+        in
+        let visited =
+          if visited_dedup then Some (visited_of_list st.st_visited) else None
+        in
+        ( Util.Rng.of_state st.st_rng, current,
+          ref (cand_of_triple ?filter caps root st.st_best), temp, visited,
+          st.st_filled, st.st_curve, st.st_counts, st.st_events )
   in
-  emit_start obs ~meth:"simulated-annealing-parallel" ~space ~budget ~seed
-    ~root_time;
-  let warm =
-    guarded_warm ~guard ~note ?filter caps objective root ~root_time init
+  let snapshot ~filled ~curve ~stats ~events =
+    encode_stochastic ~meth ~space ~seed ~budget ~batch
+      {
+        st_filled = filled;
+        st_rng = Util.Rng.state rng;
+        st_pool = [||];
+        st_best = snapshot_triple !best;
+        st_current = Some (snapshot_triple !current);
+        st_temp = Some !temp;
+        st_curve = Array.sub curve 0 filled;
+        st_counts = stats;
+        st_failures = !failures;
+        st_visited = visited_to_list visited;
+        st_events = events;
+        st_extra = Option.map (fun f -> f ()) snapshot_extra;
+      }
   in
-  observe_seed prerank root ~root_time warm;
-  let current =
-    ref
-      (match warm with
-      | Some w when w.runtime <= root_time -> w
-      | Some _ | None -> root_cand)
+  let round_end =
+    make_round_hook ?metrics ~obs ~counted ~events_base ~checkpoint ~start
+      ~budget ~snapshot ()
   in
-  let best = ref !current in
-  let temp = ref t0 in
   match (prerank, dedup, visited_dedup) with
   | None, false, false ->
       (* the default engine, byte-identical to earlier releases *)
@@ -968,7 +1414,10 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
         temp := !temp *. cooling;
         !best.runtime
       in
-      let curve = run_batched ~obs ~batch ~pool ~budget ~prepare ~fold in
+      let curve =
+        run_batched ~start ~curve_init ~round_end ~obs ~batch ~pool ~budget
+          ~prepare ~fold ()
+      in
       {
         best = !best.prog;
         best_time = !best.runtime;
@@ -987,7 +1436,6 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
           ~fields:[ Obs.Trace.int "slot" slot ]
           f
       in
-      let visited = make_visited ~visited_dedup root warm in
       let prepare_parent ~slot:_ =
         (* all proposals of a round branch off the round-start state *)
         (!current, Util.Rng.split rng)
@@ -1030,9 +1478,10 @@ let simulated_annealing_parallel ?(seed = 1) ?filter ?(init = [])
         !best.runtime
       in
       let curve, evals, skipped, deduped, visited =
-        run_batched_filtered ?filter ?metrics ~obs ~batch ~pool ~budget
-          ~guard ~dedup ~prerank ~visited ~space ~caps ~root ~objective
-          ~prepare_parent ~fold ()
+        run_batched_filtered ?filter ?metrics ~start ~curve_init
+          ~counters_init ~round_end ~obs ~batch ~pool ~budget ~guard ~dedup
+          ~prerank ~visited ~space ~caps ~root ~objective ~prepare_parent
+          ~fold ()
       in
       {
         best = !best.prog;

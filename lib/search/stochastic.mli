@@ -37,6 +37,28 @@ type prerank = {
     the submitting thread, in slot order, so a deterministic model keeps
     the search jobs-invariant. *)
 
+type checkpoint_cfg = { path : string; every : int; resume : bool }
+(** Crash-safe checkpointing for the batched engines (and, via
+    {!Exhaustive}, the BFS engine).  A checkpoint is written through
+    {!Recover.Store} — atomically and durably — at every round boundary
+    where at least [every] budget slots completed since the last write,
+    and always at the end of the run.  With [resume = true] and an
+    existing checkpoint file, the run restores the full search state
+    (RNG streams, candidate pool with weights, best-so-far, annealing
+    chain and temperature, curve prefix, exact accounting, visited
+    fingerprint set, surrogate model, trace-event count) and continues
+    the {e exact} trajectory of the uninterrupted run: same [result],
+    exact accounting across the splice, and stripped traces that splice
+    byte-identically (killed[0..events) ++ resumed == uninterrupted) —
+    kill-invariance, the jobs-invariance discipline extended across
+    process death.  A corrupt, truncated, or mismatched (different
+    method / space / seed / budget / batch) checkpoint raises
+    {!Recover.Error}; [resume] with no file yet is a cold start.
+
+    Checkpointed runs additionally honor {!Recover.Interrupt}: a
+    pending SIGINT/SIGTERM checkpoints at the next round boundary and
+    raises [Interrupted] with the checkpoint path. *)
+
 type result = {
   best : Ir.Prog.t;
   best_time : float;
@@ -176,6 +198,9 @@ val random_sampling_parallel :
   ?prerank:prerank ->
   ?dedup:bool ->
   ?visited_dedup:bool ->
+  ?checkpoint:checkpoint_cfg ->
+  ?snapshot_extra:(unit -> Util.Json.t) ->
+  ?restore_extra:(Util.Json.t -> unit) ->
   pool:Parallel.Pool.t ->
   space:space ->
   budget:int ->
@@ -185,6 +210,11 @@ val random_sampling_parallel :
   result
 (** Batched {!random_sampling}: parents for a whole round are drawn
     from the pool as of the round start.  [batch] defaults to 8.
+
+    [checkpoint] enables crash-safe round-boundary snapshots (see
+    {!checkpoint_cfg}); [snapshot_extra]/[restore_extra] let the caller
+    piggy-back opaque state — the surrogate model — on the checkpoint
+    payload.
 
     Tracing stays jobs-invariant: each task writes [search.eval] events
     into a private buffer sink, and the buffers are folded into [obs]
@@ -230,6 +260,9 @@ val simulated_annealing_parallel :
   ?prerank:prerank ->
   ?dedup:bool ->
   ?visited_dedup:bool ->
+  ?checkpoint:checkpoint_cfg ->
+  ?snapshot_extra:(unit -> Util.Json.t) ->
+  ?restore_extra:(Util.Json.t -> unit) ->
   pool:Parallel.Pool.t ->
   space:space ->
   budget:int ->

@@ -87,6 +87,14 @@ type t = {
   ms : Obs.Metrics.t;
   tuning_db : Tuning.Db.t;
   db_mutex : Mutex.t;
+  (* write-ahead journal at [db_file ^ ".wal"] (present iff db_file
+     is): every deposit is fsync-appended there before the reply is
+     sent, the database file itself is checkpointed every
+     [wal_checkpoint_every] appends (and at [stop]), and [create]
+     replays the journal — so kill -9 loses zero acknowledged
+     deposits.  Guarded by db_mutex. *)
+  wal : Recover.Journal.writer option;
+  mutable wal_appends : int;
   cache : Tuning.Cache.t;
   (* shared learned cost model: every cold optimization trains it
      online (Surrogate.Model is internally locked), and when
@@ -180,18 +188,44 @@ let warm_lookup t ~kernel ~tname ~keys : Tuning.Record.t option =
       Tuning.Db.query ~kernel ~target:tname t.tuning_db
       |> List.find_opt (Tuning.Record.matches_root ~keys))
 
+let wal_checkpoint_every = 64
+
 let deposit t (record : Tuning.Record.t option) =
   match record with
   | None -> ()
   | Some r ->
       with_lock t.db_mutex (fun () ->
-          (match Tuning.Db.add t.tuning_db r with
-          | `Inserted | `Improved ->
-              Obs.Metrics.incr t.ms "serve.deposits"
-          | `Duplicate -> ());
-          match t.cfg.db_file with
-          | Some f -> Tuning.Db.save t.tuning_db f
-          | None -> ())
+          match Tuning.Db.add t.tuning_db r with
+          | `Duplicate -> ()
+          | `Inserted | `Improved -> (
+              Obs.Metrics.incr t.ms "serve.deposits";
+              match t.wal with
+              | None -> ()
+              | Some w -> (
+                  (* WAL append (fsynced) makes the deposit durable
+                     before the reply; the full database file is only
+                     rewritten at checkpoint cadence *)
+                  match Util.Json.of_string (Tuning.Record.to_json r) with
+                  | Error msg -> failwith msg
+                  | Ok data ->
+                      Recover.Journal.append w data;
+                      Obs.Metrics.incr t.ms "journal.appends";
+                      emit t "journal.append" (fun () ->
+                          Obs.Trace.
+                            [
+                              str "kind" "serve";
+                              str "key"
+                                (r.Tuning.Record.kernel ^ "|"
+                               ^ r.Tuning.Record.target);
+                            ]);
+                      t.wal_appends <- t.wal_appends + 1;
+                      if t.wal_appends >= wal_checkpoint_every then begin
+                        (match t.cfg.db_file with
+                        | Some f -> Tuning.Db.save t.tuning_db f
+                        | None -> ());
+                        Recover.Journal.reset w;
+                        t.wal_appends <- 0
+                      end)))
 
 let err t ~id ~code ~msg : Protocol.response =
   Obs.Metrics.incr t.ms "serve.errors";
@@ -396,6 +430,43 @@ let create ?(start = true) (cfg : config) : t =
         | Ok db -> db
         | Error msg -> failwith msg)
   in
+  (* WAL recovery: fold any journaled deposits a crashed predecessor
+     acknowledged but never checkpointed back into the database, then
+     checkpoint and truncate so the journal never grows unbounded. *)
+  let wal, wal_replayed =
+    match cfg.db_file with
+    | None -> (None, 0)
+    | Some f -> (
+        let path = f ^ ".wal" in
+        match Recover.Journal.replay path with
+        | Error e -> raise (Recover.Error e)
+        | Ok (entries, _torn) ->
+            let n =
+              List.fold_left
+                (fun n data ->
+                  match
+                    Tuning.Record.of_json (Util.Json.to_string data)
+                  with
+                  | Ok r ->
+                      ignore (Tuning.Db.add tuning_db r);
+                      n + 1
+                  | Error msg ->
+                      raise (Recover.Error (Recover.Corrupt msg)))
+                0 entries
+            in
+            let w = Recover.Journal.open_writer path in
+            if n > 0 then begin
+              Tuning.Db.save tuning_db f;
+              Recover.Journal.reset w
+            end;
+            (Some w, n))
+  in
+  if wal_replayed > 0 then begin
+    Obs.Metrics.incr ms ~by:wal_replayed "journal.replayed";
+    if Obs.Trace.enabled obs then
+      Obs.Trace.emit obs "journal.replay" (fun () ->
+          Obs.Trace.[ str "kind" "serve"; int "entries" wal_replayed ])
+  end;
   let t =
     {
       cfg;
@@ -404,6 +475,8 @@ let create ?(start = true) (cfg : config) : t =
       ms;
       tuning_db;
       db_mutex = Mutex.create ();
+      wal;
+      wal_appends = 0;
       cache = Tuning.Cache.create ();
       model =
         (if cfg.surrogate then Some (P.Surrogate.Model.create ())
@@ -460,7 +533,15 @@ let stop t =
       Mutex.unlock t.qm;
       (match disp with Some th -> Thread.join th | None -> ());
       (match t.cfg.db_file with
-      | Some f -> with_lock t.db_mutex (fun () -> Tuning.Db.save t.tuning_db f)
+      | Some f ->
+          with_lock t.db_mutex (fun () ->
+              Tuning.Db.save t.tuning_db f;
+              (* everything journaled is now in the checkpoint *)
+              match t.wal with
+              | Some w ->
+                  Recover.Journal.reset w;
+                  Recover.Journal.close w
+              | None -> ())
       | None -> ());
       emit t "serve.shutdown" (fun () ->
           Obs.Trace.

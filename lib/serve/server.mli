@@ -39,8 +39,12 @@ type config = {
       (** per-request evaluation fuel via {!Robust.Guard} *)
   seed : int;
   db_file : string option;
-      (** checkpoint target: loaded at {!create}, saved crash-safely
-          after every deposit and at shutdown *)
+      (** checkpoint target: loaded at {!create}, saved crash-safely at
+          shutdown and every 64 deposits.  Between checkpoints each
+          deposit is appended (fsynced) to a write-ahead journal at
+          [db_file ^ ".wal"] {e before} the response is sent, and
+          {!create} replays any journal a crashed predecessor left — so
+          [kill -9] loses zero acknowledged deposits *)
   max_frame : int;  (** frame size limit for the transports *)
   kernels : Kernels.entry list;  (** the servable kernel registry *)
   guard : Robust.Guard.config;

@@ -165,20 +165,21 @@ let train_offline t ~root_of (records : Tuning.Record.t list) : offline_stats
 (* Canonical-JSON serialization                                        *)
 (* ------------------------------------------------------------------ *)
 
-let to_json t : Util.Json.t =
-  locked t (fun () ->
-      Util.Json.Obj
-        [
-          ("schema", Util.Json.Num (float_of_int schema_version));
-          ("dim", Util.Json.Num (float_of_int (Array.length t.w)));
-          ("lr", Util.Json.Num t.cfg.lr);
-          ("margin", Util.Json.Num t.cfg.margin);
-          ("history", Util.Json.Num (float_of_int t.cfg.history));
-          ("updates", Util.Json.Num (float_of_int t.n_updates));
-          ( "w",
-            Util.Json.Arr
-              (Array.to_list (Array.map (fun x -> Util.Json.Num x) t.w)) );
-        ])
+let to_json_unlocked t : Util.Json.t =
+  Util.Json.Obj
+    [
+      ("schema", Util.Json.Num (float_of_int schema_version));
+      ("dim", Util.Json.Num (float_of_int (Array.length t.w)));
+      ("lr", Util.Json.Num t.cfg.lr);
+      ("margin", Util.Json.Num t.cfg.margin);
+      ("history", Util.Json.Num (float_of_int t.cfg.history));
+      ("updates", Util.Json.Num (float_of_int t.n_updates));
+      ( "w",
+        Util.Json.Arr
+          (Array.to_list (Array.map (fun x -> Util.Json.Num x) t.w)) );
+    ]
+
+let to_json t : Util.Json.t = locked t (fun () -> to_json_unlocked t)
 
 let of_json (j : Util.Json.t) : (t, string) result =
   let ( let* ) = Result.bind in
@@ -242,3 +243,95 @@ let load path : (t, string) result =
       in
       let text = String.trim text in
       Result.bind (Util.Json.of_string text) of_json
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint snapshot / in-place restore                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike [to_json]/[of_json] (the stable on-disk model format), the
+   checkpoint snapshot also carries the online pairing ring: a resumed
+   search must pair future observations against exactly the same recent
+   measurements the uninterrupted run would have, or its weights — and
+   hence its filtering decisions — drift after the splice point. *)
+
+let snapshot t : Util.Json.t =
+  locked t (fun () ->
+      let sample_json = function
+        | None -> Util.Json.Null
+        | Some s ->
+            Util.Json.Obj
+              [
+                ("g", Util.Json.Str s.g);
+                ( "f",
+                  Util.Json.Arr
+                    (Array.to_list
+                       (Array.map (fun x -> Util.Json.Num x) s.f)) );
+                ("time", Util.Json.Num s.time);
+              ]
+      in
+      Util.Json.Obj
+        [
+          ("model", to_json_unlocked t);
+          ("pushed", Util.Json.Num (float_of_int t.pushed));
+          ( "recent",
+            Util.Json.Arr (Array.to_list (Array.map sample_json t.recent)) );
+        ])
+
+let restore t (j : Util.Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Util.Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "surrogate snapshot: bad %S field" name)
+  in
+  let* model_json =
+    match Util.Json.member "model" j with
+    | Some m -> Ok m
+    | None -> Error "surrogate snapshot: missing \"model\""
+  in
+  let* m = of_json model_json in
+  let* pushed = field "pushed" Util.Json.to_int in
+  let* recent = field "recent" Util.Json.to_list in
+  let sample_of = function
+    | Util.Json.Null -> Ok None
+    | Util.Json.Obj _ as s -> (
+        let mem name conv = Option.bind (Util.Json.member name s) conv in
+        match
+          ( mem "g" Util.Json.to_str,
+            mem "f" Util.Json.to_list,
+            mem "time" Util.Json.to_float )
+        with
+        | Some g, Some f_list, Some time -> (
+            let rec conv acc = function
+              | [] -> Some (List.rev acc)
+              | Util.Json.Num x :: rest -> conv (x :: acc) rest
+              | _ -> None
+            in
+            match conv [] f_list with
+            | Some fs ->
+                Ok (Some { g; f = Array.of_list fs; time })
+            | None -> Error "surrogate snapshot: non-numeric feature")
+        | _ -> Error "surrogate snapshot: malformed ring sample")
+    | _ -> Error "surrogate snapshot: malformed ring entry"
+  in
+  let* samples =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* s = sample_of e in
+        Ok (s :: acc))
+      (Ok []) recent
+  in
+  let samples = Array.of_list (List.rev samples) in
+  locked t (fun () ->
+      if Array.length m.w <> Array.length t.w then
+        Error "surrogate snapshot: weight dimension mismatch"
+      else if Array.length samples <> Array.length t.recent then
+        Error "surrogate snapshot: ring size mismatch"
+      else begin
+        Array.blit m.w 0 t.w 0 (Array.length t.w);
+        t.n_updates <- m.n_updates;
+        Array.blit samples 0 t.recent 0 (Array.length samples);
+        t.pushed <- pushed;
+        Ok ()
+      end)

@@ -103,3 +103,18 @@ val save : t -> string -> unit
 (** One canonical JSON line, crash-safe (tmp + rename). *)
 
 val load : string -> (t, string) result
+
+(** {1 Checkpoint snapshot}
+
+    Unlike the save format, a snapshot additionally carries the
+    online-pairing ring, so a search resumed from a crash-safe
+    checkpoint trains on exactly the pairs the uninterrupted run would
+    have seen — the kill-invariance requirement of the surrogate-
+    filtered engines. *)
+
+val snapshot : t -> Util.Json.t
+
+val restore : t -> Util.Json.t -> (unit, string) result
+(** In-place restore of weights, update count and pairing ring; fails
+    on dimension or ring-size mismatch (and on anything [of_json] would
+    reject). *)

@@ -104,20 +104,12 @@ let save (db : t) (path : string) : unit =
   (match load path with
   | Ok disk -> List.iter (fun r -> ignore (add db r)) (records disk)
   | Error _ -> ());
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     List.iter
-       (fun r ->
-         output_string oc (Record.to_json r);
-         output_char oc '\n')
-       (records db);
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Recover.Durable.write_file ~path (fun oc ->
+      List.iter
+        (fun r ->
+          output_string oc (Record.to_json r);
+          output_char oc '\n')
+        (records db))
 
 let by_time (a : Record.t) (b : Record.t) =
   let c = compare a.best_time b.best_time in

@@ -35,10 +35,13 @@ val save : t -> string -> unit
 (** Write all records, one JSON object per line, in the stable
     {!Record.compare_order}.  save → load → save is byte-identical.
 
-    Crash-safe: the file is written to [path ^ ".tmp"] and atomically
-    renamed into place, so an interrupt at any point leaves either the
-    previous complete file or the new one — never a truncated mix — and
-    a stale tmp from an earlier crash is cleaned up by the next save.
+    Crash-safe and durable ({!Recover.Durable.write_file}): the file is
+    written to [path ^ ".tmp"], [fsync]ed, atomically renamed into
+    place, and the directory is fsynced — so an interrupt at any point
+    leaves either the previous complete file or the new one (never a
+    truncated mix), once [save] returns the contents survive [kill -9]
+    and power loss, and a stale tmp from an earlier crash is cleaned up
+    by the next save.
 
     Concurrent-writer-safe: records already on disk are first merged
     into [db] under the {!add} improve/dedupe rules, so two processes

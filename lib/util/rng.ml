@@ -24,6 +24,14 @@ let create seed =
   let s3 = splitmix64 s in
   { s0; s1; s2; s3 }
 
+(* The raw xoshiro quadruple, for checkpointing: [of_state (state t)]
+   continues the exact draw sequence of [t]. *)
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state a =
+  if Array.length a <> 4 then invalid_arg "Rng.of_state: need 4 words";
+  { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3) }
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let next_int64 t =

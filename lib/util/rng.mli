@@ -15,6 +15,14 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent child stream, advancing [t]. *)
 
+val state : t -> int64 array
+(** The raw 4-word xoshiro256{^**} state, for checkpointing. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state}; [of_state (state t)] continues
+    the exact draw sequence of [t].  Raises [Invalid_argument] unless
+    given exactly 4 words. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
