@@ -1515,9 +1515,9 @@ let surrogate () =
         let root = e.build () in
         [
           Tuning.Record.make ~kernel:e.label ~target:"x86" ~moves:[]
-            ~best_time:(time target root) ~evals:1 ~root;
+            ~best_time:(time target root) ~evals:1 ~root ();
           Tuning.Record.make ~kernel:e.label ~target:"x86" ~moves:o.moves
-            ~best_time:o.time_s ~evals:o.evaluations ~root;
+            ~best_time:o.time_s ~evals:o.evaluations ~root ();
         ])
       train_outcomes
   in
@@ -1789,6 +1789,175 @@ let exhaustive () =
   output_char oc '\n';
   close_out oc;
   print_endline "wrote BENCH_exhaustive.json"
+
+(* ------------------------------------------------------------------ *)
+(* Schedule scripts: composite macro-moves deepen the certified horizon *)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims, per small kernel, all asserted (the experiment — and
+   @smoke with it — exits non-zero on violation):
+
+   1. With the registered composites enabled as macro-moves, the
+      exhaustive walk at depth 2 certifies a schedule at least as good
+      as the atomic depth-3 certified optimum — each macro packs a
+      selector-guarded 2-3 move sequence into one search step — while
+      discovering strictly fewer unique states and paying strictly
+      fewer simulator evaluations.
+
+   2. Script round-trip: converting the winning move sequence to a .pds
+      script and replaying it through the selector resolver lands on
+      the byte-identical program (printed text and canonical
+      fingerprint) — the provenance a schema-3 database record carries.
+
+   3. A script statement whose composite refuses fails all-or-nothing
+      with a typed error (and a transfo.refused trace event), leaving
+      no partial application behind.
+
+   BENCH_script.json records the per-kernel numbers;
+   BENCH_script_trace.jsonl carries the script.run / target.resolve /
+   transfo.refused events for trace_lint. *)
+let script () =
+  Report.header
+    "Schedule scripts: composite macro-moves vs the atomic optimum";
+  let atomic_depth = 3 and composite_depth = 2 in
+  let obs = Obs.Trace.make_buffer () in
+  let caps_macro = Transfo.Composites.enable ~names:[ "all" ] caps_x86 in
+  let kernels =
+    [
+      ("relu_micro 32x32", Kernels.relu ~n:32 ~m:32);
+      ("gemv 64x64", Kernels.gemv ~m:64 ~n:64);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, p) ->
+        let atomic =
+          Search.Exhaustive.run ~obs ~depth:atomic_depth caps_x86
+            (time target_x86) p
+        in
+        let macro =
+          Search.Exhaustive.run ~obs ~depth:composite_depth caps_macro
+            (time target_x86) p
+        in
+        if not (atomic.certified && macro.certified) then
+          failwith (label ^ ": a run lost its certificate");
+        if macro.best_time > atomic.best_time *. (1. +. 1e-9) then
+          failwith
+            (Printf.sprintf
+               "%s: composite depth-%d missed the atomic depth-%d optimum \
+                (%.3e > %.3e)"
+               label composite_depth atomic_depth macro.best_time
+               atomic.best_time);
+        if macro.unique >= atomic.unique then
+          failwith (label ^ ": composites did not shrink the state count");
+        if macro.evals >= atomic.evals then
+          failwith (label ^ ": composites did not save evaluations");
+        (* round-trip: winning moves -> .pds -> selector replay ->
+           byte-identical program *)
+        let replayed, applied =
+          Stoch.replay_skipping caps_macro p macro.best_moves
+        in
+        if List.length applied <> List.length macro.best_moves then
+          failwith (label ^ ": winner is not move-replayable");
+        let pds = Transfo.Script.of_moves ~kernel:label applied in
+        (match Transfo.Script.parse (Transfo.Script.to_string pds) with
+        | Error e -> failwith (label ^ ": emitted script unparseable: " ^ e)
+        | Ok reparsed -> (
+            match Transfo.Script.run ~obs caps_macro p reparsed with
+            | Error e ->
+                failwith
+                  (label ^ ": script replay failed: "
+                  ^ Transfo.Script.run_error_to_string e)
+            | Ok (q, _) ->
+                if
+                  Ir.Printer.program q <> Ir.Printer.program replayed
+                  || Tuning.Record.fingerprint q
+                     <> Tuning.Record.fingerprint replayed
+                then failwith (label ^ ": script round-trip not identical")));
+        (label, atomic, macro))
+      kernels
+  in
+  (* all-or-nothing refusal: fuse_chain at the root scope has no
+     following sibling to fuse with, so the statement must fail typed
+     (emitting transfo.refused) and leave the session untouched *)
+  (match
+     Transfo.Script.parse "pds 1\nat path [0] do fuse_chain\n"
+   with
+  | Error e -> failwith ("refusal script unparseable: " ^ e)
+  | Ok s -> (
+      match
+        Transfo.Script.run ~obs caps_macro (Kernels.relu ~n:32 ~m:32) s
+      with
+      | Ok _ -> failwith "fuse_chain at the root unexpectedly applied"
+      | Error { err = Target.Refused _; _ } -> ()
+      | Error e ->
+          failwith
+            ("expected a refusal, got: "
+            ^ Transfo.Script.run_error_to_string e)));
+  Report.table
+    [
+      "kernel"; "atomic d3 (s)"; "states"; "evals"; "composite d2 (s)";
+      "states"; "evals";
+    ]
+    (List.map
+       (fun (label, (a : Search.Exhaustive.result),
+                 (m : Search.Exhaustive.result)) ->
+         [
+           label;
+           Report.e3 a.best_time;
+           string_of_int a.unique;
+           string_of_int a.evals;
+           Report.e3 m.best_time;
+           string_of_int m.unique;
+           string_of_int m.evals;
+         ])
+       rows);
+  Printf.printf
+    "\ncomposite macro-moves certified the depth-%d atomic optimum (or \
+     better) at depth %d with fewer states; every winner script \
+     round-tripped byte-identically\n"
+    atomic_depth composite_depth;
+  let oc = open_out "BENCH_script_trace.jsonl" in
+  List.iter
+    (fun ev ->
+      output_string oc (Util.Json.to_string ev);
+      output_char oc '\n')
+    (Obs.Trace.events obs);
+  close_out oc;
+  print_endline "wrote BENCH_script_trace.jsonl";
+  let json =
+    Util.Json.Obj
+      [
+        ("atomic_depth", Util.Json.Num (float_of_int atomic_depth));
+        ("composite_depth", Util.Json.Num (float_of_int composite_depth));
+        ( "kernels",
+          Util.Json.Arr
+            (List.map
+               (fun (label, (a : Search.Exhaustive.result),
+                         (m : Search.Exhaustive.result)) ->
+                 Util.Json.Obj
+                   [
+                     ("kernel", Util.Json.Str label);
+                     ("atomic_best_s", Util.Json.Num a.best_time);
+                     ( "atomic_unique",
+                       Util.Json.Num (float_of_int a.unique) );
+                     ("atomic_evals", Util.Json.Num (float_of_int a.evals));
+                     ("composite_best_s", Util.Json.Num m.best_time);
+                     ( "composite_unique",
+                       Util.Json.Num (float_of_int m.unique) );
+                     ( "composite_evals",
+                       Util.Json.Num (float_of_int m.evals) );
+                     ( "speedup_vs_atomic",
+                       Util.Json.Num (a.best_time /. m.best_time) );
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_script.json" in
+  output_string oc (Util.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_script.json"
 
 (* ------------------------------------------------------------------ *)
 (* Crash injection: kill -9 + resume must equal the uninterrupted run  *)
@@ -2398,4 +2567,5 @@ let all : (string * (unit -> unit)) list =
     ("serve", serve);
     ("surrogate", surrogate);
     ("exhaustive", exhaustive);
+    ("script", script);
   ]

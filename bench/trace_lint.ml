@@ -45,6 +45,19 @@ let lint_schema path lineno ev fields =
   | "journal.replay" ->
       str "kind";
       int "entries"
+  (* The targeting/script events are the audit trail for schedule
+     scripts: a replayed script is reconstructed from exactly these
+     fields, so a writer dropping one would break script forensics. *)
+  | "script.run" ->
+      int "version";
+      int "statements"
+  | "target.resolve" ->
+      str "selector";
+      str "path"
+  | "transfo.refused" ->
+      str "transfo";
+      str "anchor";
+      str "reason"
   | _ -> ()
 
 let lint_line path lineno line =

@@ -141,6 +141,7 @@ type common = {
   co_checkpoint : string option;
   co_checkpoint_every : int;
   co_resume : bool;
+  co_composites : string list;
 }
 
 let common_opts : common Term.t =
@@ -284,18 +285,33 @@ let common_opts : common Term.t =
              configuration; a torn or truncated file is rejected with \
              a typed error, never deserialized as garbage.")
   in
+  let composites_arg =
+    let doc =
+      "Enable named composite transformations as macro-moves in the \
+       search: each composite (e.g. tile_and_unroll, fuse_chain) is \
+       offered alongside the atomic moves, so one search step can take \
+       a whole selector-guarded sequence.  $(docv) is a comma-separated \
+       list of composite names, or $(b,all) for every registered \
+       composite (`perfdojo script list` names them)."
+    in
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "composites" ] ~docv:"NAMES" ~doc)
+  in
   let make co_db co_jobs co_trace co_stats co_max_retries co_fault_rate
       co_seed co_surrogate co_filter_ratio co_dedup co_visited_dedup
-      co_depth co_checkpoint co_checkpoint_every co_resume =
+      co_depth co_checkpoint co_checkpoint_every co_resume co_composites =
     { co_db; co_jobs; co_trace; co_stats; co_max_retries; co_fault_rate;
       co_seed; co_surrogate; co_filter_ratio; co_dedup; co_visited_dedup;
-      co_depth; co_checkpoint; co_checkpoint_every; co_resume }
+      co_depth; co_checkpoint; co_checkpoint_every; co_resume;
+      co_composites }
   in
   Term.(
     const make $ db_arg $ jobs_arg $ trace_arg $ stats_arg $ retries_arg
     $ fault_rate_arg $ seed_arg $ surrogate_arg $ filter_ratio_arg
     $ dedup_arg $ visited_dedup_arg $ depth_arg $ checkpoint_arg
-    $ checkpoint_every_arg $ resume_arg)
+    $ checkpoint_every_arg $ resume_arg $ composites_arg)
 
 (* Validate the shared options once, load the database, open the trace
    channel, build the run context and hand everything to [body]; close
@@ -331,6 +347,21 @@ let with_common (c : common) body =
       Error (true, "--resume requires --checkpoint FILE")
     else Ok ()
   in
+  let* () =
+    let known = Transfo.Composites.names in
+    match
+      List.filter
+        (fun n -> n <> "all" && not (List.mem n known))
+        c.co_composites
+    with
+    | [] -> Ok ()
+    | bad ->
+        Error
+          ( true,
+            Printf.sprintf "--composites: unknown composite(s) %s (known: %s)"
+              (String.concat ", " bad)
+              (String.concat ", " known) )
+  in
   let* surrogate =
     match c.co_surrogate with
     | None -> Ok None
@@ -365,6 +396,7 @@ let with_common (c : common) body =
     |> Ctx.with_dedup c.co_dedup
     |> Ctx.with_visited_dedup c.co_visited_dedup
     |> Ctx.with_exhaustive_depth c.co_depth
+    |> Ctx.with_composites c.co_composites
   in
   let ctx =
     match surrogate with
@@ -466,20 +498,38 @@ let show_cmd =
 (* ------------------------------------------------------------------ *)
 
 let moves_cmd =
-  let run kernel target =
+  let run kernel target script =
     to_ret
     @@ let* e = find_kernel kernel in
        let* _, t = target_of_string target in
        let game = Game.start t (e.build ()) in
+       let render d =
+         if not script then d
+         else
+           (* each describe string round-trips to one script statement;
+              anything unparseable falls back to the raw spelling *)
+           match (Transfo.Script.of_moves [ d ]).Transfo.Script.stmts with
+           | [ (_, st) ] -> Transfo.Script.stmt_to_string st
+           | _ -> d
+       in
        List.iter
-         (fun (i, d) -> Printf.printf "%3d  %s\n" i d)
+         (fun (i, d) -> Printf.printf "%3d  %s\n" i (render d))
          (Game.moves game);
        Ok ()
+  in
+  let script_arg =
+    Arg.(
+      value & flag
+      & info [ "script" ]
+          ~doc:
+            "Print each move as a schedule-script statement (the .pds \
+             spelling accepted by $(b,perfdojo script run)) instead of \
+             the raw describe string.")
   in
   Cmd.v
     (Cmd.info "moves"
        ~doc:"List the applicable transformations at the kernel's root state.")
-    Term.(ret (const run $ kernel_arg $ target_arg))
+    Term.(ret (const run $ kernel_arg $ target_arg $ script_arg))
 
 (* The kernel noun groups the per-kernel inspection verbs; the bare
    list/show/moves spellings stay as aliases of the same commands. *)
@@ -521,7 +571,20 @@ let optimize_cmd =
                      "note: no matching record for %s on %s; starting cold\n"
                      e.label tname;
                    []
-               | moves -> moves)
+               | moves ->
+                   (* pre-script records (schema <= 2) replay through the
+                      deprecated describe-string path; nudge toward the
+                      script format without blocking the run *)
+                   (match Tuning.Db.best d ~kernel:e.label ~target:tname with
+                   | Some r when r.Tuning.Record.script = None ->
+                       Printf.eprintf
+                         "warning: record for %s on %s has no script \
+                          provenance (schema %d); replaying raw move \
+                          strings, which is deprecated — re-tune with \
+                          --db to upgrade the record\n"
+                         e.label tname r.Tuning.Record.schema
+                   | _ -> ());
+                   moves)
        in
        let ctx = Ctx.with_warm_start warm_start ctx in
        let outcome = Perfdojo.optimize_ctx ~ctx strat t p in
@@ -568,8 +631,9 @@ let optimize_cmd =
                  match
                    Tuning.Warmstart.record_of
                      ~objective:(fun q -> Machine.time t q)
-                     ~caps:(Machine.caps t) ~kernel:e.label ~target:tname
-                     ~root:p ~moves:outcome.moves ~evals:outcome.evaluations
+                     ~caps:(Perfdojo.caps_of ~ctx t) ~kernel:e.label
+                     ~target:tname ~root:p ~moves:outcome.moves
+                     ~evals:outcome.evaluations
                  with
                  | Error msg -> Printf.eprintf "note: not recorded: %s\n" msg
                  | Ok r ->
@@ -1052,7 +1116,7 @@ let replay_cmd =
            (read [])
        in
        let p = e.build () in
-       match Transform.Engine.replay caps p moves with
+       match Transform.Engine.replay_compat caps p moves with
        | Error msg -> Error (false, "replay failed: " ^ msg)
        | Ok result ->
            Printf.printf "replayed %d moves\n" (List.length moves);
@@ -1601,6 +1665,230 @@ let client_cmd =
        $ strategy_arg $ budget_arg $ deadline_arg $ force_arg
        $ timeout_arg $ retries_arg))
 
+(* ------------------------------------------------------------------ *)
+(* script: the versioned schedule-script format (.pds)                  *)
+(* ------------------------------------------------------------------ *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let script_run_cmd =
+  let run file kernel target db_file emit_c =
+    to_ret
+    @@ let* text =
+         if file = "-" then Ok (read_all stdin)
+         else
+           try
+             let ic = open_in file in
+             let t = read_all ic in
+             close_in ic;
+             Ok t
+           with Sys_error msg -> Error (false, msg)
+       in
+       let* script =
+         match Transfo.Script.parse text with
+         | Ok s -> Ok s
+         | Error msg -> Error (false, Printf.sprintf "%s: %s" file msg)
+       in
+       (* explicit flags override the script's own kernel/target headers *)
+       let* kernel_name =
+         match (kernel, script.Transfo.Script.kernel) with
+         | Some k, _ | None, Some k -> Ok k
+         | None, None ->
+             Error
+               ( true,
+                 "script names no kernel; pass --kernel (or add a \
+                  'kernel NAME' line)" )
+       in
+       let target_name =
+         match (target, script.Transfo.Script.ktarget) with
+         | Some t, _ | None, Some t -> t
+         | None, None -> "x86"
+       in
+       let* e = find_kernel kernel_name in
+       let* tname, t = target_of_string target_name in
+       (* every registered composite is in scope: a script names its
+          transformations explicitly, so there is nothing to opt into *)
+       let caps = Transfo.Composites.enable ~names:[ "all" ] (Machine.caps t) in
+       let p = e.build () in
+       match Transfo.Script.run caps p script with
+       | Error err ->
+           Error (false, Transfo.Script.run_error_to_string err)
+       | Ok (result, provenance) ->
+           Printf.printf "script:     %s (%d statements, %d atomic moves)\n"
+             file
+             (List.length script.Transfo.Script.stmts)
+             (List.length provenance);
+           Printf.printf "kernel:     %s (%s)\n" e.label e.shape_desc;
+           Printf.printf "target:     %s\n" (Machine.Desc.target_name t);
+           Printf.printf "runtime:    %.3e s -> %.3e s (%.2fx)\n"
+             (Machine.time t p) (Machine.time t result)
+             (Machine.time t p /. Machine.time t result);
+           Printf.printf "fingerprint: %s\n"
+             (Tuning.Record.fingerprint result);
+           (* --db: check the script lands exactly on the recorded best *)
+           let* () =
+             match db_file with
+             | None -> Ok ()
+             | Some f -> (
+                 let* db = load_db f in
+                 match
+                   Tuning.Db.best db ~kernel:e.label ~target:tname
+                 with
+                 | None ->
+                     Printf.printf
+                       "db:         no record for %s on %s in %s\n" e.label
+                       tname f;
+                     Ok ()
+                 | Some r ->
+                     let replayed, _ =
+                       Search.Stochastic.replay_skipping caps p r.moves
+                     in
+                     if
+                       String.equal
+                         (Ir.Printer.program replayed)
+                         (Ir.Printer.program result)
+                       && String.equal
+                            (Tuning.Record.fingerprint replayed)
+                            (Tuning.Record.fingerprint result)
+                     then begin
+                       Printf.printf
+                         "db:         matches recorded best byte-for-byte \
+                          (%.3e s)\n"
+                         r.best_time;
+                       Ok ()
+                     end
+                     else
+                       Error
+                         ( false,
+                           Printf.sprintf
+                             "script result differs from the recorded best \
+                              (%s vs %s)"
+                             (Tuning.Record.fingerprint result)
+                             (Tuning.Record.fingerprint replayed) ))
+           in
+           print_endline "schedule:";
+           print_endline (Ir.Printer.body result);
+           if emit_c then begin
+             print_endline "/* generated C */";
+             print_string (Codegen.program result)
+           end;
+           Ok ()
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let kernel_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel"; "k" ] ~docv:"KERNEL"
+          ~doc:"Kernel to apply the script to (overrides the script header).")
+  in
+  let target_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target"; "t" ] ~docv:"TARGET"
+          ~doc:"Target machine (overrides the script header).")
+  in
+  let db_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Compare the script's result against the database's recorded \
+             best for this kernel/target; fails unless they match \
+             byte-for-byte.")
+  in
+  let c_arg =
+    Arg.(value & flag & info [ "c" ] ~doc:"Also print the generated C.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a schedule script (.pds): resolve each selector, apply \
+          each named transformation all-or-nothing, print the resulting \
+          schedule.  FILE may be '-' for stdin.")
+    Term.(
+      ret (const run $ file_arg $ kernel_opt $ target_opt $ db_opt $ c_arg))
+
+let script_export_cmd =
+  let run db_file kernel target =
+    to_ret
+    @@ let* db = load_db db_file in
+       let* tname, _ = target_of_string target in
+       match Tuning.Db.best db ~kernel ~target:tname with
+       | None ->
+           Error
+             ( false,
+               Printf.sprintf "no record for %s on %s in %s" kernel tname
+                 db_file )
+       | Some r ->
+           (match r.Tuning.Record.script with
+           | Some s -> print_string s
+           | None ->
+               (* pre-script record: derive the script from the recorded
+                  moves — same conversion the database write path uses *)
+               Printf.eprintf
+                 "note: record predates script provenance (schema %d); \
+                  deriving the script from its recorded moves\n"
+                 r.Tuning.Record.schema;
+               print_string
+                 (Transfo.Script.to_string
+                    (Transfo.Script.of_moves ~kernel:r.Tuning.Record.kernel
+                       ~ktarget:r.Tuning.Record.target r.Tuning.Record.moves)));
+           Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Print the recorded best schedule for a kernel/target as a \
+          schedule script (.pds) on stdout, replayable with `perfdojo \
+          script run`.")
+    Term.(ret (const run $ db_file_arg $ kernel_arg $ target_arg))
+
+let script_list_cmd =
+  let run () =
+    print_endline "composite transformations (usable in scripts and with \
+                   --composites):";
+    List.iter
+      (fun (c : Transfo.Composites.composite) ->
+        let params =
+          if c.params = [] then ""
+          else
+            "("
+            ^ String.concat ", " (List.map (fun (k, _) -> k ^ "=N") c.params)
+            ^ ")"
+        in
+        Printf.printf "  %-24s %s\n" (c.cname ^ params) c.doc;
+        List.iter
+          (fun (k, d) -> Printf.printf "      %-8s %s\n" k d)
+          c.params)
+      Transfo.Composites.all
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the registered composite transformations with their \
+          parameters.")
+    Term.(const run $ const ())
+
+let script_cmd =
+  Cmd.group
+    (Cmd.info "script"
+       ~doc:
+         "Work with schedule scripts (.pds): versioned, human-readable \
+          selector-targeted schedules that replace raw move indices.")
+    [ script_run_cmd; script_export_cmd; script_list_cmd ]
+
 (* Uncaught exceptions must not dump a raw backtrace at the user: every
    predictable failure becomes a one-line `perfdojo: error: ...` on
    stderr and a non-zero exit.  PERFDOJO_DEBUG=1 re-raises instead (with
@@ -1646,7 +1934,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [
-           kernel_cmd; lib_cmd; db_cmd; model_cmd; serve_cmd; client_cmd;
+           kernel_cmd; lib_cmd; db_cmd; model_cmd; script_cmd; serve_cmd;
+           client_cmd;
            (* the established flat spellings, aliasing the same terms *)
            list_cmd; targets_cmd; show_cmd; moves_cmd; optimize_cmd;
            verify_cmd; game_cmd; replay_cmd; lib_generate_cmd; analyze_cmd;

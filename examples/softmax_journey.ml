@@ -1,59 +1,111 @@
-(* The manual transformation-centric workflow of Figure 2 / Figure 4:
-   a human engineer optimizes softmax step by step, watching the modelled
-   runtime after every move, undoing a move that did not pay off, and
-   finally emitting C.
+(* The manual transformation-centric workflow of Figure 2 / Figure 4,
+   written against the schedule-script surface: a human engineer
+   optimizes softmax step by step, naming each loop by what it does
+   ("the size-512 loop that writes e") instead of by raw child index,
+   watching the modelled runtime after every statement, and keeping the
+   whole journey as a versioned .pds script that replays byte-for-byte.
 
    Run with:  dune exec examples/softmax_journey.exe *)
 
 open Perfdojo
+module Engine = Transform.Engine
+module Script = Transfo.Script
+module Composites = Transfo.Composites
 
-let play game name =
-  let t = Game.play_named game name in
-  Printf.printf "  %-42s -> %.3e s\n" name t;
-  t
+(* One script statement, applied interactively: resolve the selector,
+   expand the (possibly composite) transformation, print the new
+   modelled runtime.  This is exactly what Transfo.Script.run does for
+   a whole file — stepping statement-by-statement is the Figure-2 loop. *)
+let step target session stext =
+  let stmt =
+    match Script.parse ("pds 1\n" ^ stext ^ "\n") with
+    | Ok { stmts = [ (_, s) ]; _ } -> s
+    | Ok _ | Error _ -> failwith ("bad statement: " ^ stext)
+  in
+  match stmt with
+  | Script.Raw _ -> failwith "journey uses targeted statements only"
+  | Script.Apply { sel; name; args } -> (
+      let transfo =
+        match Composites.resolve name args with
+        | Ok t -> t
+        | Error e -> failwith e
+      in
+      let r =
+        match sel with
+        | Some sel -> Engine.apply_at session sel transfo
+        | None -> Engine.apply_anchored session ~anchor:[] transfo
+      in
+      match r with
+      | Ok q ->
+          Printf.printf "  %-52s -> %.3e s\n" stext (Machine.time target q)
+      | Error e -> failwith (Target.error_to_string e))
 
 let () =
   let target = Machine.Desc.Cpu Machine.Desc.avx512_cpu in
   let prog = Kernels.softmax ~n:24576 ~m:512 in
-  let game = Game.start target prog in
+  let caps = Composites.enable ~names:[ "all" ] (Machine.caps target) in
+  let session = Engine.start caps prog in
   Printf.printf "start: %.3e s\n" (Machine.time target prog);
 
   (* Fuse the exponentiation with the running sum: one pass over the
-     row instead of two. *)
-  ignore (play game "join_scopes([0,3])");
+     row instead of two.  "the size-512 loop that writes e" survives
+     child renumbering where a raw [0,3] would not. *)
+  step target session "at size 512 & writes e do join";
 
   (* The row temporaries are privatized per row; move them to the
      stack. *)
-  ignore (play game "set_storage(mx -> stack)");
-  ignore (play game "set_storage(s -> stack)");
+  step target session "do storage(buffer=mx, loc=stack)";
+  step target session "do storage(buffer=s, loc=stack)";
 
-  (* Rows are independent: parallelize. *)
-  ignore (play game "parallelize([0])");
+  (* Rows are independent: parallelize the row loop. *)
+  step target session "at size 24576 do parallelize";
 
-  (* Try tiling the max-reduction loop... *)
-  let before = Machine.time target (Game.state game) in
-  let after = play game "split_scope([0,1] factor 16)" in
-  if after >= before then begin
-    (* ...it did not help (the reduction cannot vectorize): undo it.
-       The history is non-destructive, every later state is rebuilt. *)
-    match Game.undo game with
-    | Some _ -> print_endline "  (undone: tiling the max loop did not pay)"
-    | None -> ()
-  end;
+  (* Try tile-and-vectorize on the max reduction: the composite
+     resolves its anchor, sees the reduction cannot vectorize, and
+     refuses all-or-nothing — the session is untouched, no undo
+     needed.  (The old raw-index workflow applied the split, watched
+     the runtime get worse, and undid it by hand.) *)
+  (match
+     Script.parse "pds 1\nat size 512 & writes mx do tile_and_vectorize(lanes=16)\n"
+   with
+  | Ok s -> (
+      match Script.run caps session.Engine.current s with
+      | Error { err = Target.Refused _ as err; _ } ->
+          Printf.printf "  (refused, session untouched: %s)\n"
+            (Target.error_to_string err)
+      | Error e -> failwith (Script.run_error_to_string e)
+      | Ok _ -> failwith "vectorizing a max reduction should refuse")
+  | Error e -> failwith e);
 
-  (* Vectorize the division loop: tile by the AVX-512 width first, the
-     vectorize move is only offered once the trip count matches. *)
-  ignore (play game "split_scope([0,4] factor 16)");
-  ignore (play game "vectorize([0,4,0])");
+  (* The division loop is elementwise: there the same composite lands,
+     tiling by the AVX-512 width and vectorizing the tile in one step. *)
+  step target session "at size 512 & writes z do tile_and_vectorize(lanes=16)";
 
-  Printf.printf "\nmoves played:\n";
-  List.iter (Printf.printf "  %s\n") (Game.moves_played game);
+  (* The journey so far, as a replayable .pds script: of_moves converts
+     the session's atomic provenance to targeted statements. *)
+  let describes = List.map Transform.Xforms.describe (Engine.moves session) in
+  let script =
+    Script.of_moves ~kernel:"softmax" ~ktarget:"avx512" describes
+  in
+  print_endline "\nthe journey as a schedule script:";
+  print_string (Script.to_string script);
 
-  (match Game.verify game with
-  | Ok () -> print_endline "\nnumerical check vs original: OK"
+  (* Replaying the script from the original program reproduces the
+     session's schedule byte-for-byte. *)
+  (match Script.run caps prog script with
+  | Ok (q, _) when Ir.Printer.program q
+                   = Ir.Printer.program session.Engine.current ->
+      print_endline "\nscript replay: byte-identical"
+  | Ok _ -> failwith "script replay diverged"
+  | Error e -> failwith (Script.run_error_to_string e));
+
+  (* Empirical validation (§2.2): the scheduled program computes what
+     the original computed. *)
+  (match Interp.equivalent session.Engine.initial session.Engine.current with
+  | Ok () -> print_endline "numerical check vs original: OK"
   | Error e -> failwith e);
 
   print_endline "\nfinal schedule:";
-  print_endline (Ir.Printer.body (Game.state game));
+  print_endline (Ir.Printer.body session.Engine.current);
   print_endline "\ngenerated C:";
-  print_string (Codegen.program (Game.state game))
+  print_string (Codegen.program session.Engine.current)

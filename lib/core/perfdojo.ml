@@ -27,6 +27,8 @@ module Obs = Obs
 module Robust = Robust
 module Surrogate = Surrogate
 module Recover = Recover
+module Target = Target
+module Transfo = Transfo
 
 type target = Machine.Desc.target
 
@@ -197,6 +199,7 @@ module Ctx = struct
     checkpoint : string option;
     checkpoint_every : int;
     resume : bool;
+    composites : string list;
   }
 
   let default =
@@ -217,6 +220,7 @@ module Ctx = struct
       checkpoint = None;
       checkpoint_every = 64;
       resume = false;
+      composites = [];
     }
 
   let with_seed seed t = { t with seed }
@@ -244,10 +248,12 @@ module Ctx = struct
     }
 
   let with_resume resume t = { t with resume }
+  let with_composites composites t = { t with composites }
 
   let of_options ?seed ?cache ?warm_start ?jobs ?obs ?metrics ?guard
       ?faults ?surrogate ?filter_ratio ?dedup ?visited_dedup
-      ?exhaustive_depth ?checkpoint ?checkpoint_every ?resume () =
+      ?exhaustive_depth ?checkpoint ?checkpoint_every ?resume ?composites
+      () =
     {
       seed = Option.value seed ~default:default.seed;
       cache = (match cache with None -> default.cache | some -> some);
@@ -271,8 +277,19 @@ module Ctx = struct
       checkpoint_every =
         Option.value checkpoint_every ~default:default.checkpoint_every;
       resume = Option.value resume ~default:default.resume;
+      composites = Option.value composites ~default:default.composites;
     }
 end
+
+(* The action set of a run: the target's capabilities enriched with the
+   context's composite macro-moves.  Search, replay-for-record and
+   warm-start replay must all enumerate against the same caps, or a
+   schedule found with composites would not replay when deposited. *)
+let caps_of ~(ctx : Ctx.t) (target : target) =
+  let base = Machine.caps target in
+  match ctx.Ctx.composites with
+  | [] -> base
+  | names -> Transfo.Composites.enable ~names base
 
 let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
     (prog : Ir.Prog.t) : outcome =
@@ -293,6 +310,7 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
     checkpoint;
     checkpoint_every;
     resume;
+    composites = _;
   } =
     ctx
   in
@@ -323,7 +341,7 @@ let rec optimize_ctx ~(ctx : Ctx.t) (strategy : strategy) (target : target)
             | Error e -> raise (Recover.Error (Recover.Corrupt e)))
     | _ -> None
   in
-  let caps = Machine.caps target in
+  let caps = caps_of ~ctx target in
   let raw_objective p = Machine.time target p in
   (* Evaluation pipeline: model -> fault injection (tests/bench only;
      [Faults.none] is the identity) -> memoization.  The guard sits
@@ -679,7 +697,7 @@ let optimize_recorded ~(ctx : Ctx.t) ~kernel ~target_name strategy
     match
       Tuning.Warmstart.record_of
         ~objective:(fun q -> Machine.time target q)
-        ~caps:(Machine.caps target) ~kernel ~target:target_name ~root:prog
+        ~caps:(caps_of ~ctx target) ~kernel ~target:target_name ~root:prog
         ~moves:o.moves ~evals:o.evaluations
     with
     | Error _ -> None

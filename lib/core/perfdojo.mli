@@ -20,6 +20,8 @@ module Obs = Obs
 module Robust = Robust
 module Surrogate = Surrogate
 module Recover = Recover
+module Target = Target
+module Transfo = Transfo
 
 type target = Machine.Desc.target
 
@@ -179,6 +181,12 @@ module Ctx : sig
             accounting, splice-identical stripped traces (default
             [false]; without the file this is a cold start).  A corrupt
             or mismatched checkpoint raises {!Recover.Error}. *)
+    composites : string list;
+        (** named composite transformations ({!Transfo.Composites}, or
+            [["all"]] for every one) offered to search as macro-moves —
+            one composite step instead of 3–5 atomic ones, so
+            exhaustive certification reaches the same schedules at
+            shallower depth (default [[]]: atomic moves only) *)
   }
 
   val default : t
@@ -208,6 +216,7 @@ module Ctx : sig
       [checkpoint_every]). *)
 
   val with_resume : bool -> t -> t
+  val with_composites : string list -> t -> t
 
   val of_options :
     ?seed:int ->
@@ -226,11 +235,18 @@ module Ctx : sig
     ?checkpoint:string ->
     ?checkpoint_every:int ->
     ?resume:bool ->
+    ?composites:string list ->
     unit ->
     t
   (** {!default} overridden by whichever arguments are given — the
       bridge the legacy optional-argument wrappers are built on. *)
 end
+
+val caps_of : ctx:Ctx.t -> target -> Transform.Xforms.caps
+(** The action set of a run: {!Machine.caps} enriched with the
+    context's composite macro-moves.  Replaying a recorded schedule that
+    was found with composites needs these caps, not the bare machine
+    ones. *)
 
 val optimize_ctx : ctx:Ctx.t -> strategy -> target -> Ir.Prog.t -> outcome
 (** One-call optimization of a kernel for a target under a run context.

@@ -128,6 +128,13 @@ let entry_json (e : entry) : Util.Json.t =
       ("status", Str (status_name e.status));
       ("strategy", Str e.strategy);
       ("moves", Arr (List.map (fun m -> Str m) e.moves));
+      (* derived from the moves, not stored in the ledger, so fresh and
+         crash-resumed runs emit byte-identical manifests *)
+      ( "script",
+        Str
+          (Transfo.Script.to_string
+             (Transfo.Script.of_moves ~kernel:e.kernel ~ktarget:e.target
+                e.moves)) );
       ("naive_s", Num e.naive_s);
       ("time_s", Num e.time_s);
       ("speedup", Num (if e.time_s > 0. then e.naive_s /. e.time_s else 0.));

@@ -59,7 +59,7 @@ let replay_skipping ?(filter = fun (_ : Xforms.instance) -> true) caps prog
     names =
   List.fold_left
     (fun (p, applied) name ->
-      match Xforms.resolver ~filter (Xforms.all caps p) name with
+      match Xforms.lookup ~filter (Xforms.all caps p) name with
       | Some inst -> (inst.apply p, name :: applied)
       | None -> (p, applied))
     (prog, []) names

@@ -85,6 +85,7 @@ type response =
       warm : bool;
       time_s : float;
       moves : string list;
+      script : string;
       evaluations : int;
       failures : int;
     }
@@ -173,7 +174,8 @@ let request_json = function
 
 let response_json = function
   | Optimized
-      { id; kernel; target; warm; time_s; moves; evaluations; failures } ->
+      { id; kernel; target; warm; time_s; moves; script; evaluations; failures }
+    ->
       J.Obj
         (head "resp" "optimized" id
         @ [
@@ -182,6 +184,7 @@ let response_json = function
             ("warm", J.Bool warm);
             ("time_s", J.Num time_s);
             ("moves", jstrs moves);
+            ("script", J.Str script);
             ("evaluations", jint evaluations);
             ("failures", jint failures);
           ])
@@ -330,11 +333,21 @@ let decode_response line : (response, string) result =
       let* warm = field "warm" to_bool obj in
       let* time_s = field "time_s" J.to_float obj in
       let* moves = field "moves" to_strings obj in
+      (* absent on replies from pre-script servers; tolerated so mixed
+         deployments keep talking *)
+      let script =
+        match Option.bind (J.member "script" obj) J.to_str with
+        | Some s -> s
+        | None -> ""
+      in
       let* evaluations = field "evaluations" J.to_int obj in
       let* failures = field "failures" J.to_int obj in
       Ok
         (Optimized
-           { id; kernel; target; warm; time_s; moves; evaluations; failures })
+           {
+             id; kernel; target; warm; time_s; moves; script; evaluations;
+             failures;
+           })
   | "queried" ->
       let* kernel = field "kernel" J.to_str obj in
       let* target = field "target" J.to_str obj in

@@ -66,6 +66,9 @@ type response =
       warm : bool;  (** answered from the database without any search *)
       time_s : float;
       moves : string list;
+      script : string;
+          (** the schedule as a [pds] script (schema-3 provenance);
+              [""] when replying from a record that predates scripts *)
       evaluations : int;
       failures : int;
     }

@@ -285,10 +285,16 @@ let run_cold t ~id ~kernel ~tname ~target ~strat ~root finish :
         ~msg:"every evaluation of the request was quarantined"
   | Ok (o, record) ->
       deposit t record;
-      finish o
+      finish o record
+
+let record_script (record : Tuning.Record.t option) =
+  match record with
+  | Some r -> Option.value r.Tuning.Record.script ~default:""
+  | None -> ""
 
 let cold_optimize t ~id ~kernel ~tname ~target ~strat ~root () =
-  run_cold t ~id ~kernel ~tname ~target ~strat ~root (fun (o : P.outcome) ->
+  run_cold t ~id ~kernel ~tname ~target ~strat ~root
+    (fun (o : P.outcome) record ->
       Protocol.Optimized
         {
           id;
@@ -297,12 +303,14 @@ let cold_optimize t ~id ~kernel ~tname ~target ~strat ~root () =
           warm = false;
           time_s = o.time_s;
           moves = o.moves;
+          script = record_script record;
           evaluations = o.evaluations;
           failures = o.failures;
         })
 
 let cold_generate t ~id ~kernel ~tname ~target ~strat ~root () =
-  run_cold t ~id ~kernel ~tname ~target ~strat ~root (fun (o : P.outcome) ->
+  run_cold t ~id ~kernel ~tname ~target ~strat ~root
+    (fun (o : P.outcome) (_ : Tuning.Record.t option) ->
       let c_entry = entry_symbol ~kernel ~tname in
       Protocol.Generated
         {
@@ -741,6 +749,8 @@ let submit_async t (req : Protocol.request) :
                         warm = true;
                         time_s = r.Tuning.Record.best_time;
                         moves = r.Tuning.Record.moves;
+                        script =
+                          Option.value r.Tuning.Record.script ~default:"";
                         evaluations = 0;
                         failures = 0;
                       }))
@@ -762,7 +772,7 @@ let submit_async t (req : Protocol.request) :
                 (* replay the recorded schedule; a stale record that no
                    longer replays falls through to the cold path *)
                 match
-                  Transform.Engine.replay (Machine.caps tgt) root
+                  Transform.Engine.replay_compat (Machine.caps tgt) root
                     r.Tuning.Record.moves
                 with
                 | Ok sched -> Some (r, sched)

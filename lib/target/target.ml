@@ -1,0 +1,364 @@
+type t =
+  | All
+  | For of string
+  | Size of int
+  | Annot of Ir.Types.annot
+  | Writes of string
+  | Reads of string
+  | Depth of int
+  | Nested
+  | IsStmt
+  | IsScope
+  | Under of t
+  | Path of Ir.Types.path
+  | And of t * t
+  | Or of t * t
+  | Nth of t * int
+
+let annot_of_name = function
+  | "seq" -> Some Ir.Types.Seq
+  | "unroll" | "u" -> Some Ir.Types.Unroll
+  | "par" | "p" -> Some Ir.Types.Par
+  | "vec" | "v" -> Some Ir.Types.Vec
+  | "grid" | "g" -> Some Ir.Types.GpuGrid
+  | "block" | "b" -> Some Ir.Types.GpuBlock
+  | "warp" | "w" -> Some Ir.Types.GpuWarp
+  | "frep" | "f" -> Some Ir.Types.Frep
+  | _ -> None
+
+let annot_name = function
+  | Ir.Types.Seq -> "seq"
+  | Ir.Types.Unroll -> "unroll"
+  | Ir.Types.Par -> "par"
+  | Ir.Types.Vec -> "vec"
+  | Ir.Types.GpuGrid -> "grid"
+  | Ir.Types.GpuBlock -> "block"
+  | Ir.Types.GpuWarp -> "warp"
+  | Ir.Types.Frep -> "frep"
+
+let cAll = All
+let cFor header = For header
+let cSize n = Size n
+
+let cAnnot name =
+  match annot_of_name name with
+  | Some a -> Annot a
+  | None -> invalid_arg (Printf.sprintf "Target.cAnnot: unknown annotation %S" name)
+
+let cStmt ?writes () =
+  match writes with None -> IsStmt | Some a -> And (IsStmt, Writes a)
+
+let cWrites a = Writes a
+let cReads a = Reads a
+let cDepth d = Depth d
+let cNested = Nested
+let cScope = IsScope
+let cUnder s = Under s
+let cPath p = Path p
+let cNth k s = Nth (s, k)
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+
+let path_str (p : Ir.Types.path) =
+  "[" ^ String.concat "," (List.map string_of_int p) ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let needs_quote w =
+  w = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '(' | ')' | '&' | '|' | '#' | '[' | ']' | ',' | '"' ->
+             true
+         | _ -> false)
+       w
+
+let quote_word w =
+  if needs_quote w then
+    let buf = Buffer.create (String.length w + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      w;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else w
+
+(* Precedence: atoms > And ('&') > Or ('|') > Nth ('#'). *)
+let rec print prec s =
+  let wrap level body = if prec > level then "(" ^ body ^ ")" else body in
+  match s with
+  | All -> "all"
+  | Nested -> "nested"
+  | IsStmt -> "stmt"
+  | IsScope -> "scope"
+  | For w -> "for " ^ quote_word w
+  | Size n -> "size " ^ string_of_int n
+  | Annot a -> "annot " ^ annot_name a
+  | Writes a -> "writes " ^ quote_word a
+  | Reads a -> "reads " ^ quote_word a
+  | Depth d -> "depth " ^ string_of_int d
+  | Path p -> "path " ^ path_str p
+  | Under inner -> "under " ^ print 3 inner
+  | And (a, b) -> wrap 2 (print 2 a ^ " & " ^ print 2 b)
+  | Or (a, b) -> wrap 1 (print 1 a ^ " | " ^ print 1 b)
+  (* '#' is the loosest level: it wraps at 0 so a Nth nested anywhere —
+     under another Nth, inside '|' or '&' — prints parenthesized and
+     reparses to the same tree. *)
+  | Nth (inner, k) -> wrap 0 (print 1 inner ^ " #" ^ string_of_int k)
+
+let to_string s = print 0 s
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | LPAREN
+  | RPAREN
+  | AMP
+  | BAR
+  | HASH
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | WORD of string
+
+exception Parse_error of string
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' -> push LPAREN; incr i
+    | ')' -> push RPAREN; incr i
+    | '&' -> push AMP; incr i
+    | '|' -> push BAR; incr i
+    | '#' -> push HASH; incr i
+    | '[' -> push LBRACK; incr i
+    | ']' -> push RBRACK; incr i
+    | ',' -> push COMMA; incr i
+    | '"' ->
+        let buf = Buffer.create 8 in
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          (match src.[!i] with
+          | '"' -> closed := true
+          | '\\' when !i + 1 < n ->
+              incr i;
+              Buffer.add_char buf src.[!i]
+          | ch -> Buffer.add_char buf ch);
+          incr i
+        done;
+        if not !closed then raise (Parse_error "unterminated string");
+        push (WORD (Buffer.contents buf))
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          &&
+          match src.[!i] with
+          | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '&' | '|' | '#' | '['
+          | ']' | ',' | '"' ->
+              false
+          | _ -> true
+        do
+          incr i
+        done;
+        push (WORD (String.sub src start (!i - start))));
+    ()
+  done;
+  List.rev !toks
+
+let parse src =
+  try
+    let toks = ref (tokenize src) in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let next () =
+      match !toks with
+      | [] -> raise (Parse_error "unexpected end of selector")
+      | t :: rest ->
+          toks := rest;
+          t
+    in
+    let expect t what =
+      if next () <> t then raise (Parse_error ("expected " ^ what))
+    in
+    let word what =
+      match next () with
+      | WORD w -> w
+      | _ -> raise (Parse_error ("expected " ^ what))
+    in
+    let int_arg what =
+      let w = word what in
+      match int_of_string_opt w with
+      | Some n -> n
+      | None -> raise (Parse_error (what ^ ": not an integer: " ^ w))
+    in
+    let rec parse_sel () =
+      let u = parse_union () in
+      match peek () with
+      | Some HASH ->
+          ignore (next ());
+          Nth (u, int_arg "#k")
+      | _ -> u
+    and parse_union () =
+      let a = ref (parse_inter ()) in
+      let continue = ref true in
+      while !continue do
+        match peek () with
+        | Some BAR ->
+            ignore (next ());
+            a := Or (!a, parse_inter ())
+        | _ -> continue := false
+      done;
+      !a
+    and parse_inter () =
+      let a = ref (parse_atom ()) in
+      let continue = ref true in
+      while !continue do
+        match peek () with
+        | Some AMP ->
+            ignore (next ());
+            a := And (!a, parse_atom ())
+        | _ -> continue := false
+      done;
+      !a
+    and parse_atom () =
+      match next () with
+      | LPAREN ->
+          let s = parse_sel () in
+          expect RPAREN "')'";
+          s
+      | WORD "all" -> All
+      | WORD "nested" -> Nested
+      | WORD "stmt" -> IsStmt
+      | WORD "scope" -> IsScope
+      | WORD "for" -> For (word "for <header>")
+      | WORD "size" -> Size (int_arg "size <n>")
+      | WORD "annot" -> (
+          let w = word "annot <name>" in
+          match annot_of_name w with
+          | Some a -> Annot a
+          | None -> raise (Parse_error ("unknown annotation: " ^ w)))
+      | WORD "writes" -> Writes (word "writes <array>")
+      | WORD "reads" -> Reads (word "reads <array>")
+      | WORD "depth" -> Depth (int_arg "depth <d>")
+      | WORD "under" -> Under (parse_atom ())
+      | WORD "path" ->
+          expect LBRACK "'['";
+          let ints = ref [] in
+          (match peek () with
+          | Some RBRACK -> ignore (next ())
+          | _ ->
+              ints := [ int_arg "path index" ];
+              let continue = ref true in
+              while !continue do
+                match next () with
+                | COMMA -> ints := int_arg "path index" :: !ints
+                | RBRACK -> continue := false
+                | _ -> raise (Parse_error "expected ',' or ']' in path")
+              done);
+          Path (List.rev !ints)
+      | WORD w -> raise (Parse_error ("unknown selector atom: " ^ w))
+      | _ -> raise (Parse_error "expected selector atom")
+    in
+    let s = parse_sel () in
+    (match !toks with
+    | [] -> ()
+    | _ -> raise (Parse_error "trailing tokens after selector"));
+    Ok s
+  with Parse_error m -> Error ("selector: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | No_match of { selector : string }
+  | Ambiguous of { selector : string; matches : Ir.Types.path list }
+  | Refused of { transfo : string; anchor : Ir.Types.path; reason : string }
+
+let error_to_string = function
+  | No_match { selector } -> Printf.sprintf "no node matches selector %s" selector
+  | Ambiguous { selector; matches } ->
+      Printf.sprintf "selector %s is ambiguous: %d matches (%s); add '& path [..]' or '#k'"
+        selector (List.length matches)
+        (String.concat " " (List.map path_str matches))
+  | Refused { transfo; anchor; reason } ->
+      Printf.sprintf "%s refused at %s: %s" transfo (path_str anchor) reason
+
+let rec has_nested_scope = function
+  | Ir.Types.Stmt _ -> false
+  | Ir.Types.Scope sc ->
+      List.exists
+        (function Ir.Types.Scope _ -> true | Ir.Types.Stmt _ -> false)
+        sc.body
+      || List.exists has_nested_scope sc.body
+
+let rec matches prog path node sel =
+  match sel with
+  | All -> true
+  | For header -> (
+      match node with
+      | Ir.Types.Scope sc -> Ir.Printer.scope_header sc = header
+      | Ir.Types.Stmt _ -> false)
+  | Size n -> (
+      match node with
+      | Ir.Types.Scope sc -> sc.size = n
+      | Ir.Types.Stmt _ -> false)
+  | Annot a -> (
+      match node with
+      | Ir.Types.Scope sc -> sc.annot = a
+      | Ir.Types.Stmt _ -> false)
+  | Writes a -> List.mem a (Ir.Prog.written_arrays node)
+  | Reads a -> List.mem a (Ir.Prog.read_arrays node)
+  | Depth d -> Ir.Prog.depth_of_path prog path = d
+  | Nested -> (
+      match node with
+      | Ir.Types.Scope _ -> not (has_nested_scope node)
+      | Ir.Types.Stmt _ -> false)
+  | IsStmt -> ( match node with Ir.Types.Stmt _ -> true | _ -> false)
+  | IsScope -> ( match node with Ir.Types.Scope _ -> true | _ -> false)
+  | Under inner ->
+      let rec ancestors acc = function
+        | [] -> acc
+        | p -> ancestors (p :: acc) (List.filteri (fun i _ -> i < List.length p - 1) p)
+      in
+      let proper = List.filter (fun p -> p <> path) (ancestors [] path) in
+      List.exists
+        (fun p ->
+          match Ir.Prog.node_at prog p with
+          | n -> matches prog p n inner
+          | exception Ir.Prog.Invalid_path _ -> false)
+        proper
+  | Path p -> path = p
+  | And (a, b) -> matches prog path node a && matches prog path node b
+  | Or (a, b) -> matches prog path node a || matches prog path node b
+  | Nth (inner, k) -> (
+      match List.nth_opt (resolve_all prog inner) k with
+      | Some p -> p = path
+      | None -> false)
+
+and resolve_all prog sel =
+  List.rev
+    (Ir.Prog.fold_nodes
+       (fun acc path node -> if matches prog path node sel then path :: acc else acc)
+       [] prog)
+
+let resolve prog sel =
+  match resolve_all prog sel with
+  | [ p ] -> Ok p
+  | [] -> Error (No_match { selector = to_string sel })
+  | ps -> Error (Ambiguous { selector = to_string sel; matches = ps })

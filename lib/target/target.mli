@@ -1,0 +1,95 @@
+(** Combinator targeting DSL (ROADMAP item 2, OptiTrust-style).
+
+    A selector is a predicate over IR nodes that resolves against a
+    program to node {!Ir.Types.path}s.  Selectors free schedules from
+    raw child indices: a script can say "the innermost loop of size 64
+    that writes [z]" instead of [[0,4,0]], and survives IR refactors
+    that renumber children.
+
+    Scopes in this IR are anonymous (iterators are positional [{d}]
+    references), so [cFor] matches the printed scope header
+    ({!Ir.Printer.scope_header}) — ["64:v"], ["320:b/300"] — rather
+    than a loop-variable name.
+
+    [resolve] demands a {e unique} match and returns typed errors
+    otherwise, so composite transformations either land on exactly the
+    node the author meant or refuse cleanly. *)
+
+type t =
+  | All  (** every node *)
+  | For of string  (** scope whose printed header equals the string *)
+  | Size of int  (** scope of this iteration count *)
+  | Annot of Ir.Types.annot  (** scope carrying this annotation *)
+  | Writes of string  (** node writing (directly or below) this array *)
+  | Reads of string  (** node reading this array *)
+  | Depth of int  (** node enclosed by exactly [d] scopes *)
+  | Nested  (** innermost scope: no scope anywhere below it *)
+  | IsStmt  (** leaf statement *)
+  | IsScope  (** any scope *)
+  | Under of t  (** node with a proper ancestor matching the selector *)
+  | Path of Ir.Types.path  (** exact path — the raw-index escape hatch *)
+  | And of t * t
+  | Or of t * t
+  | Nth of t * int  (** the [k]-th match (preorder, 0-based) *)
+
+(** {1 Combinators} *)
+
+val cAll : t
+val cFor : string -> t
+val cSize : int -> t
+
+val cAnnot : string -> t
+(** Accepts ["seq"], ["unroll"], ["par"], ["vec"], ["grid"], ["block"],
+    ["warp"], ["frep"] and the one-letter suffix forms; raises
+    [Invalid_argument] on an unknown name. *)
+
+val cStmt : ?writes:string -> unit -> t
+val cWrites : string -> t
+val cReads : string -> t
+val cDepth : int -> t
+val cNested : t
+val cScope : t
+val cUnder : t -> t
+val cPath : Ir.Types.path -> t
+val cNth : int -> t -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+
+(** {1 Resolution} *)
+
+type error =
+  | No_match of { selector : string }
+  | Ambiguous of { selector : string; matches : Ir.Types.path list }
+  | Refused of { transfo : string; anchor : Ir.Types.path; reason : string }
+      (** A transformation resolved its anchor but could not apply
+          there; carried through {!Transform.Engine.apply_at}. *)
+
+val error_to_string : error -> string
+
+val resolve_all : Ir.Prog.t -> t -> Ir.Types.path list
+(** All matching paths in preorder (outer before inner, in order). *)
+
+val resolve : Ir.Prog.t -> t -> (Ir.Types.path, error) result
+(** The unique match, or [No_match] / [Ambiguous]. *)
+
+(** {1 Concrete syntax}
+
+    The script grammar ([.pds] files, v1):
+    {v
+    sel   := union ('#' INT)?           -- '#k' takes the k-th match
+    union := inter ('|' inter)*
+    inter := atom ('&' atom)*
+    atom  := '(' sel ')' | 'all' | 'nested' | 'stmt' | 'scope'
+           | 'for' WORD | 'size' INT | 'annot' NAME
+           | 'writes' NAME | 'reads' NAME | 'depth' INT
+           | 'under' atom | 'path' '[' INT (',' INT)* ']'
+    v}
+    WORD is a bare token (may contain [:] and [/], as scope headers
+    do) or a double-quoted string. *)
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+(** [parse (to_string s)] returns a selector equivalent to [s]. *)
+
+val path_str : Ir.Types.path -> string
+(** ["[0,4]"] — shared formatting for paths in messages and scripts. *)

@@ -1,0 +1,81 @@
+(** Named composite transformations: reusable, parameterized schedule
+    fragments expressed as selector-guarded sequences of atomic moves
+    (ROADMAP item 2; the granularity KForge/OptiML synthesize at).
+
+    A composite's [expand] walks the intermediate states its steps will
+    see, so it either returns the complete atomic sequence or a refusal
+    reason — {!Transform.Engine.apply_at} then guarantees all-or-nothing
+    application.  {!macro_instances} additionally packages composites as
+    single {!Transform.Xforms.instance} macro-moves, which is how search
+    takes one composite step instead of 3–5 atomic ones. *)
+
+type composite = {
+  cname : string;
+  doc : string;
+  params : (string * string) list;  (** parameter name, documentation *)
+  make :
+    (string * string) list -> (Transform.Engine.transfo, string) result;
+      (** validate arguments, build the transfo *)
+  variants : Transform.Xforms.caps -> (string * string) list list;
+      (** argument sets offered to search as macro-moves *)
+}
+
+val all : composite list
+val names : string list
+val find : string -> composite option
+
+(** {1 Direct constructors} *)
+
+val tile_and_unroll : f:int -> u:int -> Transform.Engine.transfo
+(** Split the anchor scope by [f], split the inner scope by [u] when
+    [u < f], and unroll the innermost tile.  Requires [u >= 2] and
+    [f mod u = 0]. *)
+
+val tile_and_vectorize : lanes:int -> Transform.Engine.transfo
+(** Split the anchor scope by [lanes] and vectorize the inner tile —
+    the paper's explicit tile-then-vectorize discipline as one step. *)
+
+val tile_and_parallelize : f:int -> Transform.Engine.transfo
+(** Split the anchor scope by [f] and mark the outer scope parallel. *)
+
+val fuse_chain : unit -> Transform.Engine.transfo
+(** Fuse the anchor scope with following siblings of equal size,
+    repeating while fusion stays legal (at least one fusion). *)
+
+val hoist_memset : unit -> Transform.Engine.transfo
+(** Distribute a constant-initialization statement leading the anchor
+    scope's body into its own loop (fission at 1). *)
+
+val split_reduce_unroll : k:int -> Transform.Engine.transfo
+(** Introduce [k] partial accumulators for the reduction at the anchor
+    and unroll the accumulator tile. *)
+
+(** {1 Script-name resolution} *)
+
+val resolve :
+  string ->
+  (string * string) list ->
+  (Transform.Engine.transfo, string) result
+(** Resolve a script statement name — either an atomic wrapper
+    ([split(factor=16)], [storage(buffer=mx, loc=stack)], ...) or a
+    registered composite — to a transfo. *)
+
+(** {1 Search integration} *)
+
+val macro_instances :
+  names:string list ->
+  Transform.Xforms.caps ->
+  Ir.Prog.t ->
+  Transform.Xforms.instance list
+(** Composite macro-moves applicable at a program state: for each named
+    composite (["all"] selects every one), each capability-derived
+    argument set, each scope anchor where expansion succeeds.  Instances
+    describe as [composite(name(k=v) @ \[p\])] and re-expand at
+    application time (raising [Not_applicable] when stale).  Intended as
+    the {!Transform.Xforms.with_extra} hook: enumeration closes over the
+    given caps with its own hook cleared, so macros never nest. *)
+
+val enable :
+  names:string list -> Transform.Xforms.caps -> Transform.Xforms.caps
+(** [with_extra (macro_instances ~names caps) caps] — caps whose action
+    set includes the named composites. *)

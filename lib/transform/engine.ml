@@ -101,20 +101,127 @@ let undo_at session k =
 
 let moves session = List.rev_map (fun (i, _) -> i) session.history
 
+(* ------------------------------------------------------------------ *)
+(* Composite transformations                                           *)
+(* ------------------------------------------------------------------ *)
+
+type transfo = {
+  tname : string;
+  targs : (string * string) list;
+  expand :
+    Xforms.caps ->
+    Ir.Prog.t ->
+    anchor:Ir.Types.path ->
+    (Xforms.instance list, string) result;
+}
+
+let transfo_label t =
+  if t.targs = [] then t.tname
+  else
+    t.tname ^ "("
+    ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) t.targs)
+    ^ ")"
+
+let emit_refused session t anchor reason =
+  if Obs.Trace.enabled session.obs then
+    Obs.Trace.emit session.obs "transfo.refused" (fun () ->
+        [
+          Obs.Trace.str "transfo" (transfo_label t);
+          Obs.Trace.str "anchor" (Xforms.path_str anchor);
+          Obs.Trace.str "reason" reason;
+        ])
+
+(* Apply a composite at a resolved anchor.  [expand] pre-validates the
+   whole sequence against intermediate states, and the history rollback
+   below guarantees the "fully apply or cleanly refuse" contract even if
+   a step goes stale between expansion and application. *)
+let apply_anchored session ~anchor (t : transfo) :
+    (Ir.Prog.t, Target.error) result =
+  match t.expand session.caps session.current ~anchor with
+  | Error reason ->
+      emit_refused session t anchor reason;
+      Error (Target.Refused { transfo = transfo_label t; anchor; reason })
+  | Ok insts -> (
+      let entry = List.length session.history in
+      let refuse reason =
+        while List.length session.history > entry do
+          ignore (undo session)
+        done;
+        emit_refused session t anchor reason;
+        Error (Target.Refused { transfo = transfo_label t; anchor; reason })
+      in
+      let rec go = function
+        | [] -> Ok session.current
+        | inst :: rest -> (
+            match apply session inst with
+            | _ -> go rest
+            | exception Xforms.Not_applicable m -> refuse m
+            | exception Invalid_argument m -> refuse m
+            | exception Ir.Prog.Invalid_path p ->
+                refuse ("path vanished: " ^ Xforms.path_str p))
+      in
+      go insts)
+
+let apply_at session (sel : Target.t) (t : transfo) :
+    (Ir.Prog.t, Target.error) result =
+  match Target.resolve session.current sel with
+  | Error e -> Error e
+  | Ok anchor ->
+      if Obs.Trace.enabled session.obs then
+        Obs.Trace.emit session.obs "target.resolve" (fun () ->
+            [
+              Obs.Trace.str "selector" (Target.to_string sel);
+              Obs.Trace.str "path" (Xforms.path_str anchor);
+            ]);
+      apply_anchored session ~anchor t
+
+(* ------------------------------------------------------------------ *)
+(* Describe-string replay (compatibility path)                         *)
+(* ------------------------------------------------------------------ *)
+
 (* Apply a named sequence of moves, resolving each by [describe] string
    against the applicable set at that point.  Used to express recorded
-   optimization journeys (Figure 4). *)
-let replay caps prog (names : string list) : (Ir.Prog.t, string) result =
+   optimization journeys (Figure 4).  Failures report the step index,
+   the path the failing string resolves to, and the nearest applicable
+   alternatives of the same transformation. *)
+let replay_compat caps prog (names : string list) : (Ir.Prog.t, string) result
+    =
   let session = start caps prog in
-  let rec go = function
+  let rec go step = function
     | [] -> Ok session.current
     | name :: rest -> (
         (* hash-table resolution per step: one describe per instance
            instead of a linear scan re-describing until a match *)
-        match Xforms.resolver (applicable session) name with
+        let offered = applicable session in
+        match Xforms.lookup offered name with
         | Some inst ->
             ignore (apply session inst);
-            go rest
-        | None -> Error (Printf.sprintf "move %S not applicable" name))
+            go (step + 1) rest
+        | None ->
+            let mref = Moveref.of_describe name in
+            let path_s =
+              match Option.bind mref Moveref.anchor with
+              | Some p -> Xforms.path_str p
+              | None -> "(no path)"
+            in
+            let same_xname =
+              match Option.map Moveref.xname mref with
+              | Some xn ->
+                  List.filter
+                    (fun (i : Xforms.instance) -> i.xname = xn)
+                    offered
+              | None -> []
+            in
+            let pool = if same_xname = [] then offered else same_xname in
+            let alts =
+              List.filteri (fun k _ -> k < 3) (List.map Xforms.describe pool)
+            in
+            Error
+              (Printf.sprintf
+                 "step %d: move %S not applicable at %s; nearest applicable: %s"
+                 step name path_s
+                 (if alts = [] then "none" else String.concat ", " alts)))
   in
-  go names
+  go 0 names
+
+let replay = replay_compat

@@ -36,7 +36,52 @@ val undo_at : session -> int -> Ir.Prog.t option
 val moves : session -> Xforms.instance list
 (** Moves played so far, oldest first. *)
 
-val replay :
+(** {1 Composite transformations}
+
+    A composite is a named, parameterized sequence of atomic moves
+    ([Transfo.Composites.tile_and_unroll], ...).  [expand] resolves the
+    sequence against the current state (validating each step against the
+    intermediate program it will see) and either returns the full
+    instance list or a refusal reason — so a composite {e fully applies
+    or cleanly refuses}; the non-destructive history makes partial
+    application impossible. *)
+type transfo = {
+  tname : string;
+  targs : (string * string) list;  (** parameters, for labels/scripts *)
+  expand :
+    Xforms.caps ->
+    Ir.Prog.t ->
+    anchor:Ir.Types.path ->
+    (Xforms.instance list, string) result;
+}
+
+val transfo_label : transfo -> string
+(** ["tile_and_unroll(f=16, u=4)"] — used in errors and trace events. *)
+
+val apply_at :
+  session -> Target.t -> transfo -> (Ir.Prog.t, Target.error) result
+(** Resolve the selector to a unique anchor ([No_match]/[Ambiguous]
+    otherwise), then apply the composite there; on a mid-sequence
+    failure the session is rolled back to its entry state and a
+    [Refused] error is returned.  Emits [target.resolve] and
+    [transfo.refused] trace events. *)
+
+val apply_anchored :
+  session -> anchor:Ir.Types.path -> transfo -> (Ir.Prog.t, Target.error) result
+(** [apply_at] with an already-resolved anchor (buffer-level transfos
+    ignore it — pass [[]]). *)
+
+val replay_compat :
   Xforms.caps -> Ir.Prog.t -> string list -> (Ir.Prog.t, string) result
 (** Replay a recorded sequence of {!Xforms.describe} strings, resolving
-    each against the applicable set at that point. *)
+    each against the applicable set at that point.  Errors carry the
+    step index, the path the failing string parses to, and up to three
+    applicable alternatives of the same transformation.  This is the
+    compatibility path that keeps schema-2 tuning DBs warm; new code
+    should record and replay scripts ({!Transfo.Script}). *)
+
+val replay :
+  Xforms.caps -> Ir.Prog.t -> string list -> (Ir.Prog.t, string) result
+  [@@deprecated
+    "use Transfo.Script.run (script replay) or Engine.replay_compat for \
+     recorded describe-string sequences."]

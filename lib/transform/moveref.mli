@@ -1,0 +1,52 @@
+(** Structured references to moves.
+
+    {!Xforms.describe} strings (["split_scope([0,4] factor 16)"]) are
+    the recorded wire format of schedules; this module parses them back
+    into a typed value so the script exporter, the composite expander
+    and the enriched replay diagnostics can reason about a move's name,
+    parameters and anchor path instead of string-matching.  [describe]
+    is byte-identical to what {!Xforms.all} produces, so
+    [describe (of_describe_exn d) = d] for every move the library can
+    emit. *)
+
+type t =
+  | Split of Ir.Types.path * int  (** split_scope, factor *)
+  | Join of Ir.Types.path
+  | Fission of Ir.Types.path * int  (** body split point *)
+  | Interchange of Ir.Types.path
+  | Reorder of Ir.Types.path
+  | Unroll of Ir.Types.path
+  | Vectorize of Ir.Types.path
+  | Parallelize of Ir.Types.path
+  | Gpu of Ir.Types.path * string  (** ["grid"] / ["block"] / ["warp"] *)
+  | Pad of Ir.Types.path * int  (** pad to multiple of *)
+  | Unannotate of Ir.Types.path
+  | Ssr of Ir.Types.path
+  | Frep of Ir.Types.path
+  | Split_reduction of Ir.Types.path * int  (** accumulator count *)
+  | Reuse_dims of string * int  (** buffer, dimension *)
+  | Set_storage of string * string  (** buffer, location name *)
+  | Reorder_dims of string * int  (** buffer, swap of dims i,i+1 *)
+  | Composite of {
+      cname : string;
+      args : (string * string) list;
+      anchor : Ir.Types.path;
+    }  (** a named composite macro-move: [composite(name(k=v) @ [p])] *)
+
+val of_describe : string -> t option
+(** Parse an {!Xforms.describe} string; [None] for unknown shapes. *)
+
+val describe : t -> string
+(** Byte-identical to the {!Xforms.describe} of the matching instance. *)
+
+val xname : t -> string
+(** The transformation name as it appears in describe strings. *)
+
+val anchor : t -> Ir.Types.path option
+(** The node path the move anchors at; [None] for buffer-level moves. *)
+
+val script_stmt : t -> Ir.Types.path option * string * (string * string) list
+(** [(anchor, script name, args)] — the surface form a script statement
+    uses for this move ([split(factor=16)], [storage(buffer=mx,
+    loc=stack)], ...).  Inverse of {!Composites.resolve} followed by
+    expansion at the anchor. *)

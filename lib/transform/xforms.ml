@@ -30,7 +30,7 @@ let not_applicable msg = raise (Not_applicable msg)
    table built once — replaces the per-name linear scans (with repeated
    [describe] calls) in Engine.replay / Stochastic.replay_skipping.
    First occurrence wins, matching List.find_opt. *)
-let resolver ?(filter = fun (_ : instance) -> true) (insts : instance list) :
+let lookup ?(filter = fun (_ : instance) -> true) (insts : instance list) :
     string -> instance option =
   let table = lazy begin
     let t = Hashtbl.create (2 * List.length insts + 1) in
@@ -43,6 +43,11 @@ let resolver ?(filter = fun (_ : instance) -> true) (insts : instance list) :
     t
   end in
   fun name -> Hashtbl.find_opt (Lazy.force table) name
+
+(* Deprecated alias (see xforms.mli): the script API in Transfo.Script is
+   the supported way to address moves; [lookup] remains for the engine's
+   internal describe-string compatibility path. *)
+let resolver = lookup
 
 (* Hardware capabilities gate which transformations are offered.  This is
    the paper's "hardware knowledge exposed to the search only as a library
@@ -57,10 +62,21 @@ type caps = {
   max_stack_bytes : int;
   split_factors : int list;
   reduction_split : int list; (* partial-accumulator counts offered *)
+  extra : Ir.Prog.t -> instance list;
+      (* additional instances offered at every state — the hook through
+         which named composite transformations (Transfo) become
+         macro-moves visible to every search engine.  Must close over a
+         caps value whose own [extra] is empty, or enumeration would
+         recurse. *)
 }
+
+let no_extra (_ : Ir.Prog.t) : instance list = []
+
+let with_extra extra caps = { caps with extra }
 
 let cpu_caps ?(vec_lanes = [ 4; 8; 16 ]) ?(max_unroll = 16) () =
   {
+    extra = no_extra;
     vec_lanes;
     max_unroll;
     can_parallelize = true;
@@ -74,6 +90,7 @@ let cpu_caps ?(vec_lanes = [ 4; 8; 16 ]) ?(max_unroll = 16) () =
 
 let gpu_caps ?(max_block = 1024) () =
   {
+    extra = no_extra;
     vec_lanes = [ 4; 2 ]; (* 128/64-bit vector loads per thread *)
     max_unroll = 8;
     can_parallelize = false;
@@ -87,6 +104,7 @@ let gpu_caps ?(max_block = 1024) () =
 
 let snitch_caps () =
   {
+    extra = no_extra;
     vec_lanes = [];
     max_unroll = 8;
     can_parallelize = false;
@@ -1063,7 +1081,7 @@ let find_split_reduction (caps : caps) (prog : Ir.Prog.t) : instance list =
 (* Aggregation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let all (caps : caps) (prog : Ir.Prog.t) : instance list =
+let atomics (caps : caps) (prog : Ir.Prog.t) : instance list =
   List.concat
     [
       find_split caps prog;
@@ -1084,3 +1102,9 @@ let all (caps : caps) (prog : Ir.Prog.t) : instance list =
       find_ssr caps prog;
       find_frep caps prog;
     ]
+
+(* The action set of the game: atomic instances plus whatever macro-moves
+   the capabilities carry (appended last so atomic enumeration order — and
+   hence recorded schedules — is unchanged when no composites are on). *)
+let all (caps : caps) (prog : Ir.Prog.t) : instance list =
+  match caps.extra prog with [] -> atomics caps prog | m -> atomics caps prog @ m

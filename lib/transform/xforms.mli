@@ -26,12 +26,19 @@ val describe : instance -> string
 (** ["name(target)"] — stable identifier used to record and replay move
     sequences. *)
 
-val resolver :
+val lookup :
   ?filter:(instance -> bool) -> instance list -> string -> instance option
-(** [resolver insts] builds (lazily, once) a {!describe} [->] instance
+(** [lookup insts] builds (lazily, once) a {!describe} [->] instance
     hash table over [insts] and returns the lookup function — the fast
     path for replaying recorded move names.  First occurrence wins, as
     with [List.find_opt]. *)
+
+val resolver :
+  ?filter:(instance -> bool) -> instance list -> string -> instance option
+  [@@deprecated
+    "describe-string resolution is a compatibility path; address moves \
+     with the script API (Transfo.Script / Engine.apply_at) instead.  \
+     Internal replay code should use Xforms.lookup."]
 
 (** Hardware capabilities gate which transformations are offered: the
     paper's "hardware knowledge exposed to the search only as a library
@@ -47,15 +54,29 @@ type caps = {
   split_factors : int list;
   reduction_split : int list;
       (** partial-accumulator counts offered by split_reduction *)
+  extra : Ir.Prog.t -> instance list;
+      (** additional instances offered at every state — the hook through
+          which named composite transformations ([Transfo.Composites])
+          appear as macro-moves in every search engine.  The three
+          builders install the empty hook; {!with_extra} replaces it. *)
 }
 
 val cpu_caps : ?vec_lanes:int list -> ?max_unroll:int -> unit -> caps
 val gpu_caps : ?max_block:int -> unit -> caps
 val snitch_caps : unit -> caps
 
+val with_extra : (Ir.Prog.t -> instance list) -> caps -> caps
+(** The hook must enumerate against a caps value whose own [extra] is
+    empty (close over the base caps), or {!all} would recurse. *)
+
 val all : caps -> Ir.Prog.t -> instance list
 (** Every applicable instance of every transformation at the given
-    program state — the action set of the PerfDojo game. *)
+    program state — the action set of the PerfDojo game.  Atomic
+    instances first, then [caps.extra] macro-moves. *)
+
+val atomics : caps -> Ir.Prog.t -> instance list
+(** {!all} without the [extra] hook — what composite expansion
+    enumerates against so macro-moves never contain macro-moves. *)
 
 (** {1 Individual transformations}
 

@@ -11,9 +11,10 @@ type t = {
   best_time : float;
   evals : int;
   fingerprint : string;
+  script : string option;
 }
 
-let schema_version = 2
+let schema_version = 3
 
 (* Canonical program identity (schema >= 2): digest of the canonicalized
    program, so alpha-renamed and commutatively-reordered spellings of
@@ -32,7 +33,7 @@ let root_keys (p : Ir.Prog.t) : string * string =
 let matches_root ~keys:(canonical, legacy) (r : t) =
   String.equal r.fingerprint canonical || String.equal r.fingerprint legacy
 
-let make ~kernel ~target ~moves ~best_time ~evals ~root =
+let make ?script ~kernel ~target ~moves ~best_time ~evals ~root () =
   {
     schema = schema_version;
     kernel;
@@ -41,20 +42,28 @@ let make ~kernel ~target ~moves ~best_time ~evals ~root =
     best_time;
     evals;
     fingerprint = fingerprint root;
+    script;
   }
 
 let to_json (r : t) : string =
+  (* the member is absent, not null, on script-less records, so schema-2
+     readers of a schema-3 line fail on the schema number alone and older
+     writers' bytes stay untouched *)
+  let script_member =
+    match r.script with None -> [] | Some s -> [ ("script", Json.Str s) ]
+  in
   Json.to_string
     (Json.Obj
-       [
-         ("schema", Json.Num (float_of_int r.schema));
-         ("kernel", Json.Str r.kernel);
-         ("target", Json.Str r.target);
-         ("moves", Json.Arr (List.map (fun m -> Json.Str m) r.moves));
-         ("best_time", Json.Num r.best_time);
-         ("evals", Json.Num (float_of_int r.evals));
-         ("fingerprint", Json.Str r.fingerprint);
-       ])
+       ([
+          ("schema", Json.Num (float_of_int r.schema));
+          ("kernel", Json.Str r.kernel);
+          ("target", Json.Str r.target);
+          ("moves", Json.Arr (List.map (fun m -> Json.Str m) r.moves));
+          ("best_time", Json.Num r.best_time);
+          ("evals", Json.Num (float_of_int r.evals));
+          ("fingerprint", Json.Str r.fingerprint);
+        ]
+       @ script_member))
 
 let of_json (line : string) : (t, string) result =
   match Json.of_string line with
@@ -91,7 +100,7 @@ let of_json (line : string) : (t, string) result =
       let* schema = int_field "schema" in
       (* schema 1 records carry legacy printed-text fingerprints; they
          parse fine and stay warm through the dual-key lookups *)
-      if schema <> 1 && schema <> schema_version then
+      if schema <> 1 && schema <> 2 && schema <> schema_version then
         Error (Printf.sprintf "record: unsupported schema version %d" schema)
       else
         let* kernel = str_field "kernel" in
@@ -100,7 +109,10 @@ let of_json (line : string) : (t, string) result =
         let* best_time = float_field "best_time" in
         let* evals = int_field "evals" in
         let* fingerprint = str_field "fingerprint" in
-        Ok { schema; kernel; target; moves; best_time; evals; fingerprint })
+        let script = Option.bind (Json.member "script" v) Json.to_str in
+        Ok
+          { schema; kernel; target; moves; best_time; evals; fingerprint;
+            script })
 
 let key (r : t) : string =
   r.kernel ^ "|" ^ r.fingerprint ^ "|" ^ r.target ^ "|"
@@ -122,4 +134,7 @@ let compare_order (a : t) (b : t) : int =
         if c <> 0 then c
         else
           let c = compare a.evals b.evals in
-          if c <> 0 then c else compare a.fingerprint b.fingerprint
+          if c <> 0 then c
+          else
+            let c = compare a.fingerprint b.fingerprint in
+            if c <> 0 then c else compare a.script b.script

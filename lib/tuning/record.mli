@@ -14,12 +14,18 @@ type t = {
   best_time : float;  (** modelled runtime of the replayed schedule, s *)
   evals : int;  (** performance-model evaluations spent finding it *)
   fingerprint : string;  (** {!fingerprint} of the {e root} program *)
+  script : string option;
+      (** schema >= 3: the schedule as a [pds] script
+          ([Transfo.Script.of_moves]) — the human-auditable provenance
+          replaying identically to [moves]; [None] on records written by
+          older schemas *)
 }
 
 val schema_version : int
-(** 2: fingerprints are canonical ({!Canon.fingerprint}).  Schema-1
-    records (raw printed-text digests) still parse and stay warm via
-    the dual-key helpers below. *)
+(** 3: records may carry script provenance.  Schema-2 (canonical
+    fingerprints, no script) and schema-1 records (raw printed-text
+    digests) still parse — [script] reads back as [None] — and stay
+    warm via the dual-key helpers below. *)
 
 val fingerprint : Ir.Prog.t -> string
 (** Canonical program identity: {!Canon.fingerprint} — invariant under
@@ -41,12 +47,14 @@ val matches_root : keys:string * string -> t -> bool
     warm. *)
 
 val make :
+  ?script:string ->
   kernel:string ->
   target:string ->
   moves:string list ->
   best_time:float ->
   evals:int ->
   root:Ir.Prog.t ->
+  unit ->
   t
 
 val to_json : t -> string

@@ -11,7 +11,10 @@ let replay caps prog moves = Search.Stochastic.replay_skipping caps prog moves
 
 (* Build a record by replaying the winner: the stored best_time is the
    replayed schedule's modelled runtime, so the record is reproducible
-   by construction (budget-0 warm-start lands exactly on it). *)
+   by construction (budget-0 warm-start lands exactly on it).  Script
+   provenance is derived from the applied moves — deterministic, so a
+   record built from a resumed or re-run search carries identical
+   bytes. *)
 let record_of ~objective ~caps ~kernel ~target ~root ~moves ~evals :
     (Record.t, string) result =
   let replayed, applied = replay caps root moves in
@@ -21,6 +24,10 @@ let record_of ~objective ~caps ~kernel ~target ~root ~moves ~evals :
          "record_of: only %d of %d moves replayed from the root"
          (List.length applied) (List.length moves))
   else
+    let script =
+      Transfo.Script.to_string
+        (Transfo.Script.of_moves ~kernel ~ktarget:target applied)
+    in
     Ok
-      (Record.make ~kernel ~target ~moves:applied
-         ~best_time:(objective replayed) ~evals ~root)
+      (Record.make ~script ~kernel ~target ~moves:applied
+         ~best_time:(objective replayed) ~evals ~root ())

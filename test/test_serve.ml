@@ -98,7 +98,10 @@ let gen_response =
     oneofl
       [
         P.Optimized
-          { id; kernel; target; warm; time_s; moves; evaluations; failures };
+          {
+            id; kernel; target; warm; time_s; moves; script = msg;
+            evaluations; failures;
+          };
         P.Queried { id; kernel; target; found = warm; time_s; moves };
         P.Generated { id; kernel; target; warm; time_s; c_entry = msg; c = msg };
         P.Stats_reply { id; counters; gauges };

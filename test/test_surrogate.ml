@@ -187,9 +187,9 @@ let offline_deterministic () =
         let t0 = time root in
         [
           Tuning.Record.make ~kernel:e.label ~target:"x86" ~moves:[]
-            ~best_time:t0 ~evals:1 ~root;
+            ~best_time:t0 ~evals:1 ~root ();
           Tuning.Record.make ~kernel:e.label ~target:"x86" ~moves:[]
-            ~best_time:(t0 /. 2.) ~evals:1 ~root;
+            ~best_time:(t0 /. 2.) ~evals:1 ~root ();
         ])
       (List.filteri (fun i _ -> i < 4) Kernels.table3)
   in

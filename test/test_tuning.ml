@@ -77,6 +77,7 @@ let arbitrary_record =
           best_time;
           evals;
           fingerprint = Digest.to_hex (Digest.string (string_of_int fp_seed));
+          script = None;
         })
 
 let prop_record_roundtrip =
@@ -98,7 +99,7 @@ let record_tests =
     Alcotest.test_case "unknown schema version rejected" `Quick (fun () ->
         let r =
           Tuning.Record.make ~kernel:"k" ~target:"t" ~moves:[]
-            ~best_time:1.0 ~evals:1 ~root:(Kernels.scale ~n:8)
+            ~best_time:1.0 ~evals:1 ~root:(Kernels.scale ~n:8) ()
         in
         let line = Tuning.Record.to_json { r with schema = 99 } in
         match Tuning.Record.of_json line with
@@ -149,7 +150,7 @@ let fingerprint_tests =
 
 let mk_record ?(kernel = "k") ?(target = "t") ?(moves = []) ~best_time
     ~root () =
-  Tuning.Record.make ~kernel ~target ~moves ~best_time ~evals:10 ~root
+  Tuning.Record.make ~kernel ~target ~moves ~best_time ~evals:10 ~root ()
 
 let db_tests =
   [
@@ -590,7 +591,7 @@ let warmstart_tests =
         ignore
           (Tuning.Db.add db
              (Tuning.Record.make ~kernel:"gemv" ~target:"snitch"
-                ~moves:[ "m" ] ~best_time:1.0 ~evals:1 ~root:gemv));
+                ~moves:[ "m" ] ~best_time:1.0 ~evals:1 ~root:gemv ()));
         Alcotest.(check (list string))
           "matching root" [ "m" ]
           (Tuning.Warmstart.moves_for db ~kernel:"gemv" ~target:"snitch"
